@@ -1,0 +1,178 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sections 4-5).
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, default depth
+     dune exec bench/main.exe -- -e fig9      # one experiment (repeatable)
+     dune exec bench/main.exe -- --quick      # faster, noisier
+     dune exec bench/main.exe -- --detail     # abort/hit/message columns
+     dune exec bench/main.exe -- --csv f.csv  # machine-readable copy
+     dune exec bench/main.exe -- --micro      # bechamel engine microbenches
+     dune exec bench/main.exe -- --list       # experiment ids *)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulation substrate                *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"engine: 10k hold events"
+      (Staged.stage (fun () ->
+           let eng = Sim.Engine.create () in
+           Sim.Engine.spawn eng (fun () ->
+               for _ = 1 to 10_000 do
+                 Sim.Engine.hold 1.0
+               done);
+           ignore (Sim.Engine.run eng ())));
+    Test.make ~name:"facility: 100 procs x 100 uses"
+      (Staged.stage (fun () ->
+           let eng = Sim.Engine.create () in
+           let fac = Sim.Facility.create eng ~name:"f" () in
+           for _ = 1 to 100 do
+             Sim.Engine.spawn eng (fun () ->
+                 for _ = 1 to 100 do
+                   Sim.Facility.use fac 1.0
+                 done)
+           done;
+           ignore (Sim.Engine.run eng ())));
+    Test.make ~name:"lock table: 10k request/release"
+      (Staged.stage (fun () ->
+           let lt = Cc.Lock_table.create () in
+           for i = 1 to 10_000 do
+             ignore
+               (Cc.Lock_table.request lt ~page:(i mod 97) (i mod 7)
+                  (if i mod 3 = 0 then Cc.Lock_table.X else Cc.Lock_table.S)
+                  ~wake:(fun () -> ()));
+             Cc.Lock_table.release lt ~page:(i mod 97) (i mod 7)
+           done));
+    Test.make ~name:"lru pool: 100k inserts cap 400"
+      (Staged.stage (fun () ->
+           let c = Storage.Lru_pool.create ~capacity:400 in
+           for i = 1 to 100_000 do
+             ignore (Storage.Lru_pool.insert c (i mod 2000) ~dirty:(i mod 5 = 0))
+           done));
+    Test.make ~name:"end-to-end: 10-client 2PL sim, 300 commits"
+      (Staged.stage (fun () ->
+           let cfg = Core.Sys_params.table5 ~n_clients:10 () in
+           let xp =
+             Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+           in
+           let spec =
+             Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+               ~measured_commits:250 ~cfg ~xact_params:xp
+               (Core.Proto.Two_phase Core.Proto.Inter)
+           in
+           ignore (Core.Simulator.run spec)));
+  ]
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) ->
+              Printf.printf "  %-45s %14.0f ns/run\n%!" name est
+          | Some [] | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        results)
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+(* Experiment driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let experiments = ref [] in
+  let quick = ref false in
+  let detail = ref false in
+  let micro = ref false in
+  let csv = ref None in
+  let plots = ref None in
+  let list_only = ref false in
+  let speclist =
+    [
+      ( "-e",
+        Arg.String (fun s -> experiments := s :: !experiments),
+        "ID run one experiment (repeatable); default: all" );
+      ("--quick", Arg.Set quick, " fewer commits per run (smoke-test depth)");
+      ("--detail", Arg.Set detail, " print abort/hit/message columns");
+      ("--micro", Arg.Set micro, " also run bechamel engine microbenchmarks");
+      ( "--csv",
+        Arg.String (fun s -> csv := Some s),
+        "FILE also write every figure as CSV" );
+      ( "--plots",
+        Arg.String (fun s -> plots := Some s),
+        "DIR also write gnuplot .dat/.gp files per figure" );
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe: regenerate the paper's tables and figures";
+  if !list_only then begin
+    List.iter
+      (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr)
+      Experiments.Suite.all;
+    exit 0
+  end;
+  let opts = if !quick then Experiments.Exp_defs.quick_opts else Experiments.Exp_defs.default_opts in
+  let runner = Experiments.Exp_defs.make_runner opts in
+  let selected =
+    match !experiments with
+    | [] -> Experiments.Suite.all
+    | ids ->
+        List.rev_map
+          (fun id ->
+            match Experiments.Suite.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                exit 1)
+          ids
+  in
+  let csv_buf = Buffer.create 4096 in
+  let t0 = Sys.time () in
+  List.iter
+    (fun (id, descr, build) ->
+      Format.printf "@.###### %s — %s@." id descr;
+      let out = build runner in
+      Experiments.Report.print_output ~detail:!detail Format.std_formatter out;
+      (match out with
+      | Experiments.Suite.Figures figs ->
+          List.iter
+            (fun f ->
+              List.iter
+                (fun line ->
+                  Buffer.add_string csv_buf line;
+                  Buffer.add_char csv_buf '\n')
+                (Experiments.Report.figure_csv f);
+              match !plots with
+              | Some dir -> ignore (Experiments.Report.write_gnuplot ~dir f)
+              | None -> ())
+            figs
+      | Experiments.Suite.Map _ -> ());
+      Format.printf "@?")
+    selected;
+  (match !csv with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Buffer.contents csv_buf);
+      close_out oc;
+      Printf.printf "\ncsv written to %s\n" file
+  | None -> ());
+  Printf.printf "\n%d simulations executed in %.1fs cpu time\n"
+    (Experiments.Exp_defs.runs_executed runner)
+    (Sys.time () -. t0);
+  if !micro then begin
+    Printf.printf "\n###### bechamel microbenchmarks\n%!";
+    micro_benchmarks ()
+  end

@@ -1,0 +1,217 @@
+(* ccsim: command-line front end to the client/server DBMS cache
+   consistency simulator.
+
+     ccsim run --algo callback --clients 30 --loc 0.5 --pw 0.2
+     ccsim run --algo no-wait-notify --platform fast-net --large
+     ccsim exp fig9 --detail
+     ccsim exp all --quick --csv results.csv
+     ccsim list *)
+
+open Cmdliner
+
+let algo_conv =
+  let parse = function
+    | "2pl" -> Ok (Core.Proto.Two_phase Core.Proto.Inter)
+    | "2pl-intra" -> Ok (Core.Proto.Two_phase Core.Proto.Intra)
+    | "cert" -> Ok (Core.Proto.Certification Core.Proto.Inter)
+    | "cert-intra" -> Ok (Core.Proto.Certification Core.Proto.Intra)
+    | "callback" -> Ok Core.Proto.Callback
+    | "no-wait" -> Ok (Core.Proto.No_wait { notify = None })
+    | "no-wait-notify" -> Ok (Core.Proto.No_wait { notify = Some Core.Proto.Push })
+    | "no-wait-inval" ->
+        Ok (Core.Proto.No_wait { notify = Some Core.Proto.Invalidate })
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Core.Proto.algorithm_name a) in
+  Arg.conv (parse, print)
+
+let platform_conv =
+  let parse = function
+    | ("table5" | "fast-server" | "fast-net") as s -> Ok s
+    | s -> Error (`Msg (Printf.sprintf "unknown platform %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* ------------------------------------------------------------------ *)
+(* ccsim run                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv (Core.Proto.Two_phase Core.Proto.Inter)
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Consistency algorithm: 2pl, 2pl-intra, cert, cert-intra, \
+             callback, no-wait, no-wait-notify, no-wait-inval.")
+  in
+  let clients =
+    Arg.(value & opt int 10 & info [ "c"; "clients" ] ~docv:"N" ~doc:"Client count.")
+  in
+  let loc =
+    Arg.(
+      value & opt float 0.25
+      & info [ "loc" ] ~docv:"P" ~doc:"Inter-transaction locality (InterXactLoc).")
+  in
+  let pw =
+    Arg.(
+      value & opt float 0.2
+      & info [ "pw" ] ~docv:"P" ~doc:"Per-atom write probability (ProbWrite).")
+  in
+  let platform =
+    Arg.(
+      value & opt platform_conv "table5"
+      & info [ "platform" ] ~docv:"P"
+          ~doc:"System preset: table5, fast-server, or fast-net.")
+  in
+  let large =
+    Arg.(value & flag & info [ "large" ] ~doc:"Large transactions (20-60 reads).")
+  in
+  let interactive =
+    Arg.(
+      value & flag
+      & info [ "interactive" ] ~doc:"Interactive think times (5 s / 2 s).")
+  in
+  let commits =
+    Arg.(
+      value & opt int 2000
+      & info [ "commits" ] ~docv:"N" ~doc:"Measured committed transactions.")
+  in
+  let warmup =
+    Arg.(value & opt int 300 & info [ "warmup" ] ~docv:"N" ~doc:"Warmup commits.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let reps =
+    Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N" ~doc:"Replications to average.")
+  in
+  let run algo clients loc pw platform large interactive commits warmup seed reps =
+    if clients <= 0 then begin
+      Printf.eprintf "ccsim: --clients must be positive\n";
+      exit 1
+    end;
+    if loc < 0.0 || loc > 1.0 || pw < 0.0 || pw > 1.0 then begin
+      Printf.eprintf "ccsim: --loc and --pw must lie in [0, 1]\n";
+      exit 1
+    end;
+    let cfg =
+      match platform with
+      | "fast-server" -> Core.Sys_params.fast_server ~n_clients:clients ()
+      | "fast-net" -> Core.Sys_params.fast_server_fast_net ~n_clients:clients ()
+      | _ -> Core.Sys_params.table5 ~n_clients:clients ()
+    in
+    let xp =
+      if interactive then Db.Xact_params.interactive ~prob_write:pw ~inter_xact_loc:loc ()
+      else if large then Db.Xact_params.large_batch ~prob_write:pw ~inter_xact_loc:loc ()
+      else Db.Xact_params.short_batch ~prob_write:pw ~inter_xact_loc:loc ()
+    in
+    let spec =
+      Core.Simulator.default_spec ~seed ~warmup_commits:warmup
+        ~measured_commits:commits ~cfg ~xact_params:xp algo
+    in
+    let r = Core.Simulator.run_replicated spec ~reps in
+    Format.printf "%a@." Core.Simulator.pp_result r;
+    Format.printf
+      "  responses: mean %.3fs p50 %.3fs p95 %.3fs stddev %.3fs | window \
+       %.1fs sim / %d events | pushes %d callbacks %d log util %.2f client \
+       cpu %.2f@."
+      r.Core.Simulator.mean_response r.Core.Simulator.response_p50
+      r.Core.Simulator.response_p95 r.Core.Simulator.response_stddev
+      r.Core.Simulator.window r.Core.Simulator.events
+      r.Core.Simulator.pushes_sent r.Core.Simulator.callbacks_sent
+      r.Core.Simulator.log_disk_util r.Core.Simulator.client_cpu_util
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one simulation and print its metrics.")
+    Term.(
+      const run $ algo $ clients $ loc $ pw $ platform $ large $ interactive
+      $ commits $ warmup $ seed $ reps)
+
+(* ------------------------------------------------------------------ *)
+(* ccsim exp                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exp_cmd =
+  let ids =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (see $(b,ccsim list)), or 'all'.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer commits per run.") in
+  let detail =
+    Arg.(value & flag & info [ "detail" ] ~doc:"Abort/hit/message columns.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write figures as CSV.")
+  in
+  let run ids quick detail csv =
+    let opts =
+      if quick then Experiments.Exp_defs.quick_opts
+      else Experiments.Exp_defs.default_opts
+    in
+    let runner = Experiments.Exp_defs.make_runner opts in
+    let selected =
+      if List.mem "all" ids then Experiments.Suite.all
+      else
+        List.map
+          (fun id ->
+            match Experiments.Suite.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf
+                  "ccsim: unknown experiment %S (try 'ccsim list')\n" id;
+                exit 1)
+          ids
+    in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (id, descr, build) ->
+        Format.printf "@.###### %s — %s@." id descr;
+        let out = build runner in
+        Experiments.Report.print_output ~detail Format.std_formatter out;
+        match out with
+        | Experiments.Suite.Figures figs ->
+            List.iter
+              (fun f ->
+                List.iter
+                  (fun l ->
+                    Buffer.add_string buf l;
+                    Buffer.add_char buf '\n')
+                  (Experiments.Report.figure_csv f))
+              figs
+        | Experiments.Suite.Map _ -> ())
+      selected;
+    match csv with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Format.printf "@.csv written to %s@." file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ ids $ quick $ detail $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* ccsim list                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr)
+      Experiments.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "ccsim" ~version:"1.0.0"
+      ~doc:
+        "Client/server DBMS cache-consistency simulator (Wang & Rowe, \
+         UCB/ERL M90/120)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd ]))

@@ -1,0 +1,155 @@
+type commit_record = {
+  xid : int;
+  reads : (int * int) list;
+  writes : (int * int) list;
+}
+
+type t = {
+  mutable commits : commit_record list; (* newest first *)
+  writer_of : (int * int, int) Hashtbl.t; (* (page, version) -> xid *)
+  readers_of : (int * int, int list ref) Hashtbl.t;
+}
+
+let create () =
+  { commits = []; writer_of = Hashtbl.create 1024; readers_of = Hashtbl.create 1024 }
+
+let add_commit t r =
+  List.iter
+    (fun (page, version) ->
+      match Hashtbl.find_opt t.writer_of (page, version) with
+      | Some other when other <> r.xid ->
+          invalid_arg
+            (Printf.sprintf
+               "History.add_commit: page %d version %d written by both %d and %d"
+               page version other r.xid)
+      | Some _ | None -> Hashtbl.replace t.writer_of (page, version) r.xid)
+    r.writes;
+  List.iter
+    (fun key ->
+      let l =
+        match Hashtbl.find_opt t.readers_of key with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.readers_of key l;
+            l
+      in
+      l := r.xid :: !l)
+    r.reads;
+  t.commits <- r :: t.commits
+
+let size t = List.length t.commits
+
+type verdict = Serializable | Cycle of int list
+
+let build_edges t =
+  (* (from, to, reason), self-edges dropped *)
+  let out = ref [] in
+  let add a b reason = if a <> b then out := (a, b, reason) :: !out in
+  List.iter
+    (fun r ->
+      (* write-read and version-order edges into this transaction *)
+      List.iter
+        (fun (page, v) ->
+          match Hashtbl.find_opt t.writer_of (page, v) with
+          | Some w -> add w r.xid "wr"
+          | None -> () (* initial version: no writer *))
+        r.reads;
+      List.iter
+        (fun (page, v) ->
+          (match Hashtbl.find_opt t.writer_of (page, v - 1) with
+          | Some w -> add w r.xid "ww"
+          | None -> ());
+          (* anti-dependencies: readers of the previous version precede us *)
+          match Hashtbl.find_opt t.readers_of (page, v - 1) with
+          | Some readers -> List.iter (fun rd -> add rd r.xid "rw") !readers
+          | None -> ())
+        r.writes)
+    t.commits;
+  !out
+
+let edges t = build_edges t
+
+let check t =
+  let es = build_edges t in
+  let succ = Hashtbl.create 1024 in
+  let indeg = Hashtbl.create 1024 in
+  let nodes = Hashtbl.create 1024 in
+  let note_node x = if not (Hashtbl.mem nodes x) then Hashtbl.replace nodes x () in
+  List.iter
+    (fun r -> note_node r.xid)
+    t.commits;
+  let edge_set = Hashtbl.create 1024 in
+  List.iter
+    (fun (a, b, _) ->
+      if not (Hashtbl.mem edge_set (a, b)) then begin
+        Hashtbl.replace edge_set (a, b) ();
+        note_node a;
+        note_node b;
+        let l =
+          match Hashtbl.find_opt succ a with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace succ a l;
+              l
+        in
+        l := b :: !l;
+        Hashtbl.replace indeg b
+          (1 + Option.value (Hashtbl.find_opt indeg b) ~default:0)
+      end)
+    es;
+  (* Kahn's algorithm *)
+  let queue = Queue.create () in
+  Hashtbl.iter
+    (fun x () ->
+      if Option.value (Hashtbl.find_opt indeg x) ~default:0 = 0 then
+        Queue.add x queue)
+    nodes;
+  let removed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    incr removed;
+    match Hashtbl.find_opt succ x with
+    | None -> ()
+    | Some l ->
+        List.iter
+          (fun y ->
+            let d = Hashtbl.find indeg y - 1 in
+            Hashtbl.replace indeg y d;
+            if d = 0 then Queue.add y queue)
+          !l
+  done;
+  if !removed = Hashtbl.length nodes then Serializable
+  else begin
+    (* the residue contains at least one cycle: walk successors with
+       positive in-degree until a node repeats *)
+    let residue x = Option.value (Hashtbl.find_opt indeg x) ~default:0 > 0 in
+    let start =
+      Hashtbl.fold (fun x () acc -> if residue x then Some x else acc) nodes None
+    in
+    match start with
+    | None -> Serializable (* unreachable *)
+    | Some s ->
+        let seen = Hashtbl.create 64 in
+        (* [path] is newest-first and never contains the node about to be
+           revisited, so the cut below collects the full loop *)
+        let rec walk x path =
+          Hashtbl.replace seen x ();
+          let next =
+            match Hashtbl.find_opt succ x with
+            | None -> None
+            | Some l -> List.find_opt residue !l
+          in
+          match next with
+          | Some y when Hashtbl.mem seen y ->
+              let rec take acc = function
+                | [] -> acc
+                | z :: rest -> if z = y then z :: acc else take (z :: acc) rest
+              in
+              Cycle (take [] path)
+          | Some y -> walk y (y :: path)
+          | None -> Serializable (* unreachable in residue *)
+        in
+        walk s [ s ]
+  end

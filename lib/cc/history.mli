@@ -1,0 +1,42 @@
+(** Committed-transaction history and serializability checking.
+
+    Each page carries a version number that the server bumps on every
+    committed update, so a committed transaction can be summarized as the
+    versions it read and the versions it installed.  From these summaries
+    the {e direct serialization graph} (DSG) is built:
+
+    - write–read: the writer of [p@v] precedes any reader of [p@v];
+    - write–write: the writer of [p@v] precedes the writer of [p@v+1];
+    - read–write (anti-dependency): a reader of [p@v] precedes the writer
+      of [p@v+1].
+
+    The execution is (view) serializable iff the DSG is acyclic.  Every
+    consistency algorithm in this repository must produce serializable
+    histories; the integration tests audit whole simulation runs through
+    this module. *)
+
+type t
+
+type commit_record = {
+  xid : int;
+  reads : (int * int) list;  (** (page, version read) *)
+  writes : (int * int) list;  (** (page, version installed) *)
+}
+
+val create : unit -> t
+
+(** Append one committed transaction.  Raises [Invalid_argument] if the
+    same (page, version) is installed by two different transactions. *)
+val add_commit : t -> commit_record -> unit
+
+val size : t -> int
+
+type verdict =
+  | Serializable
+  | Cycle of int list  (** xids on one cycle of the DSG *)
+
+(** Build the DSG and topologically sort it. *)
+val check : t -> verdict
+
+(** Edges of the DSG, for diagnostics: (from xid, to xid, reason). *)
+val edges : t -> (int * int * string) list

@@ -1,0 +1,289 @@
+type mode = S | X
+
+let mode_to_string = function S -> "S" | X -> "X"
+
+type owner = int
+
+type waiter = {
+  w_owner : owner;
+  w_mode : mode;
+  w_upgrade : bool;
+  w_wake : unit -> unit;
+}
+
+type entry = {
+  mutable held : (owner * mode) list; (* invariant: all S, or a single X *)
+  mutable queue : waiter list; (* FCFS; upgrades are inserted at the front *)
+}
+
+type t = {
+  pages : (int, entry) Hashtbl.t;
+  by_owner : (owner, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { pages = Hashtbl.create 1024; by_owner = Hashtbl.create 64 }
+
+let entry t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some e -> e
+  | None ->
+      let e = { held = []; queue = [] } in
+      Hashtbl.replace t.pages page e;
+      e
+
+let note_held t owner page =
+  let set =
+    match Hashtbl.find_opt t.by_owner owner with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 16 in
+        Hashtbl.replace t.by_owner owner s;
+        s
+  in
+  Hashtbl.replace set page ()
+
+let note_released t owner page =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove s page;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.by_owner owner
+
+let drop_entry_if_empty t page e =
+  if e.held = [] && e.queue = [] then Hashtbl.remove t.pages page
+
+let compatible mode holders ~except =
+  match mode with
+  | S -> List.for_all (fun (o, m) -> o = except || m = S) holders
+  | X -> List.for_all (fun (o, _) -> o = except) holders
+
+(* Grant from the queue head while possible.  An upgrade waiter is granted
+   when its owner is the sole remaining holder; an S waiter when no X is
+   held; an X waiter when nothing is held.  Strict FCFS otherwise. *)
+let rec grant_from_queue t page e =
+  match e.queue with
+  | [] -> ()
+  | w :: rest ->
+      let can =
+        if w.w_upgrade then
+          match e.held with [ (o, S) ] when o = w.w_owner -> true | _ -> false
+        else compatible w.w_mode e.held ~except:w.w_owner
+      in
+      if can then begin
+        e.queue <- rest;
+        (if w.w_upgrade then
+           e.held <-
+             List.map
+               (fun (o, m) -> if o = w.w_owner then (o, X) else (o, m))
+               e.held
+         else begin
+           e.held <- (w.w_owner, w.w_mode) :: e.held;
+           note_held t w.w_owner page
+         end);
+        w.w_wake ();
+        grant_from_queue t page e
+      end
+
+type outcome = Granted | Blocked of owner list
+
+let blockers_for e ~owner ~mode ~upgrade =
+  (* Everyone this request waits for: incompatible holders, plus earlier
+     waiters whose requests are incompatible with ours (strict FCFS means
+     we sit behind them).  Upgrades skip the queue, so only holders. *)
+  let holder_blockers =
+    List.filter_map
+      (fun (o, m) ->
+        if o = owner then None
+        else
+          match (mode, m) with
+          | S, S -> None (* S is only blocked by an X holder *)
+          | S, X | X, S | X, X -> Some o)
+      e.held
+  in
+  let queue_blockers =
+    if upgrade then []
+    else
+      List.filter_map
+        (fun w ->
+          if w.w_owner = owner then None
+          else
+            match (mode, w.w_mode) with
+            | S, S -> None
+            | S, X | X, S | X, X -> Some w.w_owner)
+        e.queue
+  in
+  List.sort_uniq Int.compare (holder_blockers @ queue_blockers)
+
+let request t ~page owner mode ~wake =
+  let e = entry t page in
+  if List.exists (fun w -> w.w_owner = owner) e.queue then
+    (* already queued on this page: report current blockers, don't enqueue
+       twice (protocol clients block, but be robust anyway) *)
+    Blocked
+      (match List.find_opt (fun w -> w.w_owner = owner) e.queue with
+      | Some w -> blockers_for e ~owner ~mode:w.w_mode ~upgrade:w.w_upgrade
+      | None -> [])
+  else
+  match List.assoc_opt owner e.held with
+  | Some X -> Granted (* X covers S and X *)
+  | Some S when mode = S -> Granted
+  | Some S ->
+      (* upgrade S -> X *)
+      if List.length e.held = 1 then begin
+        e.held <- [ (owner, X) ];
+        Granted
+      end
+      else begin
+        let blockers = blockers_for e ~owner ~mode:X ~upgrade:true in
+        e.queue <-
+          { w_owner = owner; w_mode = X; w_upgrade = true; w_wake = wake }
+          :: e.queue;
+        Blocked blockers
+      end
+  | None ->
+      let free_now =
+        e.queue = [] && compatible mode e.held ~except:owner
+      in
+      if free_now then begin
+        e.held <- (owner, mode) :: e.held;
+        note_held t owner page;
+        Granted
+      end
+      else begin
+        let blockers = blockers_for e ~owner ~mode ~upgrade:false in
+        e.queue <-
+          e.queue
+          @ [ { w_owner = owner; w_mode = mode; w_upgrade = false; w_wake = wake } ];
+        Blocked blockers
+      end
+
+let release t ~page owner =
+  match Hashtbl.find_opt t.pages page with
+  | None -> ()
+  | Some e ->
+      if List.mem_assoc owner e.held then begin
+        e.held <- List.remove_assoc owner e.held;
+        note_released t owner page;
+        (* a queued upgrade by this owner just lost its base lock: demote
+           it to an ordinary X request or it can never be granted *)
+        e.queue <-
+          List.map
+            (fun w ->
+              if w.w_owner = owner && w.w_upgrade then
+                { w with w_upgrade = false }
+              else w)
+            e.queue;
+        grant_from_queue t page e;
+        drop_entry_if_empty t page e
+      end
+
+let release_all t owner =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> []
+  | Some s ->
+      let pages = Hashtbl.fold (fun p () acc -> p :: acc) s [] in
+      List.iter (fun p -> release t ~page:p owner) pages;
+      pages
+
+let cancel_wait t ~page owner =
+  match Hashtbl.find_opt t.pages page with
+  | None -> ()
+  | Some e ->
+      e.queue <- List.filter (fun w -> w.w_owner <> owner) e.queue;
+      grant_from_queue t page e;
+      drop_entry_if_empty t page e
+
+let cancel_all_waits t owner =
+  let pages =
+    Hashtbl.fold
+      (fun page e acc ->
+        if List.exists (fun w -> w.w_owner = owner) e.queue then page :: acc
+        else acc)
+      t.pages []
+  in
+  List.iter (fun page -> cancel_wait t ~page owner) pages
+
+let downgrade t ~page owner =
+  match Hashtbl.find_opt t.pages page with
+  | None -> ()
+  | Some e -> (
+      match List.assoc_opt owner e.held with
+      | Some X ->
+          e.held <-
+            List.map (fun (o, m) -> if o = owner then (o, S) else (o, m)) e.held;
+          grant_from_queue t page e
+      | Some S | None -> ())
+
+let held t ~page owner =
+  match Hashtbl.find_opt t.pages page with
+  | None -> None
+  | Some e -> List.assoc_opt owner e.held
+
+let holders t ~page =
+  match Hashtbl.find_opt t.pages page with None -> [] | Some e -> e.held
+
+let waiting t ~page =
+  match Hashtbl.find_opt t.pages page with
+  | None -> []
+  | Some e -> List.map (fun w -> (w.w_owner, w.w_mode)) e.queue
+
+let pages_held_by t owner =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun p () acc -> p :: acc) s []
+
+let all_waiting t =
+  Hashtbl.fold
+    (fun page e acc ->
+      List.fold_left
+        (fun acc w -> (page, w.w_owner, w.w_mode) :: acc)
+        acc e.queue)
+    t.pages []
+
+let blockers t ~page owner =
+  match Hashtbl.find_opt t.pages page with
+  | None -> []
+  | Some e -> (
+      match List.find_opt (fun w -> w.w_owner = owner) e.queue with
+      | None -> []
+      | Some w ->
+          (* only waiters queued before us block us *)
+          let earlier =
+            let rec take acc = function
+              | [] -> List.rev acc
+              | x :: _ when x.w_owner = owner && x.w_mode = w.w_mode ->
+                  List.rev acc
+              | x :: rest -> take (x :: acc) rest
+            in
+            take [] e.queue
+          in
+          blockers_for
+            { e with queue = earlier }
+            ~owner ~mode:w.w_mode ~upgrade:w.w_upgrade)
+
+let locks_held t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.held) t.pages 0
+
+let check_invariants t =
+  Hashtbl.iter
+    (fun page e ->
+      let xs = List.filter (fun (_, m) -> m = X) e.held in
+      (match (xs, e.held) with
+      | [], _ -> ()
+      | [ _ ], [ _ ] -> ()
+      | _ ->
+          failwith
+            (Printf.sprintf "Lock_table: page %d has X alongside other locks"
+               page));
+      List.iter
+        (fun w ->
+          if (not w.w_upgrade) && List.mem_assoc w.w_owner e.held then
+            failwith
+              (Printf.sprintf
+                 "Lock_table: page %d owner %d both holds and waits" page
+                 w.w_owner))
+        e.queue;
+      let owners = List.map fst e.held in
+      if List.length owners <> List.length (List.sort_uniq Int.compare owners)
+      then failwith (Printf.sprintf "Lock_table: page %d duplicate holder" page))
+    t.pages

@@ -1,0 +1,14 @@
+type t = { versions : (int, int) Hashtbl.t }
+
+let create () = { versions = Hashtbl.create 1024 }
+
+let current t page =
+  match Hashtbl.find_opt t.versions page with Some v -> v | None -> 0
+
+let bump t page =
+  let v = current t page + 1 in
+  Hashtbl.replace t.versions page v;
+  v
+
+let is_current t ~page ~version = current t page = version
+let pages_updated t = Hashtbl.length t.versions

@@ -1,0 +1,24 @@
+(** Per-page version numbers (paper §2.1).
+
+    The server tags every page with a version number, bumped each time a
+    committed transaction updates the page.  Clients cache the version next
+    to the page and present it when validating; a cached page is valid iff
+    its version equals the server's current version.  Versions also drive
+    certification: a transaction certifies iff every page it read is still
+    at the version it read. *)
+
+type t
+
+val create : unit -> t
+
+(** Current version of a page (pages start at version 0). *)
+val current : t -> int -> int
+
+(** [bump t page] installs a new version and returns it. *)
+val bump : t -> int -> int
+
+(** [is_current t ~page ~version] — is a cached copy at [version] valid? *)
+val is_current : t -> page:int -> version:int -> bool
+
+(** Number of pages ever updated. *)
+val pages_updated : t -> int

@@ -1,0 +1,674 @@
+exception Restart
+
+type t = {
+  id : int;
+  eng : Sim.Engine.t;
+  cfg : Sys_params.t;
+  algo : Proto.algorithm;
+  workload : Db.Workload.t;
+  rng : Sim.Rng.t;
+  metrics : Metrics.t;
+  to_server : Proto.c2s -> unit;
+  on_commit : unit -> unit;
+  audit : Cc.History.t option;
+  cport : Proto.port;
+  cache_pool : Storage.Lru_pool.t;
+  vers : (int, int) Hashtbl.t; (* cached page -> version of our copy *)
+  inbox_mb : Proto.s2c Sim.Mailbox.t;
+  reply_box : Proto.s2c Sim.Mailbox.t;
+  (* per-transaction state *)
+  mutable xid : int;
+  mutable seq : int;
+  mutable in_xact : bool;
+  locked : (int, Proto.lock_kind) Hashtbl.t; (* accessed/locked by current *)
+  checked : (int, int) Hashtbl.t; (* cert: page -> version read *)
+  dirty : (int, unit) Hashtbl.t;
+  acquired : (int, unit) Hashtbl.t; (* callback: locks first taken this xact *)
+  retained : (int, Proto.lock_kind) Hashtbl.t; (* callback: retained locks *)
+  pending_cb : (int, unit) Hashtbl.t; (* callbacks deferred to xact end *)
+  mutable contacted : bool; (* sent any xact-scoped message this attempt *)
+  mutable abort_flag : bool;
+  mutable abort_stale : int list;
+  mutable thinking : bool;
+  deferred : Proto.s2c Queue.t;
+  (* stats *)
+  mutable n_commits : int;
+  mutable n_restarts : int;
+}
+
+let create ?audit eng ~id ~cfg ~algo ~workload ~rng ~metrics ~to_server ~on_commit =
+  let cpu =
+    Sim.Facility.create eng
+      ~name:(Printf.sprintf "client-%d-cpu" id)
+      ~capacity:cfg.Sys_params.n_client_cpus ()
+  in
+  {
+    id;
+    eng;
+    cfg;
+    algo;
+    workload;
+    rng;
+    metrics;
+    to_server;
+    on_commit;
+    audit;
+    cport = { Proto.cpu; mips = cfg.Sys_params.client_mips };
+    cache_pool = Storage.Lru_pool.create ~capacity:cfg.Sys_params.cache_size;
+    vers = Hashtbl.create 256;
+    inbox_mb = Sim.Mailbox.create eng;
+    reply_box = Sim.Mailbox.create eng;
+    xid = -1;
+    seq = 0;
+    in_xact = false;
+    locked = Hashtbl.create 64;
+    checked = Hashtbl.create 64;
+    dirty = Hashtbl.create 64;
+    acquired = Hashtbl.create 64;
+    retained = Hashtbl.create 256;
+    pending_cb = Hashtbl.create 16;
+    contacted = false;
+    abort_flag = false;
+    abort_stale = [];
+    thinking = false;
+    deferred = Queue.create ();
+    n_commits = 0;
+    n_restarts = 0;
+  }
+
+let port t = t.cport
+let inbox t = t.inbox_mb
+let cache t = t.cache_pool
+let commits t = t.n_commits
+let restarts t = t.n_restarts
+let cpu_utilization t = Sim.Facility.utilization t.cport.Proto.cpu
+let retained_count t = Hashtbl.length t.retained
+
+let reset_stats t =
+  Sim.Facility.reset_stats t.cport.Proto.cpu;
+  t.n_commits <- 0;
+  t.n_restarts <- 0
+
+let is_callback t = t.algo = Proto.Callback
+let charge_pages t n = Comms.use_cpu t.cport (t.cfg.Sys_params.client_proc_inst * n)
+
+(* ------------------------------------------------------------------ *)
+(* Cache management                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let drop_page t page =
+  ignore (Storage.Lru_pool.remove t.cache_pool page);
+  Hashtbl.remove t.vers page
+
+let on_evict t (v : Storage.Lru_pool.victim) =
+  Hashtbl.remove t.vers v.Storage.Lru_pool.page;
+  if v.Storage.Lru_pool.dirty then
+    (* cannot happen while current-transaction pages are pinned, but keep
+       the §3.3.3 protocol: updated pages swapped out go to the server *)
+    t.to_server
+      (Proto.Dirty_evict { client = t.id; xid = t.xid; page = v.Storage.Lru_pool.page })
+  else if is_callback t && Hashtbl.mem t.retained v.Storage.Lru_pool.page then begin
+    Hashtbl.remove t.retained v.Storage.Lru_pool.page;
+    t.to_server
+      (Proto.Release_retained { client = t.id; pages = [ v.Storage.Lru_pool.page ] })
+  end
+
+let cache_insert t page ~version =
+  (match Storage.Lru_pool.insert t.cache_pool page ~dirty:false with
+  | None -> ()
+  | Some v -> on_evict t v);
+  Hashtbl.replace t.vers page version;
+  Storage.Lru_pool.pin t.cache_pool page
+
+let touch_and_pin t page =
+  ignore (Storage.Lru_pool.touch t.cache_pool page);
+  Storage.Lru_pool.pin t.cache_pool page
+
+let cached_version t page =
+  if Storage.Lru_pool.mem t.cache_pool page then Hashtbl.find_opt t.vers page
+  else None
+
+let fetch_pages_of t pages =
+  List.map (fun page -> { Proto.page; cached_version = cached_version t page }) pages
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous message handling (dispatcher)                          *)
+(* ------------------------------------------------------------------ *)
+
+let handle_callback_request t page =
+  if t.in_xact && Hashtbl.mem t.locked page then
+    (* in use by the current transaction: release when it terminates *)
+    Hashtbl.replace t.pending_cb page ()
+  else begin
+    Hashtbl.remove t.retained page;
+    t.to_server (Proto.Callback_reply { client = t.id; page })
+  end
+
+let handle_push t page version =
+  if not (Hashtbl.mem t.dirty page) then
+    if Storage.Lru_pool.mem t.cache_pool page then begin
+      ignore (Storage.Lru_pool.insert t.cache_pool page ~dirty:false);
+      Hashtbl.replace t.vers page version
+    end
+(* else: wasted push — we no longer cache the page *)
+
+let handle_invalidate t page =
+  if not (Hashtbl.mem t.dirty page) then drop_page t page
+
+let handle_async t = function
+  | Proto.Callback_request { page } -> handle_callback_request t page
+  | Proto.Update_push { page; version } -> handle_push t page version
+  | Proto.Invalidate_page { page } -> handle_invalidate t page
+  | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _
+  | Proto.Aborted _ ->
+      assert false
+
+let dispatch t msg =
+  match msg with
+  | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _ ->
+      if t.thinking && not t.cfg.Sys_params.process_async_during_think then
+        Queue.add msg t.deferred
+      else handle_async t msg
+  | Proto.Aborted { xid; stale_pages } ->
+      if xid = t.xid then begin
+        t.abort_flag <- true;
+        t.abort_stale <- stale_pages @ t.abort_stale;
+        (* wake the main process if it is blocked on a reply *)
+        Sim.Mailbox.send t.reply_box msg
+      end
+  | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _ ->
+      Sim.Mailbox.send t.reply_box msg
+
+let dispatcher_loop t () =
+  let rec loop () =
+    dispatch t (Sim.Mailbox.recv t.inbox_mb);
+    loop ()
+  in
+  loop ()
+
+let drain_deferred t =
+  let n = Queue.length t.deferred in
+  for _ = 1 to n do
+    handle_async t (Queue.take t.deferred)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Main-process helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_abort t = if t.abort_flag then raise Restart
+
+let reply_xid = function
+  | Proto.Fetch_reply { xid; _ }
+  | Proto.Cert_reply { xid; _ }
+  | Proto.Commit_reply { xid; _ }
+  | Proto.Aborted { xid; _ } ->
+      xid
+  | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _ ->
+      -1
+
+let rec await_reply t =
+  let msg = Sim.Mailbox.recv t.reply_box in
+  if reply_xid msg <> t.xid then await_reply t (* stale, from an old attempt *)
+  else match msg with Proto.Aborted _ -> raise Restart | m -> m
+
+let think t dt =
+  if dt > 0.0 then begin
+    t.thinking <- true;
+    Sim.Engine.hold dt;
+    t.thinking <- false;
+    drain_deferred t
+  end
+
+let describe_c2s = function
+  | Proto.Fetch { mode; pages; no_wait; _ } ->
+      Printf.sprintf "%s%s lock request [%s]"
+        (match mode with Proto.Read -> "S" | Proto.Write -> "X")
+        (if no_wait then " (no-wait)" else "")
+        (String.concat "," (List.map (fun f -> string_of_int f.Proto.page) pages))
+  | Proto.Cert_read { pages; _ } ->
+      Printf.sprintf "cert read [%s]"
+        (String.concat "," (List.map (fun f -> string_of_int f.Proto.page) pages))
+  | Proto.Commit { update_pages; _ } ->
+      Printf.sprintf "commit (%d updated pages)" (List.length update_pages)
+  | Proto.Callback_reply { page; _ } -> Printf.sprintf "callback reply p%d" page
+  | Proto.Release_retained { pages; _ } ->
+      Printf.sprintf "release retained [%s]"
+        (String.concat "," (List.map string_of_int pages))
+  | Proto.Dirty_evict { page; _ } -> Printf.sprintf "dirty evict p%d" page
+
+let send_xact_msg t msg =
+  if Trace.active () then
+    Trace.emit (Sim.Engine.now t.eng)
+      (Trace.Client_send { client = t.id; xid = t.xid; what = describe_c2s msg });
+  t.contacted <- true;
+  t.to_server msg
+
+let record_lookups t ~total ~misses =
+  for _ = 1 to misses do
+    Metrics.record_lookup t.metrics ~hit:false
+  done;
+  for _ = 1 to total - misses do
+    Metrics.record_lookup t.metrics ~hit:true
+  done
+
+(* ------------------------------------------------------------------ *)
+(* ReadObject                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let install_fetch_data t data = List.iter (fun (p, v) -> cache_insert t p ~version:v) data
+
+(* two-phase and no-wait locking: a page locked by the current transaction
+   is valid; anything else needs a server lock request (which doubles as
+   the validity check, §2.1) *)
+(* Pin every already-resident page of the object before anything can be
+   installed: installing one page of a multi-page object must not evict
+   another page of the same object mid-read. *)
+let pin_resident t pages =
+  List.iter
+    (fun p -> if Storage.Lru_pool.mem t.cache_pool p then touch_and_pin t p)
+    pages
+
+let read_locking t pages ~no_wait_ok =
+  pin_resident t pages;
+  let need = List.filter (fun p -> not (Hashtbl.mem t.locked p)) pages in
+  record_lookups t ~total:(List.length pages) ~misses:(List.length need);
+  if need <> [] then begin
+    let all_cached = List.for_all (fun p -> cached_version t p <> None) need in
+    if no_wait_ok && all_cached then begin
+      send_xact_msg t
+        (Proto.Fetch
+           {
+             client = t.id;
+             xid = t.xid;
+             mode = Proto.Read;
+             pages = fetch_pages_of t need;
+             no_wait = true;
+           });
+      List.iter (fun p -> touch_and_pin t p) need
+    end
+    else begin
+      send_xact_msg t
+        (Proto.Fetch
+           {
+             client = t.id;
+             xid = t.xid;
+             mode = Proto.Read;
+             pages = fetch_pages_of t need;
+             no_wait = false;
+           });
+      match await_reply t with
+      | Proto.Fetch_reply { data; _ } ->
+          install_fetch_data t data;
+          List.iter
+            (fun p -> if not (List.mem_assoc p data) then touch_and_pin t p)
+            need
+      | _ -> assert false
+    end;
+    List.iter (fun p -> Hashtbl.replace t.locked p Proto.Read) need
+  end;
+  List.iter
+    (fun p -> if not (List.memq p need) then touch_and_pin t p)
+    pages;
+  check_abort t
+
+(* callback locking: retained locks make cached pages valid with no server
+   contact at all (§2.3) *)
+let read_callback t pages =
+  pin_resident t pages;
+  let local p =
+    (Hashtbl.mem t.retained p || Hashtbl.mem t.locked p)
+    && Storage.Lru_pool.mem t.cache_pool p
+  in
+  let need = List.filter (fun p -> not (local p)) pages in
+  record_lookups t ~total:(List.length pages) ~misses:(List.length need);
+  if need <> [] then begin
+    (* mark the pages in-use before the fetch leaves: a callback request
+       racing the fetch must be deferred, or the dispatcher would release
+       the very lock the in-flight fetch relies on *)
+    List.iter
+      (fun p ->
+        if Hashtbl.find_opt t.locked p <> Some Proto.Write then
+          Hashtbl.replace t.locked p Proto.Read)
+      need;
+    send_xact_msg t
+      (Proto.Fetch
+         {
+           client = t.id;
+           xid = t.xid;
+           mode = Proto.Read;
+           pages = fetch_pages_of t need;
+           no_wait = false;
+         });
+    (match await_reply t with
+    | Proto.Fetch_reply { data; _ } ->
+        install_fetch_data t data;
+        List.iter
+          (fun p -> if not (List.mem_assoc p data) then touch_and_pin t p)
+          need
+    | _ -> assert false);
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem t.retained p) then begin
+          Hashtbl.replace t.retained p Proto.Read;
+          Hashtbl.replace t.acquired p ()
+        end)
+      need
+  end;
+  List.iter
+    (fun p ->
+      (* don't forget a write lock we already hold on a re-read *)
+      if Hashtbl.find_opt t.locked p <> Some Proto.Write then
+        Hashtbl.replace t.locked p Proto.Read;
+      if not (List.memq p need) then touch_and_pin t p)
+    pages;
+  check_abort t
+
+(* certification: check each cached page with the server once per
+   transaction (§2.2); no locks, so no asynchronous aborts either *)
+let read_certification t pages =
+  pin_resident t pages;
+  let need = List.filter (fun p -> not (Hashtbl.mem t.checked p)) pages in
+  record_lookups t ~total:(List.length pages) ~misses:(List.length need);
+  if need <> [] then begin
+    send_xact_msg t
+      (Proto.Cert_read
+         { client = t.id; xid = t.xid; pages = fetch_pages_of t need });
+    (match await_reply t with
+    | Proto.Cert_reply { data; _ } ->
+        install_fetch_data t data;
+        List.iter
+          (fun p -> if not (List.mem_assoc p data) then touch_and_pin t p)
+          need
+    | _ -> assert false);
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt t.vers p with
+        | Some v -> Hashtbl.replace t.checked p v
+        | None -> assert false)
+      need
+  end;
+  List.iter (fun p -> if not (List.memq p need) then touch_and_pin t p) pages
+
+let read_object t pages =
+  match t.algo with
+  | Proto.Two_phase _ -> read_locking t pages ~no_wait_ok:false
+  | Proto.No_wait _ -> read_locking t pages ~no_wait_ok:true
+  | Proto.Callback -> read_callback t pages
+  | Proto.Certification _ -> read_certification t pages
+
+(* ------------------------------------------------------------------ *)
+(* UpdateObject                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mark_dirty t pages =
+  List.iter
+    (fun p ->
+      Storage.Lru_pool.set_dirty t.cache_pool p true;
+      Hashtbl.replace t.dirty p ())
+    pages
+
+let update_object t pages =
+  let have_x p =
+    Hashtbl.find_opt t.locked p = Some Proto.Write
+    || (is_callback t && Hashtbl.find_opt t.retained p = Some Proto.Write)
+  in
+  let need_x = List.filter (fun p -> not (have_x p)) pages in
+  (* count update permissions served locally (retained write locks) *)
+  (match t.algo with
+  | Proto.Callback ->
+      List.iter
+        (fun p ->
+          Metrics.record_lookup t.metrics
+            ~hit:(Hashtbl.find_opt t.retained p = Some Proto.Write))
+        pages
+  | Proto.Two_phase _ | Proto.Certification _ | Proto.No_wait _ -> ());
+  (match t.algo with
+  | Proto.Certification _ ->
+      (* deferred updates: purely local until commit *)
+      ()
+  | Proto.Two_phase _ | Proto.Callback ->
+      if need_x <> [] then begin
+        send_xact_msg t
+          (Proto.Fetch
+             {
+               client = t.id;
+               xid = t.xid;
+               mode = Proto.Write;
+               pages = fetch_pages_of t need_x;
+               no_wait = false;
+             });
+        match await_reply t with
+        | Proto.Fetch_reply { data; _ } -> install_fetch_data t data
+        | _ -> assert false
+      end
+  | Proto.No_wait _ ->
+      if need_x <> [] then
+        send_xact_msg t
+          (Proto.Fetch
+             {
+               client = t.id;
+               xid = t.xid;
+               mode = Proto.Write;
+               pages = fetch_pages_of t need_x;
+               no_wait = true;
+             }));
+  List.iter (fun p -> Hashtbl.replace t.locked p Proto.Write) need_x;
+  mark_dirty t pages;
+  check_abort t
+
+(* ------------------------------------------------------------------ *)
+(* Commit / abort                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dirty_pages t = Hashtbl.fold (fun p () acc -> p :: acc) t.dirty []
+
+let apply_new_versions t new_versions =
+  List.iter
+    (fun (p, v) ->
+      if Storage.Lru_pool.mem t.cache_pool p then begin
+        Hashtbl.replace t.vers p v;
+        Storage.Lru_pool.set_dirty t.cache_pool p false
+      end)
+    new_versions
+
+let clear_xact_state t =
+  Hashtbl.reset t.locked;
+  Hashtbl.reset t.checked;
+  Hashtbl.reset t.dirty;
+  Hashtbl.reset t.acquired;
+  Storage.Lru_pool.unpin_all t.cache_pool;
+  t.contacted <- false;
+  t.abort_flag <- false;
+  t.abort_stale <- [];
+  t.in_xact <- false
+
+(* Serializability audit: summarize the committed transaction as the
+   versions it read and installed.  Must run before [apply_new_versions]
+   so updated pages still show the version that was read. *)
+let record_audit t ~new_versions =
+  match t.audit with
+  | None -> ()
+  | Some history ->
+      let reads =
+        match t.algo with
+        | Proto.Certification _ ->
+            Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.checked []
+        | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
+            Hashtbl.fold
+              (fun p _ acc ->
+                match Hashtbl.find_opt t.vers p with
+                | Some v -> (p, v) :: acc
+                | None -> acc)
+              t.locked []
+      in
+      Cc.History.add_commit history
+        { Cc.History.xid = t.xid; reads; writes = new_versions }
+
+let send_commit t ~read_set ~update_pages ~release_pages =
+  send_xact_msg t
+    (Proto.Commit { client = t.id; xid = t.xid; read_set; update_pages; release_pages });
+  match await_reply t with
+  | Proto.Commit_reply { ok; new_versions; stale_pages; _ } ->
+      (ok, new_versions, stale_pages)
+  | _ -> assert false
+
+let commit t =
+  let updates = dirty_pages t in
+  match t.algo with
+  | Proto.Two_phase _ | Proto.No_wait _ ->
+      let ok, new_versions, _ =
+        send_commit t ~read_set:[] ~update_pages:updates ~release_pages:[]
+      in
+      assert ok;
+      record_audit t ~new_versions;
+      apply_new_versions t new_versions
+  | Proto.Certification _ ->
+      let read_set = Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.checked [] in
+      let ok, new_versions, stale = send_commit t ~read_set ~update_pages:updates ~release_pages:[] in
+      if not ok then begin
+        List.iter (drop_page t) stale;
+        raise Restart
+      end;
+      record_audit t ~new_versions;
+      apply_new_versions t new_versions
+  | Proto.Callback ->
+      let release_pages = Hashtbl.fold (fun p () acc -> p :: acc) t.pending_cb [] in
+      if t.contacted || updates <> [] || release_pages <> [] then begin
+        let ok, new_versions, _ =
+          send_commit t ~read_set:[] ~update_pages:updates ~release_pages
+        in
+        assert ok;
+        record_audit t ~new_versions;
+        apply_new_versions t new_versions
+      end
+      else record_audit t ~new_versions:[];
+      List.iter
+        (fun p ->
+          Hashtbl.remove t.retained p;
+          Hashtbl.remove t.pending_cb p)
+        release_pages;
+      (* locks on updated pages survive the commit: as writes if the
+         retain-writes extension is on, downgraded to reads otherwise
+         (matching the server) *)
+      let mode =
+        if t.cfg.Sys_params.callback_retain_writes then Proto.Write
+        else Proto.Read
+      in
+      List.iter
+        (fun p ->
+          if not (List.memq p release_pages) then Hashtbl.replace t.retained p mode)
+        updates;
+      (* callbacks that arrived while the commit was in flight missed
+         [release_pages]; the transaction is over, honour them now *)
+      let late = Hashtbl.fold (fun p () acc -> p :: acc) t.pending_cb [] in
+      List.iter
+        (fun p ->
+          Hashtbl.remove t.pending_cb p;
+          Hashtbl.remove t.retained p;
+          t.to_server (Proto.Callback_reply { client = t.id; page = p }))
+        late
+
+(* After an abort: throw away in-place garbage and pages the server told us
+   are stale, drop this attempt's callback locks (the server released
+   them), and honour deferred callbacks. *)
+let abort_cleanup t =
+  t.n_restarts <- t.n_restarts + 1;
+  List.iter (drop_page t) t.abort_stale;
+  (* A stale-read abort means the cache betrayed us: distrust every page
+     this attempt touched, or the restart keeps tripping over the next
+     stale copy one abort at a time (optimistic livelock). *)
+  if t.abort_stale <> [] && t.cfg.Sys_params.stale_drop_all then
+    Hashtbl.iter (fun p _ -> drop_page t p) t.locked;
+  List.iter (drop_page t) (dirty_pages t);
+  if is_callback t then begin
+    Hashtbl.iter (fun p () -> Hashtbl.remove t.retained p) t.acquired;
+    let pending = Hashtbl.fold (fun p () acc -> p :: acc) t.pending_cb [] in
+    List.iter
+      (fun p ->
+        Hashtbl.remove t.retained p;
+        Hashtbl.remove t.pending_cb p;
+        t.to_server (Proto.Callback_reply { client = t.id; page = p }))
+      pending
+  end;
+  clear_xact_state t
+
+let restart_delay t =
+  match t.cfg.Sys_params.restart_policy with
+  | Sys_params.Immediate -> 0.0
+  | Sys_params.Fixed mean -> Sim.Rng.exponential t.rng ~mean
+  | Sys_params.Adaptive ->
+      let mean = Float.max (Metrics.mean_response t.metrics) 0.1 in
+      Sim.Rng.exponential t.rng ~mean
+
+(* ------------------------------------------------------------------ *)
+(* The Figure 3 transaction loop                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_profile t (profile : Db.Workload.profile) =
+  List.iter
+    (fun (s : Db.Workload.step) ->
+      read_object t s.Db.Workload.read_pages;
+      charge_pages t (List.length s.Db.Workload.read_pages);
+      think t s.Db.Workload.update_delay;
+      check_abort t;
+      if s.Db.Workload.write_pages <> [] then begin
+        update_object t s.Db.Workload.write_pages;
+        charge_pages t (List.length s.Db.Workload.write_pages)
+      end;
+      think t s.Db.Workload.internal_delay;
+      check_abort t)
+    profile.Db.Workload.steps;
+  commit t
+
+let begin_attempt t =
+  t.seq <- t.seq + 1;
+  t.xid <- Proto.make_xid ~client:t.id ~seq:t.seq;
+  t.in_xact <- true;
+  t.abort_flag <- false;
+  t.abort_stale <- [];
+  if not (Proto.inter_caching t.algo) then begin
+    (* intra-transaction caching: the whole cache is invalid at BeginXact *)
+    Storage.Lru_pool.clear t.cache_pool;
+    Hashtbl.reset t.vers
+  end
+
+let main_loop t () =
+  (* stagger client start-up so the fleet does not move in lockstep *)
+  Sim.Engine.hold
+    (Sim.Rng.exponential t.rng
+       ~mean:(Db.Workload.params t.workload).Db.Xact_params.external_delay);
+  let rec xact_loop () =
+    let profile = Db.Workload.next t.workload in
+    let first_start = Sim.Engine.now t.eng in
+    let rec attempt () =
+      begin_attempt t;
+      match run_profile t profile with
+      | () ->
+          let response = Sim.Engine.now t.eng -. first_start in
+          t.n_commits <- t.n_commits + 1;
+          Metrics.record_commit t.metrics ~response;
+          clear_xact_state t;
+          t.on_commit ()
+      | exception Restart ->
+          abort_cleanup t;
+          Sim.Engine.hold (restart_delay t);
+          attempt ()
+    in
+    attempt ();
+    Sim.Engine.hold profile.Db.Workload.external_delay;
+    xact_loop ()
+  in
+  xact_loop ()
+
+let start t =
+  Sim.Engine.spawn t.eng ~name:(Printf.sprintf "client-%d-dispatch" t.id)
+    (dispatcher_loop t);
+  Sim.Engine.spawn t.eng ~name:(Printf.sprintf "client-%d-main" t.id) (main_loop t)
+
+let debug_state t =
+  let keys h = Hashtbl.fold (fun k _ acc -> string_of_int k :: acc) h [] |> String.concat "," in
+  Printf.sprintf
+    "client %d: in_xact=%b xid=%d contacted=%b abort=%b locked=[%s] dirty=[%s] retained=%d pending_cb=[%s] commits=%d restarts=%d"
+    t.id t.in_xact t.xid t.contacted t.abort_flag (keys t.locked) (keys t.dirty)
+    (Hashtbl.length t.retained) (keys t.pending_cb) t.n_commits t.n_restarts

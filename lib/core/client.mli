@@ -1,0 +1,58 @@
+(** A client workstation (paper §3.3.3): transaction generator, cache
+    manager, and the algorithm-dependent client transaction manager.
+
+    Each client runs two simulation processes:
+
+    - the {e main} process executes the Figure 3 transaction loop —
+      generate a profile, run its read/update steps under the configured
+      consistency algorithm, commit, think, repeat — restarting the same
+      profile after every abort until it commits;
+    - the {e dispatcher} process consumes asynchronous server messages
+      (callback requests, update pushes, aborts) so the client can answer
+      callbacks even while the main process is blocked on a fetch.
+
+    Protocol state (which cached pages are locked by the current
+    transaction, checked by certification, retained under callback locking,
+    dirtied in place) lives here; the server holds the authoritative lock
+    table. *)
+
+type t
+
+(** [?audit] — when given, every committed transaction appends its
+    (page, version) read and write summaries to the history, enabling the
+    serializability check of {!Cc.History}. *)
+val create :
+  ?audit:Cc.History.t ->
+  Sim.Engine.t ->
+  id:int ->
+  cfg:Sys_params.t ->
+  algo:Proto.algorithm ->
+  workload:Db.Workload.t ->
+  rng:Sim.Rng.t ->
+  metrics:Metrics.t ->
+  to_server:(Proto.c2s -> unit) ->
+  on_commit:(unit -> unit) ->
+  t
+
+(** The client CPU endpoint (for charging inbound messages). *)
+val port : t -> Proto.port
+
+(** Mailbox the server delivers into. *)
+val inbox : t -> Proto.s2c Sim.Mailbox.t
+
+(** The cache, as the server's notification-directory view. *)
+val cache : t -> Storage.Lru_pool.t
+
+(** Spawn the main and dispatcher processes.  Call once. *)
+val start : t -> unit
+
+(** {1 Introspection (stats, tests)} *)
+
+val commits : t -> int
+val restarts : t -> int
+val cpu_utilization : t -> float
+val retained_count : t -> int
+val reset_stats : t -> unit
+
+(** One-line debug summary of the client's protocol state. *)
+val debug_state : t -> string

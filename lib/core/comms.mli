@@ -1,0 +1,23 @@
+(** Charged message transport between client and server endpoints.
+
+    Implements the paper's §3.4 cost accounting for messages: [MsgCost]
+    instructions per packet at the sending CPU (blocking the sender
+    process), the wire occupancy per packet (via {!Net.Network}), and
+    [MsgCost] per packet at the receiving CPU before delivery. *)
+
+(** [use_cpu port inst] blocks the calling process for [inst] instructions
+    of FCFS service on [port]'s CPU.  No-op for [inst <= 0]. *)
+val use_cpu : Proto.port -> int -> unit
+
+(** [send net ~msg_inst ~src ~dst ~bytes ~deliver] charges the sender,
+    transmits asynchronously, charges the receiver, then runs [deliver]
+    (typically a mailbox send).  The caller resumes as soon as the sender
+    CPU charge completes. *)
+val send :
+  Net.Network.t ->
+  msg_inst:int ->
+  src:Proto.port ->
+  dst:Proto.port ->
+  bytes:int ->
+  deliver:(unit -> unit) ->
+  unit

@@ -1,0 +1,87 @@
+type abort_reason = Deadlock | Stale_read | Cert_fail
+
+type t = {
+  eng : Sim.Engine.t;
+  mutable start : float;
+  response : Sim.Stats.t;
+  response_samples : Sim.Stats.Samples.t;
+  mutable n_commits : int;
+  mutable n_total_commits : int;
+  mutable n_deadlock : int;
+  mutable n_stale : int;
+  mutable n_cert : int;
+  mutable n_lookups : int;
+  mutable n_hits : int;
+  mutable n_callbacks : int;
+  mutable n_pushes : int;
+}
+
+let create eng =
+  {
+    eng;
+    start = Sim.Engine.now eng;
+    response = Sim.Stats.create ();
+    response_samples = Sim.Stats.Samples.create ();
+    n_commits = 0;
+    n_total_commits = 0;
+    n_deadlock = 0;
+    n_stale = 0;
+    n_cert = 0;
+    n_lookups = 0;
+    n_hits = 0;
+    n_callbacks = 0;
+    n_pushes = 0;
+  }
+
+let measure_start t = t.start
+
+let record_commit t ~response =
+  t.n_commits <- t.n_commits + 1;
+  t.n_total_commits <- t.n_total_commits + 1;
+  Sim.Stats.add t.response response;
+  Sim.Stats.Samples.add t.response_samples response
+
+let record_abort t = function
+  | Deadlock -> t.n_deadlock <- t.n_deadlock + 1
+  | Stale_read -> t.n_stale <- t.n_stale + 1
+  | Cert_fail -> t.n_cert <- t.n_cert + 1
+
+let record_lookup t ~hit =
+  t.n_lookups <- t.n_lookups + 1;
+  if hit then t.n_hits <- t.n_hits + 1
+
+let record_callback_sent t = t.n_callbacks <- t.n_callbacks + 1
+let record_push_sent t = t.n_pushes <- t.n_pushes + 1
+let total_commits t = t.n_total_commits
+let commits t = t.n_commits
+let aborts t = t.n_deadlock + t.n_stale + t.n_cert
+
+let aborts_by t = function
+  | Deadlock -> t.n_deadlock
+  | Stale_read -> t.n_stale
+  | Cert_fail -> t.n_cert
+
+let mean_response t = Sim.Stats.mean t.response
+let response_quantile t q = Sim.Stats.Samples.quantile t.response_samples q
+let response_stats t = t.response
+let lookups t = t.n_lookups
+let hits t = t.n_hits
+let callbacks_sent t = t.n_callbacks
+let pushes_sent t = t.n_pushes
+
+let throughput t ~now =
+  let dt = now -. t.start in
+  if dt <= 0.0 then 0.0 else float_of_int t.n_commits /. dt
+
+let reset t =
+  t.start <- Sim.Engine.now t.eng;
+  Sim.Stats.reset t.response;
+  Sim.Stats.Samples.reset t.response_samples;
+  t.n_commits <- 0;
+  t.n_deadlock <- 0;
+  t.n_stale <- 0;
+  t.n_cert <- 0;
+  t.n_lookups <- 0;
+  t.n_hits <- 0;
+  t.n_callbacks <- 0;
+  t.n_pushes <- 0

@@ -1,0 +1,54 @@
+(** Simulation-wide measurement state.
+
+    One [Metrics.t] is shared by all clients and the server.  The runner
+    resets it (and every facility) at the warmup boundary so reported
+    numbers cover only the steady-state window. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+
+(** Time the current measurement window opened. *)
+val measure_start : t -> float
+
+(** {1 Recording} *)
+
+(** [record_commit t ~response] — a transaction committed; [response] is
+    seconds from its first attempt's begin to commit (restarts included). *)
+val record_commit : t -> response:float -> unit
+
+type abort_reason = Deadlock | Stale_read | Cert_fail
+
+val record_abort : t -> abort_reason -> unit
+
+(** [record_lookup t ~hit] — a client accessed one page; [hit] means it was
+    served locally, with no server message. *)
+val record_lookup : t -> hit:bool -> unit
+
+val record_callback_sent : t -> unit
+val record_push_sent : t -> unit
+
+(** Commits since the simulation (not the window) started — used for warmup
+    and run-length control. *)
+val total_commits : t -> int
+
+(** {1 Reading the window} *)
+
+val commits : t -> int
+val aborts : t -> int
+val aborts_by : t -> abort_reason -> int
+val mean_response : t -> float
+val response_stats : t -> Sim.Stats.t
+
+(** Exact response-time quantile over the window, [q] in [0, 1]. *)
+val response_quantile : t -> float -> float
+val lookups : t -> int
+val hits : t -> int
+val callbacks_sent : t -> int
+val pushes_sent : t -> int
+
+(** Committed transactions per second of window time. *)
+val throughput : t -> now:float -> float
+
+(** Re-open the measurement window at the current simulated time. *)
+val reset : t -> unit

@@ -1,0 +1,124 @@
+type station = { name : string; demand : float }
+type inputs = { n_clients : int; think : float; stations : station list }
+
+type prediction = {
+  throughput : float;
+  response : float;
+  station_utils : (string * float) list;
+  bottleneck : string;
+}
+
+let solve { n_clients; think; stations } =
+  if stations = [] then invalid_arg "Mva.solve: no stations";
+  if n_clients <= 0 then invalid_arg "Mva.solve: n_clients <= 0";
+  List.iter
+    (fun s -> if s.demand < 0.0 then invalid_arg "Mva.solve: negative demand")
+    stations;
+  if think < 0.0 then invalid_arg "Mva.solve: negative think time";
+  let k = List.length stations in
+  let d = Array.of_list (List.map (fun s -> s.demand) stations) in
+  let q = Array.make k 0.0 in
+  let r = Array.make k 0.0 in
+  let x = ref 0.0 in
+  for n = 1 to n_clients do
+    let total = ref 0.0 in
+    for i = 0 to k - 1 do
+      r.(i) <- d.(i) *. (1.0 +. q.(i));
+      total := !total +. r.(i)
+    done;
+    x := float_of_int n /. (!total +. think);
+    for i = 0 to k - 1 do
+      q.(i) <- !x *. r.(i)
+    done
+  done;
+  let response = Array.fold_left ( +. ) 0.0 r in
+  let station_utils =
+    List.mapi (fun i s -> (s.name, !x *. d.(i))) stations
+  in
+  let bottleneck =
+    List.fold_left
+      (fun (bn, bu) (n, u) -> if u > bu then (n, u) else (bn, bu))
+      ("", neg_infinity) station_utils
+    |> fst
+  in
+  { throughput = !x; response; station_utils; bottleneck }
+
+let demands_2pl (cfg : Sys_params.t) (xp : Db.Xact_params.t) ~client_hit
+    ~buffer_hit =
+  if client_hit < 0.0 || client_hit > 1.0 then
+    invalid_arg "Mva.demands_2pl: client_hit outside [0,1]";
+  if buffer_hit < 0.0 || buffer_hit > 1.0 then
+    invalid_arg "Mva.demands_2pl: buffer_hit outside [0,1]";
+  let n_reads =
+    float_of_int (xp.Db.Xact_params.min_xact_size + xp.Db.Xact_params.max_xact_size)
+    /. 2.0
+  in
+  let pw = xp.Db.Xact_params.prob_write in
+  let n_updates = n_reads *. pw in
+  (* message and packet counts (object size 1: one page per read) *)
+  let data_fetches = n_reads *. (1.0 -. client_hit) in
+  let commit_up_packets = 1.0 +. n_updates in
+  let c2s_packets = n_reads +. n_updates +. commit_up_packets in
+  let s2c_packets =
+    (data_fetches *. 2.0)
+    +. (n_reads -. data_fetches)
+    +. n_updates (* X-grant replies *)
+    +. 1.0 (* commit reply *)
+  in
+  let packets = c2s_packets +. s2c_packets in
+  let msg_inst = float_of_int cfg.Sys_params.net.Net.Network.msg_inst in
+  (* CPU demands in seconds *)
+  let client_cpu_s =
+    ((float_of_int cfg.Sys_params.client_proc_inst *. (n_reads +. n_updates))
+    +. (msg_inst *. packets))
+    /. (cfg.Sys_params.client_mips *. 1e6)
+  in
+  let disk_reads = data_fetches *. (1.0 -. buffer_hit) in
+  let disk_writes = n_updates in
+  let server_cpu_s =
+    ((msg_inst *. packets)
+    +. (float_of_int cfg.Sys_params.server_proc_inst *. (data_fetches +. n_updates))
+    +. (float_of_int cfg.Sys_params.init_disk_inst *. (disk_reads +. disk_writes)))
+    /. (cfg.Sys_params.server_mips *. 1e6)
+  in
+  (* device demands *)
+  let avg_seek =
+    (cfg.Sys_params.disk.Storage.Disk.seek_low
+    +. cfg.Sys_params.disk.Storage.Disk.seek_high)
+    /. 2.0
+  in
+  let access = avg_seek +. cfg.Sys_params.disk.Storage.Disk.transfer_time in
+  let per_disk =
+    (disk_reads +. disk_writes) *. access
+    /. float_of_int cfg.Sys_params.n_data_disks
+  in
+  let log_demand =
+    if cfg.Sys_params.n_log_disks > 0 && pw > 0.0 then
+      (* one sequential log force per updating transaction *)
+      let log_pages = Float.max 1.0 (Float.round (n_updates /. 8.0)) in
+      log_pages *. cfg.Sys_params.disk.Storage.Disk.transfer_time
+    else 0.0
+  in
+  let net_demand = packets *. cfg.Sys_params.net.Net.Network.net_delay in
+  let think =
+    xp.Db.Xact_params.external_delay
+    +. (n_reads
+       *. (xp.Db.Xact_params.update_delay +. xp.Db.Xact_params.internal_delay))
+    +. client_cpu_s
+    (* the client CPU is private to each client: a delay, not a shared
+       queueing station *)
+  in
+  let data_disks =
+    List.init cfg.Sys_params.n_data_disks (fun i ->
+        { name = Printf.sprintf "disk-%d" i; demand = per_disk })
+  in
+  {
+    n_clients = cfg.Sys_params.n_clients;
+    think;
+    stations =
+      ({ name = "server-cpu"; demand = server_cpu_s } :: data_disks)
+      @ (if log_demand > 0.0 then [ { name = "log-disk"; demand = log_demand } ]
+         else [])
+      @ (if net_demand > 0.0 then [ { name = "network"; demand = net_demand } ]
+         else []);
+  }

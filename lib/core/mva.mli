@@ -1,0 +1,51 @@
+(** Analytic cross-check: exact Mean Value Analysis (MVA) of the closed
+    queueing network the simulator embodies.
+
+    The simulated system is a classic closed network: [n] clients cycle
+    between a think state and visits to shared FCFS stations (server CPU,
+    data disks, log disk, network wire).  With per-transaction service
+    demands at each station, exact MVA predicts throughput, response time,
+    and utilizations — no simulation required.  Where the prediction and
+    the simulator agree (low data contention, where product-form
+    assumptions hold), both are corroborated; where they diverge, the gap
+    measures lock contention and abort waste, which queueing theory cannot
+    see.
+
+    {!demands_2pl} estimates demands for inter-transaction-caching 2PL from
+    the system and workload parameters. *)
+
+type station = {
+  name : string;
+  demand : float;  (** seconds of service per transaction *)
+}
+
+type inputs = {
+  n_clients : int;
+  think : float;  (** per-transaction time outside the stations (s) *)
+  stations : station list;
+}
+
+type prediction = {
+  throughput : float;  (** transactions per second *)
+  response : float;  (** seconds at the stations (excluding think) *)
+  station_utils : (string * float) list;
+  bottleneck : string;  (** station with the highest utilization *)
+}
+
+(** Exact MVA recursion over [1..n_clients].  Raises [Invalid_argument] on
+    an empty station list, non-positive population, or negative demands. *)
+val solve : inputs -> prediction
+
+(** Estimate 2PL per-transaction service demands from a configuration.
+
+    [client_hit] is the probability a page access is served from the
+    client cache without data transfer (≈ the inter-transaction locality
+    for Table 5 caches); [buffer_hit] the server buffer hit ratio for the
+    remaining fetches.  Assumes no aborts and no lock waiting — exactly
+    the regime where MVA applies. *)
+val demands_2pl :
+  Sys_params.t ->
+  Db.Xact_params.t ->
+  client_hit:float ->
+  buffer_hit:float ->
+  inputs

@@ -1,0 +1,86 @@
+type caching = Intra | Inter
+type notify_mode = Push | Invalidate
+
+type algorithm =
+  | Two_phase of caching
+  | Certification of caching
+  | Callback
+  | No_wait of { notify : notify_mode option }
+
+let algorithm_name = function
+  | Two_phase Inter -> "2PL"
+  | Two_phase Intra -> "2PL-intra"
+  | Certification Inter -> "cert"
+  | Certification Intra -> "cert-intra"
+  | Callback -> "callback"
+  | No_wait { notify = None } -> "no-wait"
+  | No_wait { notify = Some Push } -> "no-wait+notify"
+  | No_wait { notify = Some Invalidate } -> "no-wait+inval"
+
+let section5_algorithms =
+  [
+    Two_phase Inter;
+    Callback;
+    No_wait { notify = None };
+    No_wait { notify = Some Push };
+  ]
+
+let inter_caching = function
+  | Two_phase Intra | Certification Intra -> false
+  | Two_phase Inter | Certification Inter | Callback | No_wait _ -> true
+
+type lock_kind = Read | Write
+type fetch_page = { page : int; cached_version : int option }
+
+type c2s =
+  | Fetch of {
+      client : int;
+      xid : int;
+      mode : lock_kind;
+      pages : fetch_page list;
+      no_wait : bool;
+    }
+  | Cert_read of { client : int; xid : int; pages : fetch_page list }
+  | Commit of {
+      client : int;
+      xid : int;
+      read_set : (int * int) list;
+      update_pages : int list;
+      release_pages : int list;
+    }
+  | Callback_reply of { client : int; page : int }
+  | Release_retained of { client : int; pages : int list }
+  | Dirty_evict of { client : int; xid : int; page : int }
+
+type s2c =
+  | Fetch_reply of { xid : int; data : (int * int) list }
+  | Cert_reply of { xid : int; data : (int * int) list }
+  | Commit_reply of {
+      xid : int;
+      ok : bool;
+      new_versions : (int * int) list;
+      stale_pages : int list;
+    }
+  | Aborted of { xid : int; stale_pages : int list }
+  | Callback_request of { page : int }
+  | Update_push of { page : int; version : int }
+  | Invalidate_page of { page : int }
+
+(* 2^30 attempts per client is far beyond any simulation run *)
+let xid_stride = 1 lsl 30
+let make_xid ~client ~seq = (client * xid_stride) + seq
+let xid_client xid = xid / xid_stride
+
+let c2s_bytes ~control ~page_size = function
+  | Fetch _ | Cert_read _ | Callback_reply _ | Release_retained _ -> control
+  | Commit { update_pages; _ } -> control + (page_size * List.length update_pages)
+  | Dirty_evict _ -> control + page_size
+
+let s2c_bytes ~control ~page_size = function
+  | Fetch_reply { data; _ } | Cert_reply { data; _ } ->
+      control + (page_size * List.length data)
+  | Commit_reply _ | Aborted _ | Callback_request _ | Invalidate_page _ ->
+      control
+  | Update_push _ -> control + page_size
+
+type port = { cpu : Sim.Facility.t; mips : float }

@@ -1,0 +1,105 @@
+(** Protocol vocabulary shared by the client and server transaction
+    managers: the five algorithms of paper §2, the client/server message
+    types, and transaction-id helpers. *)
+
+(** Client caching mode (§2): intra-transaction caching invalidates the
+    whole cache on every transaction boundary; inter-transaction caching
+    keeps pages and validates them on access. *)
+type caching = Intra | Inter
+
+(** How the server propagates committed updates under no-wait locking with
+    notification (§2.5): push the new page image, or just invalidate. *)
+type notify_mode = Push | Invalidate
+
+(** The five §2 algorithms (plus the intra-caching variants used by the §4
+    verification experiments, and the invalidation ablation). *)
+type algorithm =
+  | Two_phase of caching  (** §2.1 two-phase locking *)
+  | Certification of caching  (** §2.2 certification (optimistic) *)
+  | Callback  (** §2.3 callback locking (retained read locks) *)
+  | No_wait of { notify : notify_mode option }
+      (** §2.4 no-wait locking; [Some mode] adds §2.5 notification *)
+
+val algorithm_name : algorithm -> string
+
+(** All algorithms compared in §5 experiments: 2PL(inter), callback,
+    no-wait, no-wait+notify. *)
+val section5_algorithms : algorithm list
+
+(** Does the algorithm use inter-transaction caching? *)
+val inter_caching : algorithm -> bool
+
+(** Lock flavour requested by a client operation. *)
+type lock_kind = Read | Write
+
+(** A page reference in a fetch/validate request: [cached_version] is the
+    version of the client's cached copy, or [None] on a cache miss. *)
+type fetch_page = { page : int; cached_version : int option }
+
+(** Client-to-server messages. *)
+type c2s =
+  | Fetch of {
+      client : int;
+      xid : int;
+      mode : lock_kind;
+      pages : fetch_page list;
+      no_wait : bool;
+          (** [true]: the client is not blocked; the server stays silent on
+              success and aborts the transaction on failure (§2.4) *)
+    }
+  | Cert_read of { client : int; xid : int; pages : fetch_page list }
+  | Commit of {
+      client : int;
+      xid : int;
+      read_set : (int * int) list;
+          (** certification only: (page, version-read) to validate *)
+      update_pages : int list;  (** dirty page images carried along *)
+      release_pages : int list;
+          (** callback locking: pages whose locks the client gives up
+              entirely (deferred callbacks honoured at commit) *)
+    }
+  | Callback_reply of { client : int; page : int }
+      (** client releases the called-back lock *)
+  | Release_retained of { client : int; pages : int list }
+      (** client evicted clean pages that had retained locks *)
+  | Dirty_evict of { client : int; xid : int; page : int }
+      (** in-place algorithms: an updated page was swapped out mid-xact *)
+
+(** Server-to-client messages. *)
+type s2c =
+  | Fetch_reply of { xid : int; data : (int * int) list }
+      (** locks granted; (page, version) images for the stale/missing
+          subset — pages whose cached copies were valid carry no data *)
+  | Cert_reply of { xid : int; data : (int * int) list }
+  | Commit_reply of {
+      xid : int;
+      ok : bool;
+      new_versions : (int * int) list;  (** versions of our installed updates *)
+      stale_pages : int list;  (** failed certification: drop these *)
+    }
+  | Aborted of { xid : int; stale_pages : int list }
+      (** asynchronous abort: deadlock victim or no-wait stale read *)
+  | Callback_request of { page : int }
+      (** please release your (retained) lock on [page] *)
+  | Update_push of { page : int; version : int }
+      (** notification carrying the committed page image *)
+  | Invalidate_page of { page : int }  (** notification without data *)
+
+(** [make_xid ~client ~seq] packs a client id and a per-client attempt
+    counter into a globally unique transaction id. *)
+val make_xid : client:int -> seq:int -> int
+
+val xid_client : int -> int
+
+(** Message sizes, for packetization: a data-free message costs
+    [control_msg_bytes]; each carried page adds [page_size]. *)
+val c2s_bytes : control:int -> page_size:int -> c2s -> int
+
+val s2c_bytes : control:int -> page_size:int -> s2c -> int
+
+(** {1 Endpoints}
+
+    A CPU endpoint: the facility messages are charged against and its
+    speed.  Built by the simulator and shared with both sides. *)
+
+type port = { cpu : Sim.Facility.t; mips : float }

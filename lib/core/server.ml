@@ -1,0 +1,762 @@
+type client_link = {
+  port : Proto.port;
+  inbox : Proto.s2c Sim.Mailbox.t;
+  cache_view : Storage.Lru_pool.t;
+}
+
+type grant = Lock_granted | Lock_aborted
+
+type xact = {
+  x_xid : int;
+  x_client : int;
+  x_start : float;
+  x_chain : Sim.Facility.t;  (* serializes this transaction's operations *)
+  mutable x_aborted : bool;
+  mutable x_new_locks : int list;
+  mutable x_upgraded : int list;
+  mutable x_installed : int list;  (* pre-commit updates in buffer/disk *)
+  mutable x_waits : (int * grant Sim.Ivar.t) list;
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  cfg : Sys_params.t;
+  db : Db.Database.t;
+  algo : Proto.algorithm;
+  net : Net.Network.t;
+  rng : Sim.Rng.t;
+  metrics : Metrics.t;
+  sport : Proto.port;
+  disks : Storage.Disk.t array;
+  log : Storage.Log_manager.t option;
+  log_disk_dev : Storage.Disk.t option;
+  buf : Storage.Lru_pool.t;
+  lock_table : Cc.Lock_table.t;
+  version_table : Cc.Version_table.t;
+  mutable clients : client_link array;
+  active : (int, xact) Hashtbl.t; (* by xid *)
+  active_by_client : (int, xact) Hashtbl.t;
+  admitting : (int, xact Sim.Ivar.t) Hashtbl.t;
+  mutable n_active : int;
+  ready : unit Sim.Ivar.t Queue.t;
+  tombstones : (int, unit) Hashtbl.t;
+  in_flight : (int, Sim.Condition.t) Hashtbl.t;
+  wait_since : (int, float) Hashtbl.t; (* client -> when its lock wait began *)
+  mutable detector_armed : bool; (* callback-mode periodic deadlock detector *)
+}
+
+let create eng ~cfg ~db ~algo ~net ~rng ~metrics =
+  Sys_params.validate cfg;
+  let cpu =
+    Sim.Facility.create eng ~name:"server-cpu" ~capacity:cfg.Sys_params.n_server_cpus ()
+  in
+  let disks =
+    Array.init cfg.Sys_params.n_data_disks (fun i ->
+        Storage.Disk.create eng
+          ~rng:(Sim.Rng.split rng (Printf.sprintf "disk-%d" i))
+          ~name:(Printf.sprintf "data-disk-%d" i)
+          cfg.Sys_params.disk)
+  in
+  let log_disk_dev =
+    if cfg.Sys_params.n_log_disks > 0 then
+      Some
+        (Storage.Disk.create eng ~rng:(Sim.Rng.split rng "log-disk")
+           ~name:"log-disk" cfg.Sys_params.disk)
+    else None
+  in
+  let log =
+    Option.map (fun d -> Storage.Log_manager.create eng ~disk:d ()) log_disk_dev
+  in
+  {
+    eng;
+    cfg;
+    db;
+    algo;
+    net;
+    rng;
+    metrics;
+    sport = { Proto.cpu; mips = cfg.Sys_params.server_mips };
+    disks;
+    log;
+    log_disk_dev;
+    buf = Storage.Lru_pool.create ~capacity:cfg.Sys_params.buffer_size;
+    lock_table = Cc.Lock_table.create ();
+    version_table = Cc.Version_table.create ();
+    clients = [||];
+    active = Hashtbl.create 256;
+    active_by_client = Hashtbl.create 256;
+    admitting = Hashtbl.create 16;
+    n_active = 0;
+    ready = Queue.create ();
+    tombstones = Hashtbl.create 1024;
+    in_flight = Hashtbl.create 64;
+    wait_since = Hashtbl.create 64;
+    detector_armed = false;
+  }
+
+let register_clients t links = t.clients <- links
+let port t = t.sport
+let buffer t = t.buf
+let locks t = t.lock_table
+let versions t = t.version_table
+let data_disks t = t.disks
+let log_disk t = t.log_disk_dev
+let active_count t = t.n_active
+let ready_queue_length t = Queue.length t.ready
+let cpu_utilization t = Sim.Facility.utilization t.sport.Proto.cpu
+
+let mean_disk_utilization t =
+  let total =
+    Array.fold_left (fun acc d -> acc +. Storage.Disk.utilization d) 0.0 t.disks
+  in
+  total /. float_of_int (Array.length t.disks)
+
+let reset_stats t =
+  Sim.Facility.reset_stats t.sport.Proto.cpu;
+  Array.iter Storage.Disk.reset_stats t.disks;
+  Option.iter Storage.Disk.reset_stats t.log_disk_dev;
+  Option.iter Storage.Log_manager.reset_stats t.log
+
+let describe_s2c = function
+  | Proto.Fetch_reply { data; _ } ->
+      Printf.sprintf "fetch reply (%d data pages)" (List.length data)
+  | Proto.Cert_reply { data; _ } ->
+      Printf.sprintf "cert reply (%d data pages)" (List.length data)
+  | Proto.Commit_reply { ok; _ } ->
+      if ok then "commit ok" else "certification failed"
+  | Proto.Aborted _ -> "aborted"
+  | Proto.Callback_request { page } -> Printf.sprintf "callback request p%d" page
+  | Proto.Update_push { page; _ } -> Printf.sprintf "update push p%d" page
+  | Proto.Invalidate_page { page } -> Printf.sprintf "invalidate p%d" page
+
+let send_to_client t cid msg =
+  if Trace.active () then begin
+    let time = Sim.Engine.now t.eng in
+    match msg with
+    | Proto.Callback_request { page } ->
+        Trace.emit time (Trace.Callback { holder = cid; page })
+    | Proto.Update_push { page; _ } ->
+        Trace.emit time (Trace.Notify { client = cid; page; push = true })
+    | Proto.Invalidate_page { page } ->
+        Trace.emit time (Trace.Notify { client = cid; page; push = false })
+    | m ->
+        Trace.emit time
+          (Trace.Server_reply
+             { client = cid; xid = (match m with
+                 | Proto.Fetch_reply { xid; _ } | Proto.Cert_reply { xid; _ }
+                 | Proto.Commit_reply { xid; _ } | Proto.Aborted { xid; _ } -> xid
+                 | _ -> -1);
+               what = describe_s2c m })
+  end;
+  let link = t.clients.(cid) in
+  let bytes =
+    Proto.s2c_bytes ~control:t.cfg.Sys_params.control_msg_bytes
+      ~page_size:t.cfg.Sys_params.page_size msg
+  in
+  Comms.send t.net ~msg_inst:t.cfg.Sys_params.net.Net.Network.msg_inst
+    ~src:t.sport ~dst:link.port ~bytes ~deliver:(fun () ->
+      Sim.Mailbox.send link.inbox msg)
+
+let tombstoned t xid = Hashtbl.mem t.tombstones xid
+
+(* ------------------------------------------------------------------ *)
+(* MPL admission (ready queue of Figure 4)                             *)
+(* ------------------------------------------------------------------ *)
+
+let admit t ~client ~xid =
+  match Hashtbl.find_opt t.active xid with
+  | Some xs -> xs
+  | None -> (
+      match Hashtbl.find_opt t.admitting xid with
+      | Some iv -> Sim.Ivar.read iv
+      | None ->
+          let iv = Sim.Ivar.create t.eng in
+          Hashtbl.replace t.admitting xid iv;
+          if t.n_active >= t.cfg.Sys_params.mpl then begin
+            let slot = Sim.Ivar.create t.eng in
+            Queue.add slot t.ready;
+            Sim.Ivar.read slot
+            (* the slot was transferred by the closer: n_active unchanged *)
+          end
+          else t.n_active <- t.n_active + 1;
+          let xs =
+            {
+              x_xid = xid;
+              x_client = client;
+              x_start = Sim.Engine.now t.eng;
+              x_chain =
+                Sim.Facility.create t.eng
+                  ~name:(Printf.sprintf "chain-%d" xid)
+                  ();
+              x_aborted = false;
+              x_new_locks = [];
+              x_upgraded = [];
+              x_installed = [];
+              x_waits = [];
+            }
+          in
+          Hashtbl.replace t.active xid xs;
+          Hashtbl.replace t.active_by_client client xs;
+          Hashtbl.remove t.admitting xid;
+          Sim.Ivar.fill iv xs;
+          xs)
+
+let close_xact t xs =
+  if Hashtbl.mem t.active xs.x_xid then begin
+    Hashtbl.remove t.active xs.x_xid;
+    Hashtbl.remove t.active_by_client xs.x_client;
+    match Queue.take_opt t.ready with
+    | Some slot -> Sim.Ivar.fill slot () (* hand the MPL slot over *)
+    | None -> t.n_active <- t.n_active - 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Buffer manager                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let disk_for t page = t.disks.(Db.Database.disk_of_page t.db ~n_disks:(Array.length t.disks) page)
+
+(* Write an evicted dirty frame back to its data disk. *)
+let write_back t page =
+  Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
+  Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1
+
+let install_page t page ~dirty =
+  match Storage.Lru_pool.insert t.buf page ~dirty with
+  | None -> ()
+  | Some v -> if v.Storage.Lru_pool.dirty then write_back t v.Storage.Lru_pool.page
+
+(* Make [page] buffer-resident, joining any in-flight read for it (the
+   paper's hot-spot argument: one I/O serves all concurrent readers). *)
+let rec ensure_resident t page =
+  if Storage.Lru_pool.touch t.buf page then ()
+  else
+    match Hashtbl.find_opt t.in_flight page with
+    | Some cond ->
+        Sim.Condition.await cond;
+        ensure_resident t page
+    | None ->
+        let cond = Sim.Condition.create t.eng in
+        Hashtbl.replace t.in_flight page cond;
+        Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
+        if Trace.active () then
+          Trace.emit (Sim.Engine.now t.eng) (Trace.Disk_read { page });
+        Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1;
+        install_page t page ~dirty:false;
+        Hashtbl.remove t.in_flight page;
+        ignore (Sim.Condition.broadcast cond)
+
+(* Read several pages (one object's worth), exploiting clustering: the
+   missing pages of each disk are fetched in one access whose seek count
+   follows the ClusterFactor model. *)
+let read_pages t pages =
+  match pages with
+  | [] -> ()
+  | [ page ] -> ensure_resident t page
+  | _ ->
+      let misses =
+        List.filter
+          (fun p ->
+            (not (Storage.Lru_pool.touch t.buf p))
+            && not (Hashtbl.mem t.in_flight p))
+          pages
+      in
+      let by_disk = Hashtbl.create 4 in
+      List.iter
+        (fun p ->
+          let d = Db.Database.disk_of_page t.db ~n_disks:(Array.length t.disks) p in
+          let l = try Hashtbl.find by_disk d with Not_found -> [] in
+          Hashtbl.replace by_disk d (p :: l))
+        misses;
+      let conds =
+        List.map
+          (fun p ->
+            let c = Sim.Condition.create t.eng in
+            Hashtbl.replace t.in_flight p c;
+            (p, c))
+          misses
+      in
+      Hashtbl.iter
+        (fun d group ->
+          let seeks = Db.Database.seeks_for_pages t.db t.rng group in
+          Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
+          Storage.Disk.access t.disks.(d) ~seeks ~pages:(List.length group);
+          List.iter (fun p -> install_page t p ~dirty:false) group)
+        by_disk;
+      List.iter
+        (fun (p, c) ->
+          Hashtbl.remove t.in_flight p;
+          ignore (Sim.Condition.broadcast c))
+        conds;
+      (* anything that was in flight under another process: wait for it *)
+      List.iter
+        (fun p -> if not (Storage.Lru_pool.mem t.buf p) then ensure_resident t p)
+        pages
+
+(* ------------------------------------------------------------------ *)
+(* Aborts and deadlock detection                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Undo any of the victim's updates that reached the buffer pool before
+   commit; pages already forced to disk cost a read-modify-write. *)
+let undo_installed t xs =
+  List.iter
+    (fun page ->
+      Comms.use_cpu t.sport t.cfg.Sys_params.server_proc_inst;
+      if Storage.Lru_pool.mem t.buf page then
+        ignore (Storage.Lru_pool.remove t.buf page)
+      else begin
+        Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
+        Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:2
+      end)
+    xs.x_installed;
+  match t.log with
+  | Some log when xs.x_installed <> [] ->
+      Storage.Log_manager.force_abort log ~n_updates:(List.length xs.x_installed)
+  | Some _ | None -> ()
+
+let abort_xact t xs ~reason ~stale =
+  if not xs.x_aborted then begin
+    xs.x_aborted <- true;
+    Hashtbl.replace t.tombstones xs.x_xid ();
+    if Trace.active () then
+      Trace.emit (Sim.Engine.now t.eng)
+        (Trace.Abort
+           {
+             client = xs.x_client;
+             xid = xs.x_xid;
+             reason =
+               (match reason with
+               | Metrics.Deadlock -> "deadlock"
+               | Metrics.Stale_read -> "stale read"
+               | Metrics.Cert_fail -> "certification");
+           });
+    Metrics.record_abort t.metrics reason;
+    List.iter
+      (fun (page, cell) ->
+        Cc.Lock_table.cancel_wait t.lock_table ~page xs.x_client;
+        ignore (Sim.Ivar.try_fill cell Lock_aborted))
+      xs.x_waits;
+    xs.x_waits <- [];
+    (match t.algo with
+    | Proto.Callback ->
+        (* keep retained locks from previous transactions; release only what
+           this transaction acquired, and undo its upgrades *)
+        List.iter
+          (fun p -> Cc.Lock_table.release t.lock_table ~page:p xs.x_client)
+          xs.x_new_locks;
+        List.iter
+          (fun p -> Cc.Lock_table.downgrade t.lock_table ~page:p xs.x_client)
+          xs.x_upgraded
+    | Proto.Two_phase _ | Proto.Certification _ | Proto.No_wait _ ->
+        ignore (Cc.Lock_table.release_all t.lock_table xs.x_client));
+    close_xact t xs;
+    (* the undo work and abort message happen off the caller's process so a
+       deadlock-detecting handler is not charged the victim's cleanup *)
+    Sim.Engine.spawn t.eng (fun () ->
+        undo_installed t xs;
+        send_to_client t xs.x_client
+          (Proto.Aborted { xid = xs.x_xid; stale_pages = stale }))
+  end
+
+(* One blocking request can close several cycles at once, so keep breaking
+   cycles through the requester until none remain (or the requester itself
+   was chosen as a victim, which clears its wait edges). *)
+let check_deadlock t ~requester =
+  let rec break () =
+    let g = Cc.Waits_for.of_lock_table t.lock_table in
+    match Cc.Waits_for.find_cycle_from g requester with
+    | None -> ()
+    | Some cycle ->
+        let start_time c =
+          match Hashtbl.find_opt t.active_by_client c with
+          | Some xs -> xs.x_start
+          | None -> neg_infinity
+        in
+        let victim = Cc.Waits_for.pick_victim ~start_time cycle in
+        if Trace.active () then
+          Trace.emit (Sim.Engine.now t.eng)
+            (Trace.Deadlock { victim_client = victim; cycle });
+        (match Hashtbl.find_opt t.active_by_client victim with
+        | Some xs ->
+            abort_xact t xs ~reason:Metrics.Deadlock ~stale:[];
+            if victim <> requester then break ()
+        | None ->
+            (* a retained-lock holder with no active transaction cannot be
+               in a cycle (it has no outgoing wait edge) *)
+            assert false)
+  in
+  break ()
+
+(* Periodic deadlock detector for callback locking.  Edges into retained
+   locks are spurious until the holder has had a chance to answer the
+   callback (§6), so a cycle is only trusted once every member has been
+   waiting at least one grace period; younger cycles either dissolve via
+   in-flight callback replies or are caught by a later sweep.  The detector
+   arms itself when a request blocks and disarms when nothing waits, so a
+   quiescent simulation still drains. *)
+let stable_cycle t ~now cycle =
+  List.for_all
+    (fun c ->
+      match Hashtbl.find_opt t.wait_since c with
+      | Some since -> now -. since >= t.cfg.Sys_params.callback_grace
+      | None -> false)
+    cycle
+
+let deadlock_sweep t =
+  let now = Sim.Engine.now t.eng in
+  let rec loop () =
+    let g = Cc.Waits_for.of_lock_table t.lock_table in
+    let owners =
+      List.sort_uniq Int.compare
+        (List.map (fun (_, o, _) -> o) (Cc.Lock_table.all_waiting t.lock_table))
+    in
+    let actionable =
+      List.find_map
+        (fun o ->
+          match Cc.Waits_for.find_cycle_from g o with
+          | Some cycle when stable_cycle t ~now cycle -> Some cycle
+          | Some _ | None -> None)
+        owners
+    in
+    match actionable with
+    | None -> ()
+    | Some cycle ->
+        let start_time c =
+          match Hashtbl.find_opt t.active_by_client c with
+          | Some xs -> xs.x_start
+          | None -> neg_infinity
+        in
+        let victim = Cc.Waits_for.pick_victim ~start_time cycle in
+        (match Hashtbl.find_opt t.active_by_client victim with
+        | Some xs -> abort_xact t xs ~reason:Metrics.Deadlock ~stale:[]
+        | None -> ());
+        loop ()
+  in
+  loop ()
+
+let rec arm_detector t =
+  if not t.detector_armed then begin
+    t.detector_armed <- true;
+    Sim.Engine.schedule t.eng
+      ~at:(Sim.Engine.now t.eng +. t.cfg.Sys_params.callback_grace)
+      (fun () ->
+        t.detector_armed <- false;
+        deadlock_sweep t;
+        (* waits younger than one grace period were skipped by the
+           stability rule and deserve another look; older waits were fully
+           checked, and any future cycle needs a new block, which re-arms *)
+        let now = Sim.Engine.now t.eng in
+        let young =
+          Hashtbl.fold
+            (fun _ since acc ->
+              acc || now -. since < t.cfg.Sys_params.callback_grace)
+            t.wait_since false
+        in
+        if young then arm_detector t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lock acquisition                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lt_mode = function Proto.Read -> Cc.Lock_table.S | Proto.Write -> Cc.Lock_table.X
+
+let record_acquisition xs page ~before ~after =
+  match (before, after) with
+  | None, Some _ -> xs.x_new_locks <- page :: xs.x_new_locks
+  | Some Cc.Lock_table.S, Some Cc.Lock_table.X ->
+      xs.x_upgraded <- page :: xs.x_upgraded
+  | _ -> ()
+
+(* A grant that lands after (or concurrently with) the transaction's abort
+   must be given back immediately: the abort's lock sweep has already run
+   and would otherwise leave the lock held forever. *)
+let undo_grant t ~page ~client ~before =
+  match before with
+  | None -> Cc.Lock_table.release t.lock_table ~page client
+  | Some Cc.Lock_table.S -> Cc.Lock_table.downgrade t.lock_table ~page client
+  | Some Cc.Lock_table.X -> ()
+
+let acquire t xs ~page ~mode =
+  let client = xs.x_client in
+  if xs.x_aborted then Lock_aborted
+  else begin
+    let before = Cc.Lock_table.held t.lock_table ~page client in
+    let cell = Sim.Ivar.create t.eng in
+    let wake () = ignore (Sim.Ivar.try_fill cell Lock_granted) in
+    match Cc.Lock_table.request t.lock_table ~page client (lt_mode mode) ~wake with
+    | Cc.Lock_table.Granted ->
+        record_acquisition xs page ~before
+          ~after:(Cc.Lock_table.held t.lock_table ~page client);
+        Lock_granted
+    | Cc.Lock_table.Blocked holders ->
+        if Trace.active () then
+          Trace.emit (Sim.Engine.now t.eng)
+            (Trace.Lock_wait
+               {
+                 client;
+                 page;
+                 mode = (match mode with Proto.Read -> "S" | Proto.Write -> "X");
+               });
+        (* register the wait before anything that can suspend, so an abort
+           arriving mid-callback-send still cancels this queued request *)
+        xs.x_waits <- (page, cell) :: xs.x_waits;
+        if not (Hashtbl.mem t.wait_since client) then
+          Hashtbl.replace t.wait_since client (Sim.Engine.now t.eng);
+        (* callback locking: ask the blocking clients to give the lock back *)
+        (match t.algo with
+        | Proto.Callback ->
+            List.iter
+              (fun holder ->
+                if holder <> client then begin
+                  Metrics.record_callback_sent t.metrics;
+                  send_to_client t holder (Proto.Callback_request { page })
+                end)
+              holders
+        | _ -> ());
+        (match t.algo with
+        | Proto.Callback when t.cfg.Sys_params.callback_grace > 0.0 ->
+            (* deadlock detection is the periodic detector's job *)
+            arm_detector t
+        | Proto.Callback | Proto.Two_phase _ | Proto.Certification _
+        | Proto.No_wait _ ->
+            if not xs.x_aborted then check_deadlock t ~requester:client);
+        let r = Sim.Ivar.read cell in
+        xs.x_waits <- List.filter (fun (_, c) -> not (c == cell)) xs.x_waits;
+        if xs.x_waits = [] then Hashtbl.remove t.wait_since client;
+        (match r with
+        | Lock_granted when xs.x_aborted ->
+            undo_grant t ~page ~client ~before;
+            Lock_aborted
+        | Lock_granted ->
+            if Trace.active () then
+              Trace.emit (Sim.Engine.now t.eng)
+                (Trace.Lock_grant
+                   {
+                     client;
+                     page;
+                     mode =
+                       (match mode with Proto.Read -> "S" | Proto.Write -> "X");
+                   });
+            record_acquisition xs page ~before
+              ~after:(Cc.Lock_table.held t.lock_table ~page client);
+            Lock_granted
+        | Lock_aborted -> Lock_aborted)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_chain xs f =
+  Sim.Facility.request xs.x_chain;
+  let finally () = Sim.Facility.release xs.x_chain in
+  match f () with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+let charge_pages_sent t n =
+  if n > 0 then Comms.use_cpu t.sport (t.cfg.Sys_params.server_proc_inst * n)
+
+let charge_updates_received t n =
+  if n > 0 then Comms.use_cpu t.sport (t.cfg.Sys_params.server_proc_inst * n)
+
+let handle_fetch t ~client ~xid ~mode ~pages ~no_wait =
+  if tombstoned t xid then begin
+    if not no_wait then
+      send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+  end
+  else begin
+    let xs = admit t ~client ~xid in
+    with_chain xs (fun () ->
+        if xs.x_aborted then ()
+        else begin
+          (* lock every page of the object first, then read the stale and
+             missing ones in one clustering-aware disk access *)
+          let rec lock_all acc = function
+            | [] -> `Ok (List.rev acc)
+            | { Proto.page; cached_version } :: rest -> (
+                match acquire t xs ~page ~mode with
+                | Lock_aborted -> `Abort_handled
+                | Lock_granted ->
+                    if xs.x_aborted then `Abort_handled
+                    else begin
+                      let current = Cc.Version_table.current t.version_table page in
+                      match cached_version with
+                      | Some v when v = current -> lock_all acc rest
+                      | Some _ when no_wait ->
+                          (* the client is already computing on a stale
+                             copy: abort and tell it which page to drop *)
+                          abort_xact t xs ~reason:Metrics.Stale_read
+                            ~stale:[ page ];
+                          `Abort_handled
+                      | Some _ | None -> lock_all ((page, current) :: acc) rest
+                    end)
+          in
+          match lock_all [] pages with
+          | `Abort_handled -> ()
+          | `Ok data ->
+              read_pages t (List.map fst data);
+              if not xs.x_aborted then begin
+                charge_pages_sent t (List.length data);
+                if not no_wait then
+                  send_to_client t client (Proto.Fetch_reply { xid; data })
+              end
+        end)
+  end
+
+let handle_cert_read t ~client ~xid ~pages =
+  let xs = admit t ~client ~xid in
+  with_chain xs (fun () ->
+      let data =
+        List.filter_map
+          (fun { Proto.page; cached_version } ->
+            let current = Cc.Version_table.current t.version_table page in
+            match cached_version with
+            | Some v when v = current -> None
+            | Some _ | None -> Some (page, current))
+          pages
+      in
+      read_pages t (List.map fst data);
+      charge_pages_sent t (List.length data);
+      send_to_client t client (Proto.Cert_reply { xid; data }))
+
+(* Commit for the certification algorithms: validate, then atomically bump
+   versions (no suspension point between validation and bumping), then pay
+   for the log and installation. *)
+let commit_certification t xs ~client ~xid ~read_set ~update_pages =
+  let stale =
+    List.filter_map
+      (fun (page, version) ->
+        if Cc.Version_table.is_current t.version_table ~page ~version then None
+        else Some page)
+      read_set
+  in
+  if stale <> [] then begin
+    Metrics.record_abort t.metrics Metrics.Cert_fail;
+    close_xact t xs;
+    send_to_client t client
+      (Proto.Commit_reply { xid; ok = false; new_versions = []; stale_pages = stale })
+  end
+  else begin
+    let new_versions =
+      List.map (fun p -> (p, Cc.Version_table.bump t.version_table p)) update_pages
+    in
+    charge_updates_received t (List.length update_pages);
+    (match t.log with
+    | Some log when update_pages <> [] ->
+        Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
+    | Some _ | None -> ());
+    List.iter (fun p -> install_page t p ~dirty:true) update_pages;
+    close_xact t xs;
+    send_to_client t client
+      (Proto.Commit_reply { xid; ok = true; new_versions; stale_pages = [] })
+  end
+
+let notify_clients t ~updater ~mode new_versions =
+  List.iter
+    (fun (page, version) ->
+      Array.iteri
+        (fun cid link ->
+          if cid <> updater && Storage.Lru_pool.mem link.cache_view page then begin
+            Metrics.record_push_sent t.metrics;
+            match mode with
+            | Proto.Push ->
+                charge_pages_sent t 1;
+                send_to_client t cid (Proto.Update_push { page; version })
+            | Proto.Invalidate ->
+                send_to_client t cid (Proto.Invalidate_page { page })
+          end)
+        t.clients)
+    new_versions
+
+let commit_locking t xs ~client ~xid ~update_pages ~release_pages =
+  charge_updates_received t (List.length update_pages);
+  (match t.log with
+  | Some log when update_pages <> [] ->
+      Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
+  | Some _ | None -> ());
+  let new_versions =
+    List.map (fun p -> (p, Cc.Version_table.bump t.version_table p)) update_pages
+  in
+  List.iter (fun p -> install_page t p ~dirty:true) update_pages;
+  (match t.algo with
+  | Proto.Callback ->
+      (* give up the pages whose callbacks the client deferred; keep
+         everything else as retained read locks (write locks downgrade) *)
+      List.iter
+        (fun p -> Cc.Lock_table.release t.lock_table ~page:p client)
+        release_pages;
+      if not t.cfg.Sys_params.callback_retain_writes then
+        List.iter
+          (fun p ->
+            match Cc.Lock_table.held t.lock_table ~page:p client with
+            | Some Cc.Lock_table.X ->
+                Cc.Lock_table.downgrade t.lock_table ~page:p client
+            | Some Cc.Lock_table.S | None -> ())
+          (Cc.Lock_table.pages_held_by t.lock_table client)
+  | Proto.Two_phase _ | Proto.No_wait _ ->
+      ignore (Cc.Lock_table.release_all t.lock_table client)
+  | Proto.Certification _ -> assert false);
+  close_xact t xs;
+  if Trace.active () then
+    Trace.emit (Sim.Engine.now t.eng)
+      (Trace.Commit { client; xid; n_updates = List.length update_pages });
+  send_to_client t client
+    (Proto.Commit_reply { xid; ok = true; new_versions; stale_pages = [] });
+  let notify_mode =
+    match t.algo with
+    | Proto.No_wait { notify = Some mode } -> Some mode
+    | Proto.No_wait { notify = None } | Proto.Two_phase _ | Proto.Callback ->
+        t.cfg.Sys_params.notify_updates
+    | Proto.Certification _ -> None
+  in
+  match notify_mode with
+  | Some mode when new_versions <> [] ->
+      notify_clients t ~updater:client ~mode new_versions
+  | Some _ | None -> ()
+
+let handle_commit t ~client ~xid ~read_set ~update_pages ~release_pages =
+  if tombstoned t xid then
+    send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+  else begin
+    let xs = admit t ~client ~xid in
+    with_chain xs (fun () ->
+        if xs.x_aborted then ()
+        else
+          match t.algo with
+          | Proto.Certification _ ->
+              commit_certification t xs ~client ~xid ~read_set ~update_pages
+          | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
+              commit_locking t xs ~client ~xid ~update_pages ~release_pages)
+  end
+
+let handle_dirty_evict t ~client ~xid ~page =
+  if not (tombstoned t xid) then begin
+    let xs = admit t ~client ~xid in
+    with_chain xs (fun () ->
+        if not xs.x_aborted then begin
+          charge_updates_received t 1;
+          install_page t page ~dirty:true;
+          xs.x_installed <- page :: xs.x_installed
+        end)
+  end
+
+let handle t = function
+  | Proto.Fetch { client; xid; mode; pages; no_wait } ->
+      handle_fetch t ~client ~xid ~mode ~pages ~no_wait
+  | Proto.Cert_read { client; xid; pages } -> handle_cert_read t ~client ~xid ~pages
+  | Proto.Commit { client; xid; read_set; update_pages; release_pages } ->
+      handle_commit t ~client ~xid ~read_set ~update_pages ~release_pages
+  | Proto.Callback_reply { client; page } ->
+      Cc.Lock_table.release t.lock_table ~page client
+  | Proto.Release_retained { client; pages } ->
+      List.iter (fun page -> Cc.Lock_table.release t.lock_table ~page client) pages
+  | Proto.Dirty_evict { client; xid; page } -> handle_dirty_evict t ~client ~xid ~page
+
+let deliver t msg = Sim.Engine.spawn t.eng (fun () -> handle t msg)

@@ -1,0 +1,57 @@
+(** The database server (paper §3.3.4 and Figure 4).
+
+    Owns the server CPU(s), data and log disks, buffer pool, lock manager,
+    version table, and MPL admission control.  Each incoming client message
+    is handled by its own process; operations of the same transaction are
+    serialized on a per-transaction chain (a client session delivers its
+    requests in order), which is also what makes a no-wait commit wait for
+    the transaction's outstanding optimistic requests.
+
+    The algorithm-dependent server transaction module of the paper is the
+    [handle_*] family here: lock-based fetch (with callback requests and
+    no-wait silence), certification reads and commit-time validation, and
+    commit/abort processing with logging, buffer installation, lock release
+    or retention, and update notification. *)
+
+type t
+
+(** How the server reaches one client: its CPU endpoint, its inbox, and a
+    read-only view of its cache (the notification directory — see
+    DESIGN.md on why consulting it costs nothing). *)
+type client_link = {
+  port : Proto.port;
+  inbox : Proto.s2c Sim.Mailbox.t;
+  cache_view : Storage.Lru_pool.t;
+}
+
+val create :
+  Sim.Engine.t ->
+  cfg:Sys_params.t ->
+  db:Db.Database.t ->
+  algo:Proto.algorithm ->
+  net:Net.Network.t ->
+  rng:Sim.Rng.t ->
+  metrics:Metrics.t ->
+  t
+
+(** Must be called once, before any message is delivered. *)
+val register_clients : t -> client_link array -> unit
+
+(** The server CPU endpoint (for charging inbound messages). *)
+val port : t -> Proto.port
+
+(** Deliver one client message: spawns a handler process and returns. *)
+val deliver : t -> Proto.c2s -> unit
+
+(** {1 Introspection (stats, tests)} *)
+
+val buffer : t -> Storage.Lru_pool.t
+val locks : t -> Cc.Lock_table.t
+val versions : t -> Cc.Version_table.t
+val data_disks : t -> Storage.Disk.t array
+val log_disk : t -> Storage.Disk.t option
+val active_count : t -> int
+val ready_queue_length : t -> int
+val cpu_utilization : t -> float
+val mean_disk_utilization : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,219 @@
+type spec = {
+  cfg : Sys_params.t;
+  db_params : Db.Db_params.t;
+  xact_params : Db.Xact_params.t;
+  mix : (float * Db.Xact_params.t) list option;
+  algo : Proto.algorithm;
+  seed : int;
+  warmup_commits : int;
+  measured_commits : int;
+  max_sim_time : float;
+}
+
+let default_spec ?(seed = 1) ?(warmup_commits = 300) ?(measured_commits = 2000)
+    ?(max_sim_time = 50_000.0) ~cfg ~xact_params algo =
+  {
+    cfg;
+    db_params = Db.Db_params.uniform ~n_classes:40 ~pages_per_class:50 ();
+    xact_params;
+    mix = None;
+    algo;
+    seed;
+    warmup_commits;
+    measured_commits;
+    max_sim_time;
+  }
+
+type result = {
+  algo : Proto.algorithm;
+  n_clients : int;
+  mean_response : float;
+  response_stddev : float;
+  response_p50 : float;
+  response_p95 : float;
+  throughput : float;
+  commits : int;
+  aborts : int;
+  aborts_deadlock : int;
+  aborts_stale : int;
+  aborts_cert : int;
+  hit_ratio : float;
+  messages : int;
+  packets : int;
+  msgs_per_commit : float;
+  callbacks_sent : int;
+  pushes_sent : int;
+  server_cpu_util : float;
+  client_cpu_util : float;
+  disk_util : float;
+  log_disk_util : float;
+  net_util : float;
+  window : float;
+  sim_time : float;
+  events : int;
+}
+
+let run ?audit spec =
+  Sys_params.validate spec.cfg;
+  let cfg = spec.cfg in
+  let eng = Sim.Engine.create () in
+  let master = Sim.Rng.create spec.seed in
+  let db = Db.Database.create spec.db_params in
+  let metrics = Metrics.create eng in
+  let net = Sim.Rng.split master "network" |> fun rng ->
+            Net.Network.create eng ~rng cfg.Sys_params.net in
+  let server =
+    Server.create eng ~cfg ~db ~algo:spec.algo ~net
+      ~rng:(Sim.Rng.split master "server") ~metrics
+  in
+  let clients = Array.make cfg.Sys_params.n_clients None in
+  let commit_target = spec.warmup_commits + spec.measured_commits in
+  let reset_all () =
+    Metrics.reset metrics;
+    Net.Network.reset_stats net;
+    Server.reset_stats server;
+    Array.iter (function Some c -> Client.reset_stats c | None -> ()) clients
+  in
+  let on_commit () =
+    let n = Metrics.total_commits metrics in
+    if n = spec.warmup_commits then reset_all ()
+    else if n >= commit_target then Sim.Engine.stop eng
+  in
+  for i = 0 to cfg.Sys_params.n_clients - 1 do
+    let crng = Sim.Rng.split master (Printf.sprintf "client-%d" i) in
+    let workload =
+      let rng = Sim.Rng.split crng "workload" in
+      match spec.mix with
+      | Some mix -> Db.Workload.create_mix db mix ~rng
+      | None -> Db.Workload.create db spec.xact_params ~rng
+    in
+    let client = ref None in
+    let to_server msg =
+      let c = Option.get !client in
+      let bytes =
+        Proto.c2s_bytes ~control:cfg.Sys_params.control_msg_bytes
+          ~page_size:cfg.Sys_params.page_size msg
+      in
+      Comms.send net ~msg_inst:cfg.Sys_params.net.Net.Network.msg_inst
+        ~src:(Client.port c) ~dst:(Server.port server) ~bytes
+        ~deliver:(fun () -> Server.deliver server msg)
+    in
+    let c =
+      Client.create eng ?audit ~id:i ~cfg ~algo:spec.algo ~workload
+        ~rng:(Sim.Rng.split crng "client") ~metrics ~to_server ~on_commit
+    in
+    client := Some c;
+    clients.(i) <- Some c
+  done;
+  let links =
+    Array.map
+      (function
+        | Some c ->
+            {
+              Server.port = Client.port c;
+              inbox = Client.inbox c;
+              cache_view = Client.cache c;
+            }
+        | None -> assert false)
+      clients
+  in
+  Server.register_clients server links;
+  Array.iter (function Some c -> Client.start c | None -> ()) clients;
+  let sim_time = Sim.Engine.run eng ~until:spec.max_sim_time () in
+  let now = sim_time in
+  let window = now -. Metrics.measure_start metrics in
+  let commits = Metrics.commits metrics in
+  let lookups = Metrics.lookups metrics in
+  let client_utils =
+    Array.to_list clients
+    |> List.filter_map (Option.map Client.cpu_utilization)
+  in
+  let mean l =
+    match l with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  {
+    algo = spec.algo;
+    n_clients = cfg.Sys_params.n_clients;
+    mean_response = Metrics.mean_response metrics;
+    response_stddev = Sim.Stats.stddev (Metrics.response_stats metrics);
+    response_p50 = Metrics.response_quantile metrics 0.5;
+    response_p95 = Metrics.response_quantile metrics 0.95;
+    throughput = Metrics.throughput metrics ~now;
+    commits;
+    aborts = Metrics.aborts metrics;
+    aborts_deadlock = Metrics.aborts_by metrics Metrics.Deadlock;
+    aborts_stale = Metrics.aborts_by metrics Metrics.Stale_read;
+    aborts_cert = Metrics.aborts_by metrics Metrics.Cert_fail;
+    hit_ratio =
+      (if lookups = 0 then 0.0
+       else float_of_int (Metrics.hits metrics) /. float_of_int lookups);
+    messages = Net.Network.messages_sent net;
+    packets = Net.Network.packets_sent net;
+    msgs_per_commit =
+      (if commits = 0 then 0.0
+       else float_of_int (Net.Network.messages_sent net) /. float_of_int commits);
+    callbacks_sent = Metrics.callbacks_sent metrics;
+    pushes_sent = Metrics.pushes_sent metrics;
+    server_cpu_util = Server.cpu_utilization server;
+    client_cpu_util = mean client_utils;
+    disk_util = Server.mean_disk_utilization server;
+    log_disk_util =
+      (match Server.log_disk server with
+      | Some d -> Storage.Disk.utilization d
+      | None -> 0.0);
+    net_util = Net.Network.utilization net;
+    window;
+    sim_time;
+    events = Sim.Engine.events_executed eng;
+  }
+
+let run_replicated spec ~reps =
+  if reps <= 1 then run spec
+  else begin
+    let results =
+      List.init reps (fun k -> run { spec with seed = spec.seed + k })
+    in
+    let n = float_of_int reps in
+    let favg f = List.fold_left (fun a r -> a +. f r) 0.0 results /. n in
+    let isum f = List.fold_left (fun a r -> a + f r) 0 results in
+    let first = List.hd results in
+    {
+      first with
+      mean_response = favg (fun r -> r.mean_response);
+      response_stddev = favg (fun r -> r.response_stddev);
+      response_p50 = favg (fun r -> r.response_p50);
+      response_p95 = favg (fun r -> r.response_p95);
+      throughput = favg (fun r -> r.throughput);
+      commits = isum (fun r -> r.commits);
+      aborts = isum (fun r -> r.aborts);
+      aborts_deadlock = isum (fun r -> r.aborts_deadlock);
+      aborts_stale = isum (fun r -> r.aborts_stale);
+      aborts_cert = isum (fun r -> r.aborts_cert);
+      hit_ratio = favg (fun r -> r.hit_ratio);
+      messages = isum (fun r -> r.messages);
+      packets = isum (fun r -> r.packets);
+      msgs_per_commit = favg (fun r -> r.msgs_per_commit);
+      callbacks_sent = isum (fun r -> r.callbacks_sent);
+      pushes_sent = isum (fun r -> r.pushes_sent);
+      server_cpu_util = favg (fun r -> r.server_cpu_util);
+      client_cpu_util = favg (fun r -> r.client_cpu_util);
+      disk_util = favg (fun r -> r.disk_util);
+      log_disk_util = favg (fun r -> r.log_disk_util);
+      net_util = favg (fun r -> r.net_util);
+      window = favg (fun r -> r.window);
+      sim_time = favg (fun r -> r.sim_time);
+      events = isum (fun r -> r.events);
+    }
+  end
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-15s clients=%-3d rt=%.3fs tput=%.2f/s commits=%d aborts=%d \
+     (dl=%d stale=%d cert=%d) hit=%.2f msgs/xact=%.1f cpu=%.2f disk=%.2f \
+     net=%.2f"
+    (Proto.algorithm_name r.algo)
+    r.n_clients r.mean_response r.throughput r.commits r.aborts
+    r.aborts_deadlock r.aborts_stale r.aborts_cert r.hit_ratio
+    r.msgs_per_commit r.server_cpu_util r.disk_util r.net_util

@@ -1,0 +1,75 @@
+(** Assemble and run one complete simulation: a server, [n_clients]
+    clients, the shared network, and one consistency algorithm, measured
+    over a steady-state window.
+
+    A run executes a warmup of [warmup_commits] committed transactions,
+    resets every statistic, measures until another [measured_commits]
+    commits (or [max_sim_time] elapses), and reports the paper's metrics:
+    mean transaction response time, system throughput, abort counts, cache
+    hit ratio, message counts, and resource utilizations. *)
+
+type spec = {
+  cfg : Sys_params.t;
+  db_params : Db.Db_params.t;
+  xact_params : Db.Xact_params.t;
+  mix : (float * Db.Xact_params.t) list option;
+      (** when set, overrides [xact_params] with a weighted transaction-type
+          mix (paper §3.2) *)
+  algo : Proto.algorithm;
+  seed : int;
+  warmup_commits : int;
+  measured_commits : int;
+  max_sim_time : float;  (** hard stop in simulated seconds *)
+}
+
+(** A convenient spec: Table 5 system, short-batch workload, 300 warmup +
+    2000 measured commits. *)
+val default_spec :
+  ?seed:int ->
+  ?warmup_commits:int ->
+  ?measured_commits:int ->
+  ?max_sim_time:float ->
+  cfg:Sys_params.t ->
+  xact_params:Db.Xact_params.t ->
+  Proto.algorithm ->
+  spec
+
+type result = {
+  algo : Proto.algorithm;
+  n_clients : int;
+  mean_response : float;  (** seconds, first attempt begin → commit *)
+  response_stddev : float;
+  response_p50 : float;
+  response_p95 : float;
+  throughput : float;  (** commits per second *)
+  commits : int;
+  aborts : int;
+  aborts_deadlock : int;
+  aborts_stale : int;
+  aborts_cert : int;
+  hit_ratio : float;  (** page accesses served with no server message *)
+  messages : int;
+  packets : int;
+  msgs_per_commit : float;
+  callbacks_sent : int;
+  pushes_sent : int;
+  server_cpu_util : float;
+  client_cpu_util : float;  (** mean over clients *)
+  disk_util : float;  (** mean over data disks *)
+  log_disk_util : float;
+  net_util : float;
+  window : float;  (** measured seconds of simulated time *)
+  sim_time : float;  (** total simulated seconds *)
+  events : int;
+}
+
+(** Run one simulation to completion.  [?audit] collects every committed
+    transaction's read/write version summary for the serializability check
+    of {!Cc.History}. *)
+val run : ?audit:Cc.History.t -> spec -> result
+
+(** [run_replicated spec ~reps] averages scalar metrics over [reps]
+    independent seeds (seed, seed+1, ...). *)
+val run_replicated : spec -> reps:int -> result
+
+val pp_result : Format.formatter -> result -> unit

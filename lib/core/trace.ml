@@ -1,0 +1,43 @@
+type event =
+  | Client_send of { client : int; xid : int; what : string }
+  | Server_reply of { client : int; xid : int; what : string }
+  | Lock_wait of { client : int; page : int; mode : string }
+  | Lock_grant of { client : int; page : int; mode : string }
+  | Deadlock of { victim_client : int; cycle : int list }
+  | Abort of { client : int; xid : int; reason : string }
+  | Callback of { holder : int; page : int }
+  | Notify of { client : int; page : int; push : bool }
+  | Commit of { client : int; xid : int; n_updates : int }
+  | Disk_read of { page : int }
+
+let event_to_string = function
+  | Client_send { client; xid; what } ->
+      Printf.sprintf "client %d -> server: %s (xid %d)" client what xid
+  | Server_reply { client; xid; what } ->
+      Printf.sprintf "server -> client %d: %s (xid %d)" client what xid
+  | Lock_wait { client; page; mode } ->
+      Printf.sprintf "client %d blocks for %s lock on page %d" client mode page
+  | Lock_grant { client; page; mode } ->
+      Printf.sprintf "client %d granted %s lock on page %d" client mode page
+  | Deadlock { victim_client; cycle } ->
+      Printf.sprintf "deadlock [%s]: victim is client %d"
+        (String.concat " -> " (List.map string_of_int cycle))
+        victim_client
+  | Abort { client; xid; reason } ->
+      Printf.sprintf "abort client %d xid %d (%s)" client xid reason
+  | Callback { holder; page } ->
+      Printf.sprintf "callback request to client %d for page %d" holder page
+  | Notify { client; page; push } ->
+      Printf.sprintf "%s to client %d for page %d"
+        (if push then "update push" else "invalidation")
+        client page
+  | Commit { client; xid; n_updates } ->
+      Printf.sprintf "commit client %d xid %d (%d updated pages)" client xid
+        n_updates
+  | Disk_read { page } -> Printf.sprintf "disk read page %d" page
+
+let sink : (float -> event -> unit) option ref = ref None
+let set_sink f = sink := Some f
+let clear_sink () = sink := None
+let emit time ev = match !sink with Some f -> f time ev | None -> ()
+let active () = Option.is_some !sink

@@ -1,0 +1,36 @@
+(** Protocol event tracing.
+
+    A process-global hook that, when set, receives every interesting
+    protocol event with its simulated timestamp: client requests, server
+    grants and replies, aborts, callbacks, notifications, commits.  Used by
+    the [protocol_trace] example and handy when debugging a protocol
+    change; costs nothing when unset.
+
+    The sink is global to the process (simulations are single-threaded and
+    run one at a time). *)
+
+type event =
+  | Client_send of { client : int; xid : int; what : string }
+  | Server_reply of { client : int; xid : int; what : string }
+  | Lock_wait of { client : int; page : int; mode : string }
+  | Lock_grant of { client : int; page : int; mode : string }
+  | Deadlock of { victim_client : int; cycle : int list }
+  | Abort of { client : int; xid : int; reason : string }
+  | Callback of { holder : int; page : int }
+  | Notify of { client : int; page : int; push : bool }
+  | Commit of { client : int; xid : int; n_updates : int }
+  | Disk_read of { page : int }
+
+val event_to_string : event -> string
+
+(** Install a sink receiving [(simulated_time, event)]. *)
+val set_sink : (float -> event -> unit) -> unit
+
+(** Remove the sink. *)
+val clear_sink : unit -> unit
+
+(** Emit an event (no-op when no sink is installed). *)
+val emit : float -> event -> unit
+
+(** Is a sink installed?  Lets call sites skip argument construction. *)
+val active : unit -> bool

@@ -1,0 +1,64 @@
+type t = {
+  prm : Db_params.t;
+  class_base : int array; (* global page id of atom 0 of each class *)
+  total : int;
+}
+
+type obj = { cls : int; start : int }
+
+let compare_obj a b =
+  let c = Int.compare a.cls b.cls in
+  if c <> 0 then c else Int.compare a.start b.start
+
+let create prm =
+  Db_params.validate prm;
+  let class_base = Array.make prm.Db_params.n_classes 0 in
+  let acc = ref 0 in
+  for i = 0 to prm.Db_params.n_classes - 1 do
+    class_base.(i) <- !acc;
+    acc := !acc + prm.Db_params.n_pages.(i)
+  done;
+  { prm; class_base; total = !acc }
+
+let params t = t.prm
+let n_pages t = t.total
+let n_classes t = t.prm.Db_params.n_classes
+
+let page_id t ~cls ~atom =
+  let np = t.prm.Db_params.n_pages.(cls) in
+  if atom < 0 || atom >= np then invalid_arg "Database.page_id: atom out of range";
+  t.class_base.(cls) + atom
+
+let class_of_page t page =
+  if page < 0 || page >= t.total then invalid_arg "Database.class_of_page";
+  (* classes are few (<= hundreds); linear scan from the end is fine and
+     avoids an index structure *)
+  let rec find i =
+    if t.class_base.(i) <= page then i else find (i - 1)
+  in
+  find (n_classes t - 1)
+
+let pages t { cls; start } =
+  let np = t.prm.Db_params.n_pages.(cls) in
+  let s = t.prm.Db_params.object_size.(cls) in
+  List.init s (fun k -> page_id t ~cls ~atom:((start + k) mod np))
+
+let random_object t rng =
+  let cls = Sim.Rng.int rng (n_classes t) in
+  let start = Sim.Rng.int rng t.prm.Db_params.n_pages.(cls) in
+  { cls; start }
+
+let disk_of_page t ~n_disks page =
+  if n_disks <= 0 then invalid_arg "Database.disk_of_page: n_disks <= 0";
+  class_of_page t page mod n_disks
+
+let seeks_for_pages t rng = function
+  | [] -> 0
+  | _ :: rest ->
+      let cf = t.prm.Db_params.cluster_factor in
+      let breaks =
+        List.fold_left
+          (fun acc _ -> if Sim.Rng.bernoulli rng cf then acc else acc + 1)
+          0 rest
+      in
+      1 + breaks

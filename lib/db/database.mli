@@ -1,0 +1,48 @@
+(** The database: classes of atoms, overlapping objects, page addressing.
+
+    Pages (= atoms) are numbered globally, class after class, so the rest of
+    the simulator deals in plain page ids.  An object is identified by its
+    class and starting atom (paper §3.1, Figure 2): it covers the starting
+    atom and the next [s-1] atoms of the same class, wrapping at the end of
+    the class so every object has exactly [s] pages. *)
+
+type t
+
+(** An object: class index plus starting atom offset within the class. *)
+type obj = { cls : int; start : int }
+
+val compare_obj : obj -> obj -> int
+
+(** [create params] validates and indexes the database. *)
+val create : Db_params.t -> t
+
+val params : t -> Db_params.t
+
+(** Total number of pages. *)
+val n_pages : t -> int
+
+val n_classes : t -> int
+
+(** [page_id t ~cls ~atom] is the global page id of [atom] in class [cls]. *)
+val page_id : t -> cls:int -> atom:int -> int
+
+(** [class_of_page t page] inverts {!page_id}. *)
+val class_of_page : t -> int -> int
+
+(** [pages t obj] lists the global page ids covered by [obj], in atom
+    order. *)
+val pages : t -> obj -> int list
+
+(** [random_object t rng] draws a uniform class, then a uniform starting
+    atom within it. *)
+val random_object : t -> Sim.Rng.t -> obj
+
+(** [disk_of_page t ~n_disks page] assigns the page's class round-robin to a
+    disk; all pages of a class live on one disk (paper §3.3.2). *)
+val disk_of_page : t -> n_disks:int -> int -> int
+
+(** [seeks_for_pages t rng pages] is the number of distinct seek operations
+    needed to access [pages] of one object: consecutive atoms are
+    sequential on disk with probability [cluster_factor], and each break
+    costs another seek.  At least 1 for a non-empty list. *)
+val seeks_for_pages : t -> Sim.Rng.t -> int list -> int

@@ -1,0 +1,34 @@
+type t = {
+  n_classes : int;
+  n_pages : int array;
+  object_size : int array;
+  cluster_factor : float;
+}
+
+let uniform ~n_classes ~pages_per_class ?(object_size = 1) ?(cluster_factor = 1.0)
+    () =
+  {
+    n_classes;
+    n_pages = Array.make n_classes pages_per_class;
+    object_size = Array.make n_classes object_size;
+    cluster_factor;
+  }
+
+let total_pages t = Array.fold_left ( + ) 0 t.n_pages
+
+let validate t =
+  if t.n_classes <= 0 then invalid_arg "Db_params: n_classes <= 0";
+  if Array.length t.n_pages <> t.n_classes then
+    invalid_arg "Db_params: n_pages length mismatch";
+  if Array.length t.object_size <> t.n_classes then
+    invalid_arg "Db_params: object_size length mismatch";
+  Array.iteri
+    (fun i p -> if p <= 0 then invalid_arg (Printf.sprintf "Db_params: class %d empty" i))
+    t.n_pages;
+  Array.iteri
+    (fun i s ->
+      if s <= 0 || s > t.n_pages.(i) then
+        invalid_arg (Printf.sprintf "Db_params: class %d object size invalid" i))
+    t.object_size;
+  if t.cluster_factor < 0.0 || t.cluster_factor > 1.0 then
+    invalid_arg "Db_params: cluster_factor outside [0,1]"

@@ -1,0 +1,34 @@
+(** Database parameters (paper Table 1).
+
+    A database is a set of classes; each class is a sequence of atoms, and
+    an atom corresponds to one disk page (paper §3.1).  Objects are [s]
+    consecutive atoms starting at a uniformly random atom of their class, so
+    objects of the same class may share atoms (subobject sharing). *)
+
+type t = {
+  n_classes : int;  (** [NClasses]: number of classes *)
+  n_pages : int array;
+      (** [NPages.(i)]: atoms (= pages) in class [i]; length [n_classes] *)
+  object_size : int array;
+      (** [ObjectSize.(i)]: atoms per object of class [i] *)
+  cluster_factor : float;
+      (** [ClusterFactor]: probability that consecutive atoms of an object
+          are stored sequentially on disk *)
+}
+
+(** [uniform ~n_classes ~pages_per_class ~object_size ~cluster_factor] builds
+    the homogeneous database used throughout the paper. *)
+val uniform :
+  n_classes:int ->
+  pages_per_class:int ->
+  ?object_size:int ->
+  ?cluster_factor:float ->
+  unit ->
+  t
+
+(** Total pages across all classes. *)
+val total_pages : t -> int
+
+(** Raises [Invalid_argument] if any class is empty, sizes disagree, or
+    [cluster_factor] is outside [0, 1]. *)
+val validate : t -> unit

@@ -1,0 +1,107 @@
+type step = {
+  obj : Database.obj;
+  read_pages : int list;
+  write_pages : int list;
+  update_delay : float;
+  internal_delay : float;
+}
+
+type profile = { steps : step list; external_delay : float }
+
+type t = {
+  db : Database.t;
+  mix : (float * Xact_params.t) list; (* weights normalized at creation *)
+  rng : Sim.Rng.t;
+  mutable prm : Xact_params.t; (* parameters of the current transaction *)
+  mutable recent : Database.obj list; (* InterXactSet, most recent first *)
+}
+
+let create_mix db mix ~rng =
+  if mix = [] then invalid_arg "Workload.create_mix: empty mix";
+  List.iter
+    (fun (w, prm) ->
+      if w <= 0.0 then invalid_arg "Workload.create_mix: non-positive weight";
+      Xact_params.validate prm)
+    mix;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 mix in
+  let mix = List.map (fun (w, prm) -> (w /. total, prm)) mix in
+  { db; mix; rng; prm = snd (List.hd mix); recent = [] }
+
+let create db prm ~rng = create_mix db [ (1.0, prm) ] ~rng
+
+let params t = snd (List.hd t.mix)
+
+let pick_type t =
+  match t.mix with
+  | [ (_, prm) ] -> prm
+  | mix ->
+      let u = Sim.Rng.float t.rng in
+      let rec go acc = function
+        | [] -> snd (List.hd mix)
+        | (w, prm) :: rest -> if u < acc +. w then prm else go (acc +. w) rest
+      in
+      go 0.0 mix
+let inter_xact_set t = t.recent
+
+(* LRU update: re-reading an object moves it to the front rather than
+   duplicating it, so the set holds distinct recent objects. *)
+let remember t obj =
+  if t.prm.Xact_params.inter_xact_set_size > 0 then begin
+    let without =
+      List.filter (fun o -> Database.compare_obj o obj <> 0) t.recent
+    in
+    let trimmed =
+      if List.length without >= t.prm.Xact_params.inter_xact_set_size then
+        List.filteri
+          (fun i _ -> i < t.prm.Xact_params.inter_xact_set_size - 1)
+          without
+      else without
+    in
+    t.recent <- obj :: trimmed
+  end
+
+let pick_object t =
+  let p = t.prm.Xact_params.inter_xact_loc in
+  if t.recent <> [] && Sim.Rng.bernoulli t.rng p then
+    List.nth t.recent (Sim.Rng.int t.rng (List.length t.recent))
+  else Database.random_object t.db t.rng
+
+let make_step t =
+  let obj = pick_object t in
+  remember t obj;
+  let read_pages = Database.pages t.db obj in
+  let pw = t.prm.Xact_params.prob_write in
+  let write_pages =
+    if pw <= 0.0 then []
+    else List.filter (fun _ -> Sim.Rng.bernoulli t.rng pw) read_pages
+  in
+  {
+    obj;
+    read_pages;
+    write_pages;
+    update_delay = Sim.Rng.exponential t.rng ~mean:t.prm.Xact_params.update_delay;
+    internal_delay =
+      Sim.Rng.exponential t.rng ~mean:t.prm.Xact_params.internal_delay;
+  }
+
+let next t =
+  t.prm <- pick_type t;
+  let size =
+    Sim.Rng.uniform_int t.rng t.prm.Xact_params.min_xact_size
+      t.prm.Xact_params.max_xact_size
+  in
+  let steps = List.init size (fun _ -> make_step t) in
+  {
+    steps;
+    external_delay =
+      Sim.Rng.exponential t.rng ~mean:t.prm.Xact_params.external_delay;
+  }
+
+let distinct pages =
+  List.sort_uniq Int.compare pages
+
+let profile_read_pages p =
+  distinct (List.concat_map (fun s -> s.read_pages) p.steps)
+
+let profile_write_pages p =
+  distinct (List.concat_map (fun s -> s.write_pages) p.steps)

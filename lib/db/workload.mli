@@ -1,0 +1,56 @@
+(** Per-client workload generator (paper §3.2).
+
+    Produces transaction {e profiles}: the fixed sequence of object reads,
+    atom updates, and think times that one transaction instance will execute.
+    A profile is generated once and replayed unchanged on every restart of
+    an aborted transaction ("it restarts the same transaction again and
+    again until it finally commits", §3.3.3).
+
+    Inter-transaction locality: each read draws from the client's
+    [InterXactSet] (the most recently read distinct objects, LRU-ordered,
+    capacity [inter_xact_set_size]) with probability [inter_xact_loc];
+    otherwise a uniform random object.  Objects enter the set when the
+    profile is generated, which equals commit-time updating up to one
+    transaction of lag because clients run transactions sequentially. *)
+
+type step = {
+  obj : Database.obj;  (** the object this iteration reads *)
+  read_pages : int list;  (** its pages, in atom order *)
+  write_pages : int list;
+      (** the atoms UpdateObject dirties (each read page w.p. ProbWrite) *)
+  update_delay : float;  (** drawn UserDelay between read and update *)
+  internal_delay : float;  (** drawn UserDelay ending the iteration *)
+}
+
+type profile = {
+  steps : step list;
+  external_delay : float;  (** drawn think time after commit *)
+}
+
+type t
+
+(** [create db params ~rng] is a fresh generator drawing from [rng]. *)
+val create : Database.t -> Xact_params.t -> rng:Sim.Rng.t -> t
+
+(** [create_mix db mix ~rng] draws each transaction's type from the
+    weighted [mix] (paper §3.2: "a simulation run can simulate ... a mix
+    of transactions belonging to different types").  All types share the
+    client's recent-object set; the set size and locality of the chosen
+    type apply to each transaction it generates.  Weights must be positive
+    and the list non-empty. *)
+val create_mix : Database.t -> (float * Xact_params.t) list -> rng:Sim.Rng.t -> t
+
+(** The parameters of the first (or only) transaction type. *)
+val params : t -> Xact_params.t
+
+(** Generate the next transaction profile. *)
+val next : t -> profile
+
+(** Current contents of the InterXactSet, most recent first (for tests). *)
+val inter_xact_set : t -> Database.obj list
+
+(** All distinct pages a profile reads. *)
+val profile_read_pages : profile -> int list
+
+(** All distinct pages a profile writes. *)
+val profile_write_pages : profile -> int list

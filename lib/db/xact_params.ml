@@ -1,0 +1,48 @@
+type t = {
+  min_xact_size : int;
+  max_xact_size : int;
+  prob_write : float;
+  update_delay : float;
+  internal_delay : float;
+  external_delay : float;
+  inter_xact_set_size : int;
+  inter_xact_loc : float;
+}
+
+let base ~min_size ~max_size ~update_delay ~internal_delay ~prob_write
+    ~inter_xact_loc =
+  {
+    min_xact_size = min_size;
+    max_xact_size = max_size;
+    prob_write;
+    update_delay;
+    internal_delay;
+    external_delay = 1.0;
+    inter_xact_set_size = 20;
+    inter_xact_loc;
+  }
+
+let short_batch ?(prob_write = 0.0) ?(inter_xact_loc = 0.05) () =
+  base ~min_size:4 ~max_size:12 ~update_delay:0.0 ~internal_delay:0.0
+    ~prob_write ~inter_xact_loc
+
+let large_batch ?(prob_write = 0.0) ?(inter_xact_loc = 0.05) () =
+  base ~min_size:20 ~max_size:60 ~update_delay:0.0 ~internal_delay:0.0
+    ~prob_write ~inter_xact_loc
+
+let interactive ?(prob_write = 0.0) ?(inter_xact_loc = 0.05) () =
+  base ~min_size:4 ~max_size:12 ~update_delay:5.0 ~internal_delay:2.0
+    ~prob_write ~inter_xact_loc
+
+let validate t =
+  if t.min_xact_size <= 0 then invalid_arg "Xact_params: min_xact_size <= 0";
+  if t.max_xact_size < t.min_xact_size then
+    invalid_arg "Xact_params: max < min xact size";
+  if t.prob_write < 0.0 || t.prob_write > 1.0 then
+    invalid_arg "Xact_params: prob_write outside [0,1]";
+  if t.inter_xact_loc < 0.0 || t.inter_xact_loc > 1.0 then
+    invalid_arg "Xact_params: inter_xact_loc outside [0,1]";
+  if t.inter_xact_set_size < 0 then
+    invalid_arg "Xact_params: inter_xact_set_size < 0";
+  if t.update_delay < 0.0 || t.internal_delay < 0.0 || t.external_delay < 0.0
+  then invalid_arg "Xact_params: negative delay"

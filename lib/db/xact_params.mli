@@ -1,0 +1,38 @@
+(** Transaction-type parameters (paper Table 2).
+
+    A transaction is the Figure 3 loop: [transaction_size] iterations of
+    ReadObject, UserDelay(UpdateDelay), UpdateObject, UserDelay(InternalDelay),
+    then commit.  UpdateObject updates each atom of the object just read with
+    probability [prob_write], so the write set is always a subset of the read
+    set.  Inter-transaction reference locality is modeled with the
+    [InterXactSet]: each ReadObject picks an object from the set of recently
+    read objects with probability [inter_xact_loc]. *)
+
+type t = {
+  min_xact_size : int;  (** [MinXactSize]: minimum ReadObject count *)
+  max_xact_size : int;  (** [MaxXactSize]: maximum ReadObject count *)
+  prob_write : float;  (** [ProbWrite]: per-atom update probability *)
+  update_delay : float;
+      (** [UpdateDelay]: mean think time between read and update (s) *)
+  internal_delay : float;
+      (** [InternalDelay]: mean think time per loop iteration (s) *)
+  external_delay : float;
+      (** [ExternalDelay]: mean think time between transactions (s) *)
+  inter_xact_set_size : int;
+      (** [InterXactSetSize]: capacity of the recent-objects set *)
+  inter_xact_loc : float;
+      (** [InterXactLoc]: probability a read comes from the set *)
+}
+
+(** Short batch transactions of the paper's Table 5 (4–12 reads, no think
+    time, 1 s external delay, set size 20).  Vary with the [?prob_write] and
+    [?inter_xact_loc] arguments. *)
+val short_batch : ?prob_write:float -> ?inter_xact_loc:float -> unit -> t
+
+(** Large batch transactions of §5.2 (20–60 reads). *)
+val large_batch : ?prob_write:float -> ?inter_xact_loc:float -> unit -> t
+
+(** Interactive transactions of §5.5 (UpdateDelay 5 s, InternalDelay 2 s). *)
+val interactive : ?prob_write:float -> ?inter_xact_loc:float -> unit -> t
+
+val validate : t -> unit

@@ -1,0 +1,109 @@
+type run_opts = {
+  warmup : int;
+  measured : int;
+  reps : int;
+  seed : int;
+  max_sim_time : float;
+}
+
+let default_opts =
+  { warmup = 200; measured = 1500; reps = 1; seed = 42; max_sim_time = 100_000.0 }
+
+let quick_opts =
+  { warmup = 100; measured = 600; reps = 1; seed = 42; max_sim_time = 100_000.0 }
+
+type metric = Response_time | Throughput
+
+type series = { label : string; points : (float * Core.Simulator.result) list }
+
+type figure = {
+  fig_id : string;
+  title : string;
+  xlabel : string;
+  metric : metric;
+  series : series list;
+}
+
+let metric_value m (r : Core.Simulator.result) =
+  match m with
+  | Response_time -> r.Core.Simulator.mean_response
+  | Throughput -> r.Core.Simulator.throughput
+
+type runner = {
+  opts : run_opts;
+  cache : (string, Core.Simulator.result) Hashtbl.t;
+  mutable executed : int;
+}
+
+let make_runner opts = { opts; cache = Hashtbl.create 64; executed = 0 }
+
+(* Specs are keyed by their observable parameters; two figures asking for
+   the same simulation share one run. *)
+let key_of_spec (s : Core.Simulator.spec) =
+  let cfg = s.Core.Simulator.cfg in
+  let xp = s.Core.Simulator.xact_params in
+  let dbp = s.Core.Simulator.db_params in
+  Printf.sprintf
+    "%s|nc=%d|smips=%g|nd=%g|cache=%d|buf=%d|mpl=%d|logd=%d|spp=%d|cpp=%d|idc=%d|seek=%g-%g|tran=%g|msg=%d|size=%d-%d|pw=%g|ud=%g|id=%g|ed=%g|loc=%g|set=%d|cls=%dx%d|os=%d|cf=%g|async=%b"
+    (Core.Proto.algorithm_name s.Core.Simulator.algo)
+    cfg.Core.Sys_params.n_clients cfg.Core.Sys_params.server_mips
+    cfg.Core.Sys_params.net.Net.Network.net_delay cfg.Core.Sys_params.cache_size
+    cfg.Core.Sys_params.buffer_size cfg.Core.Sys_params.mpl
+    cfg.Core.Sys_params.n_log_disks cfg.Core.Sys_params.server_proc_inst
+    cfg.Core.Sys_params.client_proc_inst cfg.Core.Sys_params.init_disk_inst
+    cfg.Core.Sys_params.disk.Storage.Disk.seek_low
+    cfg.Core.Sys_params.disk.Storage.Disk.seek_high
+    cfg.Core.Sys_params.disk.Storage.Disk.transfer_time
+    cfg.Core.Sys_params.net.Net.Network.msg_inst xp.Db.Xact_params.min_xact_size
+    xp.Db.Xact_params.max_xact_size xp.Db.Xact_params.prob_write
+    xp.Db.Xact_params.update_delay xp.Db.Xact_params.internal_delay
+    xp.Db.Xact_params.external_delay xp.Db.Xact_params.inter_xact_loc
+    xp.Db.Xact_params.inter_xact_set_size dbp.Db.Db_params.n_classes
+    (if dbp.Db.Db_params.n_classes > 0 then dbp.Db.Db_params.n_pages.(0) else 0)
+    (if dbp.Db.Db_params.n_classes > 0 then dbp.Db.Db_params.object_size.(0)
+     else 0)
+    dbp.Db.Db_params.cluster_factor
+    cfg.Core.Sys_params.process_async_during_think
+  ^ Printf.sprintf "|sda=%b|rp=%s|cg=%g" cfg.Core.Sys_params.stale_drop_all
+      (match cfg.Core.Sys_params.restart_policy with
+      | Core.Sys_params.Adaptive -> "adaptive"
+      | Core.Sys_params.Fixed f -> Printf.sprintf "fixed%g" f
+      | Core.Sys_params.Immediate -> "immediate")
+      cfg.Core.Sys_params.callback_grace
+  ^ Printf.sprintf "|crw=%b" cfg.Core.Sys_params.callback_retain_writes
+  ^ (match s.Core.Simulator.mix with
+    | None -> ""
+    | Some mix ->
+        "|mix="
+        ^ String.concat "+"
+            (List.map
+               (fun (w, (xp : Db.Xact_params.t)) ->
+                 Printf.sprintf "%g*%d-%d-pw%g-loc%g" w
+                   xp.Db.Xact_params.min_xact_size xp.Db.Xact_params.max_xact_size
+                   xp.Db.Xact_params.prob_write xp.Db.Xact_params.inter_xact_loc)
+               mix))
+  ^ (match cfg.Core.Sys_params.notify_updates with
+    | None -> ""
+    | Some Core.Proto.Push -> "|nu=push"
+    | Some Core.Proto.Invalidate -> "|nu=inval")
+
+let run t spec =
+  let spec =
+    {
+      spec with
+      Core.Simulator.seed = t.opts.seed;
+      warmup_commits = t.opts.warmup;
+      measured_commits = t.opts.measured;
+      max_sim_time = t.opts.max_sim_time;
+    }
+  in
+  let key = key_of_spec spec in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      let r = Core.Simulator.run_replicated spec ~reps:t.opts.reps in
+      t.executed <- t.executed + 1;
+      Hashtbl.replace t.cache key r;
+      r
+
+let runs_executed t = t.executed

@@ -1,0 +1,47 @@
+(** Shared experiment-harness vocabulary: figures, series, run options, and
+    a memoizing runner so figures that share underlying simulations (e.g.
+    a response-time figure and its throughput twin) reuse results. *)
+
+type run_opts = {
+  warmup : int;  (** warmup commits before the measurement window *)
+  measured : int;  (** commits measured per run *)
+  reps : int;  (** independent replications averaged *)
+  seed : int;
+  max_sim_time : float;
+}
+
+(** 200 warmup + 1500 measured commits, 1 rep — a few seconds per figure. *)
+val default_opts : run_opts
+
+(** 100 + 600 commits: smoke-test speed, noisier numbers. *)
+val quick_opts : run_opts
+
+(** What a figure plots. *)
+type metric = Response_time | Throughput
+
+type series = {
+  label : string;  (** algorithm name *)
+  points : (float * Core.Simulator.result) list;  (** x value, full result *)
+}
+
+type figure = {
+  fig_id : string;  (** e.g. "fig9(b)" *)
+  title : string;
+  xlabel : string;
+  metric : metric;
+  series : series list;
+}
+
+val metric_value : metric -> Core.Simulator.result -> float
+
+(** A memoizing simulation runner. *)
+type runner
+
+val make_runner : run_opts -> runner
+
+(** [run runner spec] — run (or reuse) the simulation for [spec]; the
+    spec's warmup/measured/seed fields are overridden from the options. *)
+val run : runner -> Core.Simulator.spec -> Core.Simulator.result
+
+(** Number of distinct simulations executed so far. *)
+val runs_executed : runner -> int

@@ -1,0 +1,127 @@
+open Exp_defs
+
+let metric_name = function
+  | Response_time -> "response time (s)"
+  | Throughput -> "throughput (commits/s)"
+
+let print_figure ?(detail = false) fmt (fig : figure) =
+  Format.fprintf fmt "@.== %s: %s ==@." fig.fig_id fig.title;
+  Format.fprintf fmt "   metric: %s@." (metric_name fig.metric);
+  let labels = List.map (fun s -> s.label) fig.series in
+  Format.fprintf fmt "   %-8s" fig.xlabel;
+  List.iter (Format.fprintf fmt " %14s") labels;
+  Format.fprintf fmt "@.";
+  let xs =
+    match fig.series with [] -> [] | s :: _ -> List.map fst s.points
+  in
+  List.iter
+    (fun x ->
+      Format.fprintf fmt "   %-8g" x;
+      List.iter
+        (fun s ->
+          match List.assoc_opt x s.points with
+          | Some r ->
+              Format.fprintf fmt " %14.3f" (metric_value fig.metric r)
+          | None -> Format.fprintf fmt " %14s" "-")
+        fig.series;
+      Format.fprintf fmt "@.")
+    xs;
+  if detail then begin
+    Format.fprintf fmt "   -- per-cell detail (aborts | hit ratio | msgs/commit)@.";
+    List.iter
+      (fun x ->
+        Format.fprintf fmt "   %-8g" x;
+        List.iter
+          (fun s ->
+            match List.assoc_opt x s.points with
+            | Some r ->
+                Format.fprintf fmt " %4d %4.2f %5.1f"
+                  r.Core.Simulator.aborts r.Core.Simulator.hit_ratio
+                  r.Core.Simulator.msgs_per_commit
+            | None -> Format.fprintf fmt " %14s" "-")
+          fig.series;
+        Format.fprintf fmt "@.")
+      xs
+  end
+
+let print_decision_map fmt (m : Suite.decision_map) =
+  Format.fprintf fmt
+    "@.== fig13: best algorithm by locality and write probability (50 \
+     clients) ==@.";
+  Format.fprintf fmt "   %-8s" "pw\\loc";
+  List.iter (Format.fprintf fmt " %10.2f") m.Suite.localities;
+  Format.fprintf fmt "@.";
+  List.iteri
+    (fun i pw ->
+      Format.fprintf fmt "   %-8.2f" pw;
+      Array.iter (Format.fprintf fmt " %10s") m.Suite.winners.(i);
+      Format.fprintf fmt "@.")
+    m.Suite.write_probs
+
+let print_output ?detail fmt = function
+  | Suite.Figures figs -> List.iter (print_figure ?detail fmt) figs
+  | Suite.Map m -> print_decision_map fmt m
+
+let figure_csv (fig : figure) =
+  let header = "fig_id,metric,x,algorithm,value,aborts,hit_ratio,msgs_per_commit" in
+  let rows =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (x, r) ->
+            Printf.sprintf "%s,%s,%g,%s,%.4f,%d,%.3f,%.2f" fig.fig_id
+              (match fig.metric with
+              | Response_time -> "response"
+              | Throughput -> "throughput")
+              x s.label
+              (metric_value fig.metric r)
+              r.Core.Simulator.aborts r.Core.Simulator.hit_ratio
+              r.Core.Simulator.msgs_per_commit)
+          s.points)
+      fig.series
+  in
+  header :: rows
+
+let sanitize id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    id
+
+let write_gnuplot ~dir (fig : figure) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let base = sanitize fig.fig_id in
+  let dat = Filename.concat dir (base ^ ".dat") in
+  let gp = Filename.concat dir (base ^ ".gp") in
+  let oc = open_out dat in
+  Printf.fprintf oc "# %s — %s\n# %s" fig.fig_id fig.title fig.xlabel;
+  List.iter (fun s -> Printf.fprintf oc "\t%S" s.label) fig.series;
+  output_char oc '\n';
+  let xs = match fig.series with [] -> [] | s :: _ -> List.map fst s.points in
+  List.iter
+    (fun x ->
+      Printf.fprintf oc "%g" x;
+      List.iter
+        (fun s ->
+          match List.assoc_opt x s.points with
+          | Some r -> Printf.fprintf oc "\t%.6f" (metric_value fig.metric r)
+          | None -> output_string oc "\t-")
+        fig.series;
+      output_char oc '\n')
+    xs;
+  close_out oc;
+  let oc = open_out gp in
+  Printf.fprintf oc
+    "set terminal pngcairo size 720,480\nset output %S\nset title %S\n\
+     set xlabel %S\nset ylabel %S\nset key top left\nset grid\nplot \\\n"
+    (base ^ ".png") fig.title fig.xlabel (metric_name fig.metric);
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc "  %S using 1:%d with linespoints title %S%s\n"
+        (base ^ ".dat") (i + 2) s.label
+        (if i = List.length fig.series - 1 then "" else ", \\"))
+    fig.series;
+  close_out oc;
+  gp

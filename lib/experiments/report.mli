@@ -1,0 +1,20 @@
+(** Rendering of experiment outputs as the paper-style tables the bench
+    harness prints, plus CSV for external plotting. *)
+
+(** Print one figure as a table: one row per x value, one column per
+    algorithm.  [detail] adds abort/hit/message columns. *)
+val print_figure : ?detail:bool -> Format.formatter -> Exp_defs.figure -> unit
+
+(** Print the Figure 13 winner grid. *)
+val print_decision_map : Format.formatter -> Suite.decision_map -> unit
+
+val print_output : ?detail:bool -> Format.formatter -> Suite.output -> unit
+
+(** CSV lines for a figure: header then
+    [fig_id,metric,x,label,value,aborts,hit_ratio,msgs_per_commit]. *)
+val figure_csv : Exp_defs.figure -> string list
+
+(** [write_gnuplot ~dir fig] writes [<id>.dat] (x column plus one column
+    per series) and a ready-to-run [<id>.gp] script into [dir] (created if
+    missing).  Returns the script path. *)
+val write_gnuplot : dir:string -> Exp_defs.figure -> string

@@ -1,0 +1,50 @@
+type params = { net_delay : float; packet_size : int; msg_inst : int }
+
+let default_params = { net_delay = 0.002; packet_size = 4096; msg_inst = 5000 }
+
+type t = {
+  eng : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  prm : params;
+  wire : Sim.Facility.t;
+  mutable msgs : int;
+  mutable pkts : int;
+}
+
+let create eng ~rng prm =
+  if prm.packet_size <= 0 then invalid_arg "Network.create: packet_size <= 0";
+  if prm.net_delay < 0.0 then invalid_arg "Network.create: net_delay < 0";
+  {
+    eng;
+    rng;
+    prm;
+    wire = Sim.Facility.create eng ~name:"network" ();
+    msgs = 0;
+    pkts = 0;
+  }
+
+let params t = t.prm
+
+let packets_for t ~bytes =
+  if bytes <= 0 then 1 else (bytes + t.prm.packet_size - 1) / t.prm.packet_size
+
+let post t ~bytes ~deliver =
+  let n = packets_for t ~bytes in
+  t.msgs <- t.msgs + 1;
+  Sim.Engine.spawn t.eng (fun () ->
+      for _ = 1 to n do
+        t.pkts <- t.pkts + 1;
+        let service = Sim.Rng.exponential t.rng ~mean:t.prm.net_delay in
+        Sim.Facility.use t.wire service
+      done;
+      deliver ())
+
+let messages_sent t = t.msgs
+let packets_sent t = t.pkts
+let utilization t = Sim.Facility.utilization t.wire
+let mean_queue_length t = Sim.Facility.mean_queue_length t.wire
+
+let reset_stats t =
+  t.msgs <- 0;
+  t.pkts <- 0;
+  Sim.Facility.reset_stats t.wire

@@ -1,0 +1,49 @@
+(** Network manager (paper §3.3.1).
+
+    Clients and server share one FCFS medium (a 1990 Ethernet).  Messages
+    are split into packets of at most [packet_size] bytes; every packet
+    occupies the wire for an exponentially distributed time with mean
+    [net_delay].  Per-packet CPU send/receive costs ([MsgCost]) are charged
+    by the caller on the endpoint CPUs — the network only models the wire.
+
+    [net_delay = 0] models the infinitely fast network of §5.4: packets
+    still count (for statistics) but take no simulated time. *)
+
+type params = {
+  net_delay : float;  (** [NetDelay]: mean per-packet wire time (s) *)
+  packet_size : int;  (** [PacketSize]: max bytes per packet *)
+  msg_inst : int;  (** [MsgCost]: instructions to send or receive a packet *)
+}
+
+val default_params : params
+
+type t
+
+(** [create eng ~rng params] is an idle network. *)
+val create : Sim.Engine.t -> rng:Sim.Rng.t -> params -> t
+
+val params : t -> params
+
+(** Packets needed for a message body of [bytes] (at least 1). *)
+val packets_for : t -> bytes:int -> int
+
+(** [post t ~bytes ~deliver] transmits a message asynchronously: the caller
+    returns immediately; a transfer process sends each packet over the wire
+    in FCFS order, then invokes [deliver] (typically: charge receive CPU and
+    enqueue into the destination mailbox).  [deliver] runs inside a fresh
+    process and may block. *)
+val post : t -> bytes:int -> deliver:(unit -> unit) -> unit
+
+(** Messages posted. *)
+val messages_sent : t -> int
+
+(** Packets transmitted (or begun). *)
+val packets_sent : t -> int
+
+(** Wire utilization over the measurement window. *)
+val utilization : t -> float
+
+(** Time-average number of packets queued for the wire. *)
+val mean_queue_length : t -> float
+
+val reset_stats : t -> unit

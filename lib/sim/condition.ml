@@ -1,0 +1,19 @@
+type t = { _eng : Engine.t; queue : (unit -> unit) Queue.t }
+
+let create eng = { _eng = eng; queue = Queue.create () }
+let waiters c = Queue.length c.queue
+let await c = Engine.suspend (fun resume -> Queue.add resume c.queue)
+
+let signal c =
+  match Queue.take_opt c.queue with
+  | None -> false
+  | Some resume ->
+      resume ();
+      true
+
+let broadcast c =
+  let n = Queue.length c.queue in
+  for _ = 1 to n do
+    (Queue.take c.queue) ()
+  done;
+  n

@@ -1,0 +1,23 @@
+(** Condition variables for simulation processes.
+
+    A condition is a FIFO queue of blocked processes.  Unlike OS condition
+    variables there is no associated mutex — the simulation is cooperatively
+    scheduled, so state updates between suspension points are atomic. *)
+
+type t
+
+(** [create eng] is a condition with no waiters. *)
+val create : Engine.t -> t
+
+(** Number of processes currently blocked. *)
+val waiters : t -> int
+
+(** Block the calling process until signalled. *)
+val await : t -> unit
+
+(** Wake the longest-waiting process, if any.  Returns [true] if one was
+    woken. *)
+val signal : t -> bool
+
+(** Wake every waiting process (in FIFO order).  Returns how many. *)
+val broadcast : t -> int

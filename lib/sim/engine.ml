@@ -1,0 +1,105 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Hold : float -> unit Effect.t
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+exception Process_exit
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  heap : event Heap.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+  mutable spawned : int;
+  mutable stopping : bool;
+}
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    heap = Heap.create ~cmp:compare_event;
+    clock = 0.0;
+    seq = 0;
+    executed = 0;
+    spawned = 0;
+    stopping = false;
+  }
+
+let now t = t.clock
+let events_executed t = t.executed
+let processes_spawned t = t.spawned
+
+let schedule t ~at fn =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock);
+  t.seq <- t.seq + 1;
+  Heap.add t.heap { time = at; seq = t.seq; run = fn }
+
+(* The handler is deep, so it stays installed across every resumption of the
+   process: [Hold] reschedules the continuation later in time and [Suspend]
+   hands a one-shot resumer to user code (conditions, mailboxes, ...). *)
+let spawn t ?at ?name body =
+  ignore name;
+  let at = Option.value at ~default:t.clock in
+  t.spawned <- t.spawned + 1;
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = (function Process_exit -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Hold d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if d < 0.0 then
+                    discontinue k (Invalid_argument "Engine.hold: negative")
+                  else schedule t ~at:(t.clock +. d) (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg "Engine: process resumed twice";
+                    resumed := true;
+                    schedule t ~at:t.clock (fun () -> continue k ())
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  schedule t ~at (fun () -> match_with body () handler)
+
+let run t ?until () =
+  let limit = Option.value until ~default:Float.infinity in
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Heap.peek t.heap with
+      | None -> ()
+      | Some ev when ev.time > limit -> t.clock <- limit
+      | Some _ -> (
+          match Heap.pop t.heap with
+          | None -> ()
+          | Some ev ->
+              t.clock <- ev.time;
+              t.executed <- t.executed + 1;
+              ev.run ();
+              loop ())
+  in
+  loop ();
+  t.clock
+
+let stop t = t.stopping <- true
+let hold d = perform (Hold d)
+let suspend register = perform (Suspend register)
+let exit_process () = raise Process_exit

@@ -1,0 +1,61 @@
+(** Process-oriented discrete-event simulation engine.
+
+    This is the substrate the paper built with CSIM: sequential processes
+    that advance a shared simulated clock by holding for amounts of time,
+    blocking on resources, and exchanging messages.  Processes are ordinary
+    OCaml functions run under an effect handler; [hold] and [suspend] are
+    the only two primitive effects, and everything else (conditions,
+    mailboxes, facilities) is built on top of them.
+
+    The simulation is single-threaded and deterministic: events scheduled
+    at equal times fire in scheduling (FIFO) order. *)
+
+type t
+
+(** [create ()] is a fresh engine with clock at time [0.0]. *)
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> float
+
+(** Total number of events executed so far (diagnostics). *)
+val events_executed : t -> int
+
+(** Number of processes spawned so far (diagnostics). *)
+val processes_spawned : t -> int
+
+(** [spawn t ?at ?name body] creates a process executing [body] starting at
+    time [at] (default: now).  Exceptions escaping [body] abort the whole
+    simulation run: they propagate out of {!run}. *)
+val spawn : t -> ?at:float -> ?name:string -> (unit -> unit) -> unit
+
+(** [schedule t ~at fn] runs the plain callback [fn] at time [at].  The
+    callback must not perform process effects; use {!spawn} for that. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [run t ?until ()] executes events in time order until the event queue
+    drains, [stop] is called, or the clock would pass [until] (in which case
+    the clock is left at [until] and remaining events stay queued).
+    Returns the time at which execution stopped. *)
+val run : t -> ?until:float -> unit -> float
+
+(** Request that [run] return after the current event completes. *)
+val stop : t -> unit
+
+(** {1 Process effects}
+
+    These may only be called from inside a process body spawned with
+    {!spawn} (they perform effects handled by the engine). *)
+
+(** Advance this process's local view of time by [dt] simulated seconds.
+    [dt] must be non-negative. *)
+val hold : float -> unit
+
+(** [suspend register] blocks the calling process.  [register] is called
+    immediately with a [resume] function; stash it somewhere and call it
+    (at most once) to reschedule the process at the then-current simulated
+    time.  Calling [resume] twice raises [Invalid_argument]. *)
+val suspend : ((unit -> unit) -> unit) -> unit
+
+(** Terminate the calling process immediately. *)
+val exit_process : unit -> 'a

@@ -1,0 +1,54 @@
+(** FCFS facilities — CSIM-style queueing resources.
+
+    A facility has [capacity] identical service units.  A process acquires
+    a unit with {!request} (blocking FCFS if all units are busy), holds it
+    for its service time, and gives it back with {!release}.  The common
+    pattern is wrapped by {!use}.
+
+    Facilities keep the queueing statistics the paper reports:
+    utilization, mean queue length, and throughput. *)
+
+type t
+
+(** [create eng ~name ?capacity ()] is an idle facility ([capacity]
+    defaults to 1). *)
+val create : Engine.t -> name:string -> ?capacity:int -> unit -> t
+
+val name : t -> string
+val capacity : t -> int
+
+(** Units currently held. *)
+val in_use : t -> int
+
+(** Processes blocked waiting for a unit. *)
+val queue_length : t -> int
+
+(** Acquire one unit, blocking FCFS if none is free. *)
+val request : t -> unit
+
+(** Return one unit; the longest-waiting blocked process (if any) inherits
+    it without the unit ever appearing free. *)
+val release : t -> unit
+
+(** [use f dt] = request, hold [dt], release — one complete service. *)
+val use : t -> float -> unit
+
+(** {1 Statistics}
+
+    All statistics cover the window since [create] or the last
+    {!reset_stats}. *)
+
+(** Fraction of total unit-time spent busy, in [0, 1]. *)
+val utilization : t -> float
+
+(** Time-average number of processes waiting (not in service). *)
+val mean_queue_length : t -> float
+
+(** Completed services. *)
+val completions : t -> int
+
+(** Total service time delivered across all completions. *)
+val total_service_time : t -> float
+
+(** Forget history and start a fresh measurement window now. *)
+val reset_stats : t -> unit

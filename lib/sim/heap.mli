@@ -1,0 +1,32 @@
+(** Array-based binary min-heap.
+
+    Used by the simulation engine as its event queue, but generic: ordering
+    is given by the [cmp] function supplied at creation.  All operations are
+    O(log n) except [peek] and [size], which are O(1). *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (a total order returning
+    a negative value when the first argument has higher priority). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+(** Number of elements currently stored. *)
+val size : 'a t -> int
+
+(** [is_empty h] is [size h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** Insert an element. *)
+val add : 'a t -> 'a -> unit
+
+(** Minimum element, if any, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the minimum element. *)
+val pop : 'a t -> 'a option
+
+(** Remove all elements. *)
+val clear : 'a t -> unit
+
+(** Elements in no particular order (for tests and diagnostics). *)
+val to_list : 'a t -> 'a list

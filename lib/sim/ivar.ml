@@ -1,0 +1,29 @@
+type 'a t = {
+  mutable value : 'a option;
+  mutable waiters : (unit -> unit) list;
+}
+
+let create (_ : Engine.t) = { value = None; waiters = [] }
+
+let try_fill t v =
+  match t.value with
+  | Some _ -> false
+  | None ->
+      t.value <- Some v;
+      let ws = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun resume -> resume ()) ws;
+      true
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let rec read t =
+  match t.value with
+  | Some v -> v
+  | None ->
+      Engine.suspend (fun resume -> t.waiters <- resume :: t.waiters);
+      read t
+
+let peek t = t.value
+let is_filled t = Option.is_some t.value

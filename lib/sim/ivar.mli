@@ -1,0 +1,23 @@
+(** Single-assignment synchronization cells.
+
+    An ivar starts empty; [fill] writes the value exactly once and wakes all
+    blocked readers.  Readers that arrive later return immediately.  This is
+    the primitive used for request/reply rendezvous where the reply may come
+    from either of two places (e.g. a lock grant or a deadlock abort). *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+(** [fill t v] sets the value and wakes readers.  Raises [Invalid_argument]
+    if already filled. *)
+val fill : 'a t -> 'a -> unit
+
+(** [try_fill t v] is like [fill] but returns [false] instead of raising. *)
+val try_fill : 'a t -> 'a -> bool
+
+(** Block until filled, then return the value. *)
+val read : 'a t -> 'a
+
+val peek : 'a t -> 'a option
+val is_filled : 'a t -> bool

@@ -1,0 +1,25 @@
+type 'a t = {
+  _eng : Engine.t;
+  msgs : 'a Queue.t;
+  blocked : (unit -> unit) Queue.t;
+}
+
+let create eng = { _eng = eng; msgs = Queue.create (); blocked = Queue.create () }
+let pending mb = Queue.length mb.msgs
+
+let send mb v =
+  Queue.add v mb.msgs;
+  match Queue.take_opt mb.blocked with
+  | Some resume -> resume ()
+  | None -> ()
+
+(* A woken receiver may find the mailbox drained by another receiver that was
+   woken first at the same instant, hence the retry loop. *)
+let rec recv mb =
+  match Queue.take_opt mb.msgs with
+  | Some v -> v
+  | None ->
+      Engine.suspend (fun resume -> Queue.add resume mb.blocked);
+      recv mb
+
+let recv_opt mb = Queue.take_opt mb.msgs

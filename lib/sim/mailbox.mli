@@ -1,0 +1,22 @@
+(** Unbounded FIFO mailboxes between simulation processes.
+
+    [send] never blocks; [recv] blocks until a message is available.
+    Multiple receivers are allowed; messages are delivered in FIFO order to
+    whichever receiver wins the race (deterministically, in resume order). *)
+
+type 'a t
+
+(** [create eng] is an empty mailbox. *)
+val create : Engine.t -> 'a t
+
+(** Messages queued and not yet received. *)
+val pending : 'a t -> int
+
+(** Enqueue a message and wake one blocked receiver, if any. *)
+val send : 'a t -> 'a -> unit
+
+(** Dequeue the oldest message, blocking if the mailbox is empty. *)
+val recv : 'a t -> 'a
+
+(** Dequeue the oldest message if one is available, without blocking. *)
+val recv_opt : 'a t -> 'a option

@@ -1,0 +1,119 @@
+type t = {
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { n = 0; mean_acc = 0.0; m2 = 0.0; sum = 0.0; vmin = infinity; vmax = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.vmin then t.vmin <- x;
+  if x > t.vmax then t.vmax <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.mean_acc
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then 0.0 else t.vmin
+let max_value t = if t.n = 0 then 0.0 else t.vmax
+
+let reset t =
+  t.n <- 0;
+  t.mean_acc <- 0.0;
+  t.m2 <- 0.0;
+  t.sum <- 0.0;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean_acc -. a.mean_acc in
+    let mean_acc =
+      a.mean_acc +. (delta *. float_of_int b.n /. float_of_int n)
+    in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    {
+      n;
+      mean_acc;
+      m2;
+      sum = a.sum +. b.sum;
+      vmin = Float.min a.vmin b.vmin;
+      vmax = Float.max a.vmax b.vmax;
+    }
+  end
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr ?(by = 1) t = t.v <- t.v + by
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Samples = struct
+  type t = {
+    cap : int;
+    mutable data : float array;
+    mutable len : int;
+    mutable sorted : bool;
+  }
+
+  let create ?(capacity = 1_000_000) () =
+    { cap = capacity; data = [||]; len = 0; sorted = true }
+
+  let add t x =
+    if t.len < t.cap then begin
+      if t.len >= Array.length t.data then begin
+        let ncap = max 64 (2 * Array.length t.data) in
+        let ndata = Array.make (min ncap t.cap) 0.0 in
+        Array.blit t.data 0 ndata 0 t.len;
+        t.data <- ndata
+      end;
+      t.data.(t.len) <- x;
+      t.len <- t.len + 1;
+      t.sorted <- false
+    end
+
+  let count t = t.len
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Samples.quantile: q outside [0,1]";
+    if t.len = 0 then 0.0
+    else begin
+      if not t.sorted then begin
+        let sub = Array.sub t.data 0 t.len in
+        Array.sort Float.compare sub;
+        Array.blit sub 0 t.data 0 t.len;
+        t.sorted <- true
+      end;
+      let pos = q *. float_of_int (t.len - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = int_of_float (Float.ceil pos) in
+      if lo = hi then t.data.(lo)
+      else begin
+        let w = pos -. float_of_int lo in
+        ((1.0 -. w) *. t.data.(lo)) +. (w *. t.data.(hi))
+      end
+    end
+
+  let reset t =
+    t.len <- 0;
+    t.sorted <- true
+end

@@ -1,0 +1,64 @@
+(** Online statistics accumulators for simulation measurements. *)
+
+(** {1 Sample statistics (Welford)} *)
+
+type t
+
+(** A fresh, empty accumulator. *)
+val create : unit -> t
+
+(** Record one observation. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+
+(** Arithmetic mean ([0.0] when empty). *)
+val mean : t -> float
+
+(** Unbiased sample variance ([0.0] with fewer than two observations). *)
+val variance : t -> float
+
+(** Square root of {!variance}. *)
+val stddev : t -> float
+
+val min_value : t -> float
+val max_value : t -> float
+
+(** Drop all observations. *)
+val reset : t -> unit
+
+(** [merge a b] is a fresh accumulator equivalent to observing both
+    streams. *)
+val merge : t -> t -> t
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** {1 Sample sets with exact quantiles}
+
+    Stores observations (up to a capacity, default 1_000_000) and computes
+    exact order statistics — fine at simulation scale, where a measurement
+    window holds a few thousand response times. *)
+
+module Samples : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [quantile t q] with [q] in [0, 1]; [0.0] when empty.  Linear
+      interpolation between order statistics. *)
+  val quantile : t -> float -> float
+
+  val reset : t -> unit
+end

@@ -1,0 +1,49 @@
+type params = { seek_low : float; seek_high : float; transfer_time : float }
+
+let default_params = { seek_low = 0.0; seek_high = 0.044; transfer_time = 0.002 }
+
+type t = {
+  rng : Sim.Rng.t;
+  prm : params;
+  dname : string;
+  fac : Sim.Facility.t;
+  mutable n_access : int;
+  mutable n_pages : int;
+}
+
+let create eng ~rng ~name prm =
+  if prm.seek_low < 0.0 || prm.seek_high < prm.seek_low then
+    invalid_arg "Disk.create: bad seek range";
+  if prm.transfer_time < 0.0 then invalid_arg "Disk.create: bad transfer time";
+  {
+    rng;
+    prm;
+    dname = name;
+    fac = Sim.Facility.create eng ~name ();
+    n_access = 0;
+    n_pages = 0;
+  }
+
+let name t = t.dname
+
+let access t ~seeks ~pages =
+  if seeks < 0 || pages < 0 then invalid_arg "Disk.access: negative count";
+  let seek_time = ref 0.0 in
+  for _ = 1 to seeks do
+    seek_time :=
+      !seek_time +. Sim.Rng.uniform_float t.rng t.prm.seek_low t.prm.seek_high
+  done;
+  let service = !seek_time +. (float_of_int pages *. t.prm.transfer_time) in
+  t.n_access <- t.n_access + 1;
+  t.n_pages <- t.n_pages + pages;
+  Sim.Facility.use t.fac service
+
+let accesses t = t.n_access
+let pages_transferred t = t.n_pages
+let utilization t = Sim.Facility.utilization t.fac
+let mean_queue_length t = Sim.Facility.mean_queue_length t.fac
+
+let reset_stats t =
+  t.n_access <- 0;
+  t.n_pages <- 0;
+  Sim.Facility.reset_stats t.fac

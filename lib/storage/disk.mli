@@ -1,0 +1,37 @@
+(** A server disk (paper §3.3.2).
+
+    Seek time (including rotation) is uniform in [seek_low, seek_high];
+    each page then transfers in [transfer_time].  Separating the two lets
+    clustered multi-page accesses pay one seek (sequential I/O) and lets
+    the log disk write sequentially with no seek at all.  The disk serves
+    requests FCFS. *)
+
+type params = {
+  seek_low : float;  (** [SeekLow] (s) *)
+  seek_high : float;  (** [SeekHigh] (s) *)
+  transfer_time : float;  (** [DiskTran]: per-page transfer (s) *)
+}
+
+(** Table 5 values: 0–44 ms seek, 2 ms transfer. *)
+val default_params : params
+
+type t
+
+val create : Sim.Engine.t -> rng:Sim.Rng.t -> name:string -> params -> t
+
+val name : t -> string
+
+(** [access t ~seeks ~pages] blocks the calling process for one FCFS
+    service of [seeks] random seeks plus [pages] page transfers.
+    [seeks = 0] models a purely sequential access. *)
+val access : t -> seeks:int -> pages:int -> unit
+
+(** Completed accesses. *)
+val accesses : t -> int
+
+(** Pages transferred. *)
+val pages_transferred : t -> int
+
+val utilization : t -> float
+val mean_queue_length : t -> float
+val reset_stats : t -> unit

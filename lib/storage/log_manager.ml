@@ -1,0 +1,39 @@
+type t = {
+  disk : Disk.t;
+  per_page : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable pages : int;
+}
+
+let create _eng ~disk ?(updates_per_log_page = 8) () =
+  if updates_per_log_page <= 0 then
+    invalid_arg "Log_manager.create: updates_per_log_page <= 0";
+  { disk; per_page = updates_per_log_page; commits = 0; aborts = 0; pages = 0 }
+
+let log_pages_for t ~n_updates =
+  if n_updates < 0 then invalid_arg "Log_manager.log_pages_for: negative";
+  max 1 ((n_updates + t.per_page - 1) / t.per_page)
+
+let force t ~n_updates =
+  let pages = log_pages_for t ~n_updates in
+  t.pages <- t.pages + pages;
+  (* dedicated disk, sequential append: transfers only, no seek *)
+  Disk.access t.disk ~seeks:0 ~pages
+
+let force_commit t ~n_updates =
+  t.commits <- t.commits + 1;
+  force t ~n_updates
+
+let force_abort t ~n_updates =
+  t.aborts <- t.aborts + 1;
+  force t ~n_updates
+
+let commits_logged t = t.commits
+let aborts_logged t = t.aborts
+let log_pages_written t = t.pages
+
+let reset_stats t =
+  t.commits <- 0;
+  t.aborts <- 0;
+  t.pages <- 0

@@ -1,0 +1,32 @@
+(** Log manager (paper §3.3.4).
+
+    Implements the paper's log-based recovery cost model: commits force the
+    transaction's log to a dedicated log disk before the reply is sent
+    (sequential write — no seek), and aborts replay the log, paying data-disk
+    I/O to undo any updated page that was already forced out of the buffer
+    pool.  The manager only models {e costs}; the page images themselves are
+    not materialized. *)
+
+type t
+
+(** [create eng ~disk ?updates_per_log_page ()] writes log records to
+    [disk].  [updates_per_log_page] (default 8) sets how many page-update
+    records fit in one log page. *)
+val create : Sim.Engine.t -> disk:Disk.t -> ?updates_per_log_page:int -> unit -> t
+
+(** Log pages needed to record [n_updates] page updates (minimum 1 — the
+    commit/abort record itself). *)
+val log_pages_for : t -> n_updates:int -> int
+
+(** [force_commit t ~n_updates] blocks for the sequential log write that
+    makes a commit durable. *)
+val force_commit : t -> n_updates:int -> unit
+
+(** [force_abort t ~n_updates] blocks for the (smaller) abort-record
+    write. *)
+val force_abort : t -> n_updates:int -> unit
+
+val commits_logged : t -> int
+val aborts_logged : t -> int
+val log_pages_written : t -> int
+val reset_stats : t -> unit

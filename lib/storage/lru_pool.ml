@@ -1,0 +1,132 @@
+(* Doubly-linked LRU list threaded through a sentinel node, plus a hashtable
+   from page id to node.  [sentinel.next] is the MRU end; [sentinel.prev] is
+   the LRU end. *)
+
+type node = {
+  mutable page : int;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable prev : node;
+  mutable next : node;
+}
+
+type victim = { page : int; dirty : bool }
+
+type t = { cap : int; table : (int, node) Hashtbl.t; sentinel : node }
+
+let make_sentinel () =
+  let rec s = { page = -1; dirty = false; pins = 0; prev = s; next = s } in
+  s
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru_pool.create: capacity <= 0";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    sentinel = make_sentinel ();
+  }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.table
+let mem t page = Hashtbl.mem t.table page
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let touch t page =
+  match Hashtbl.find_opt t.table page with
+  | None -> false
+  | Some n ->
+      unlink n;
+      push_front t n;
+      true
+
+let evict_one t =
+  (* walk from the LRU end, skipping pinned frames *)
+  let rec find n =
+    if n == t.sentinel then failwith "Lru_pool: all frames pinned"
+    else if n.pins = 0 then n
+    else find n.prev
+  in
+  let v = find t.sentinel.prev in
+  unlink v;
+  Hashtbl.remove t.table v.page;
+  { page = v.page; dirty = v.dirty }
+
+let insert t page ~dirty =
+  match Hashtbl.find_opt t.table page with
+  | Some n ->
+      n.dirty <- n.dirty || dirty;
+      unlink n;
+      push_front t n;
+      None
+  | None ->
+      let victim = if size t >= t.cap then Some (evict_one t) else None in
+      let n =
+        {
+          page;
+          dirty;
+          pins = 0;
+          prev = t.sentinel;
+          next = t.sentinel;
+        }
+      in
+      push_front t n;
+      Hashtbl.replace t.table page n;
+      victim
+
+let is_dirty t page =
+  match Hashtbl.find_opt t.table page with Some n -> n.dirty | None -> false
+
+let set_dirty t page d =
+  match Hashtbl.find_opt t.table page with
+  | Some n -> n.dirty <- d
+  | None -> ()
+
+let remove t page =
+  match Hashtbl.find_opt t.table page with
+  | None -> false
+  | Some n ->
+      unlink n;
+      Hashtbl.remove t.table page;
+      n.dirty
+
+let pin t page =
+  match Hashtbl.find_opt t.table page with
+  | Some n -> n.pins <- n.pins + 1
+  | None -> ()
+
+let unpin t page =
+  match Hashtbl.find_opt t.table page with
+  | Some n ->
+      if n.pins <= 0 then invalid_arg "Lru_pool.unpin: not pinned";
+      n.pins <- n.pins - 1
+  | None -> ()
+
+let pin_count t page =
+  match Hashtbl.find_opt t.table page with Some n -> n.pins | None -> 0
+
+let unpin_all t = Hashtbl.iter (fun _ n -> n.pins <- 0) t.table
+
+let pages_mru t =
+  let rec walk n acc =
+    if n == t.sentinel then List.rev acc else walk n.next (n.page :: acc)
+  in
+  walk t.sentinel.next []
+
+let dirty_pages t =
+  Hashtbl.fold
+    (fun p (n : node) acc -> if n.dirty then p :: acc else acc)
+    t.table []
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel

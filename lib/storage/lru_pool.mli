@@ -1,0 +1,59 @@
+(** LRU page pool with pin counts and dirty bits.
+
+    The same structure backs the server buffer pool (§3.3.4) and each
+    client cache (§3.3.3): a fixed number of page frames, least-recently-
+    used replacement, and pinning to keep pages of in-flight operations
+    resident.  Pure data structure — the caller performs whatever I/O or
+    messaging the returned eviction victim requires. *)
+
+type t
+
+(** An evicted page and whether it was dirty when evicted. *)
+type victim = { page : int; dirty : bool }
+
+(** [create ~capacity] is an empty pool of [capacity] frames
+    (raises [Invalid_argument] if non-positive). *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+val size : t -> int
+val mem : t -> int -> bool
+
+(** [touch t page] moves [page] to most-recently-used; [false] on miss. *)
+val touch : t -> int -> bool
+
+(** [insert t page ~dirty] makes [page] resident and most-recently-used.
+    If it was already resident its dirty bit is OR-ed with [dirty].  If a
+    frame had to be freed, the evicted victim is returned.  Raises
+    [Failure] if every frame is pinned (a configuration error: the pool is
+    smaller than the working set it must pin). *)
+val insert : t -> int -> dirty:bool -> victim option
+
+(** Dirty bit of a resident page ([false] on miss). *)
+val is_dirty : t -> int -> bool
+
+val set_dirty : t -> int -> bool -> unit
+
+(** [remove t page] drops the page regardless of pins; no-op on miss.
+    Returns whether the page was dirty. *)
+val remove : t -> int -> bool
+
+(** Pin / unpin a resident page.  Pinned pages are never evicted.
+    No-ops on miss; [unpin] below zero raises. *)
+val pin : t -> int -> unit
+
+val unpin : t -> int -> unit
+val pin_count : t -> int -> int
+
+(** Unpin every page (end-of-transaction convenience). *)
+val unpin_all : t -> unit
+
+(** Resident pages, most recently used first. *)
+val pages_mru : t -> int list
+
+(** Resident dirty pages (unordered). *)
+val dirty_pages : t -> int list
+
+(** Drop everything (intra-transaction caching invalidates the whole cache
+    on transaction boundaries). *)
+val clear : t -> unit

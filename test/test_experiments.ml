@@ -1,0 +1,136 @@
+(* Tests for the experiment harness (lib/experiments). *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let tiny_opts =
+  {
+    Experiments.Exp_defs.warmup = 20;
+    measured = 100;
+    reps = 1;
+    seed = 5;
+    max_sim_time = 10_000.0;
+  }
+
+let tiny_spec ?(algo = Core.Proto.Two_phase Core.Proto.Inter) ?(n_clients = 4) () =
+  {
+    Core.Simulator.cfg = Core.Sys_params.table5 ~n_clients ();
+    db_params = Db.Db_params.uniform ~n_classes:40 ~pages_per_class:50 ();
+    xact_params = Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.5 ();
+    mix = None;
+    algo;
+    seed = 0;
+    warmup_commits = 0;
+    measured_commits = 0;
+    max_sim_time = 0.0;
+  }
+
+let test_runner_memoizes () =
+  let runner = Experiments.Exp_defs.make_runner tiny_opts in
+  let r1 = Experiments.Exp_defs.run runner (tiny_spec ()) in
+  let r2 = Experiments.Exp_defs.run runner (tiny_spec ()) in
+  Alcotest.(check int) "one simulation executed" 1
+    (Experiments.Exp_defs.runs_executed runner);
+  Alcotest.(check (float 0.0)) "same result" r1.Core.Simulator.mean_response
+    r2.Core.Simulator.mean_response
+
+let test_runner_distinguishes_specs () =
+  let runner = Experiments.Exp_defs.make_runner tiny_opts in
+  ignore (Experiments.Exp_defs.run runner (tiny_spec ()));
+  ignore (Experiments.Exp_defs.run runner (tiny_spec ~algo:Core.Proto.Callback ()));
+  ignore (Experiments.Exp_defs.run runner (tiny_spec ~n_clients:6 ()));
+  Alcotest.(check int) "three distinct runs" 3
+    (Experiments.Exp_defs.runs_executed runner)
+
+let test_runner_distinguishes_knobs () =
+  let runner = Experiments.Exp_defs.make_runner tiny_opts in
+  let base = tiny_spec () in
+  ignore (Experiments.Exp_defs.run runner base);
+  let variant =
+    {
+      base with
+      Core.Simulator.cfg =
+        { base.Core.Simulator.cfg with Core.Sys_params.stale_drop_all = false };
+    }
+  in
+  ignore (Experiments.Exp_defs.run runner variant);
+  Alcotest.(check int) "knob changes the key" 2
+    (Experiments.Exp_defs.runs_executed runner)
+
+let test_figure_csv_shape () =
+  let runner = Experiments.Exp_defs.make_runner tiny_opts in
+  let r = Experiments.Exp_defs.run runner (tiny_spec ()) in
+  let fig =
+    {
+      Experiments.Exp_defs.fig_id = "figX";
+      title = "test";
+      xlabel = "clients";
+      metric = Experiments.Exp_defs.Response_time;
+      series = [ { Experiments.Exp_defs.label = "2PL"; points = [ (4.0, r) ] } ];
+    }
+  in
+  match Experiments.Report.figure_csv fig with
+  | [ header; row ] ->
+      Alcotest.(check string) "header"
+        "fig_id,metric,x,algorithm,value,aborts,hit_ratio,msgs_per_commit"
+        header;
+      Alcotest.(check bool) "row prefix" true
+        (String.length row > 10 && String.sub row 0 5 = "figX,")
+  | lines -> Alcotest.failf "expected 2 csv lines, got %d" (List.length lines)
+
+let test_experiment_catalog () =
+  Alcotest.(check bool) "all experiments present" true
+    (List.length Experiments.Suite.all >= 20);
+  List.iter
+    (fun id ->
+      match Experiments.Suite.find id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "experiment %s missing" id)
+    [ "acl"; "fig5"; "fig9"; "fig13"; "fig22"; "ablate-stale"; "ext-objsize" ];
+  Alcotest.(check (option reject)) "unknown id" None
+    (Option.map (fun _ -> ()) (Experiments.Suite.find "nope"))
+
+let test_fig13_runs_quick () =
+  (* the decision map exercises the full grid; run it at tiny depth *)
+  let runner = Experiments.Exp_defs.make_runner
+      { tiny_opts with Experiments.Exp_defs.measured = 60; warmup = 10 }
+  in
+  match Experiments.Suite.fig13 runner with
+  | Experiments.Suite.Map m ->
+      Alcotest.(check int) "rows" 5 (Array.length m.Experiments.Suite.winners);
+      Array.iter
+        (fun row ->
+          Array.iter
+            (fun w ->
+              if not (List.mem w [ "2PL"; "callback"; "either" ]) then
+                Alcotest.failf "unexpected winner %s" w)
+            row)
+        m.Experiments.Suite.winners
+  | Experiments.Suite.Figures _ -> Alcotest.fail "fig13 should be a map"
+
+let test_metric_value () =
+  let runner = Experiments.Exp_defs.make_runner tiny_opts in
+  let r = Experiments.Exp_defs.run runner (tiny_spec ()) in
+  Alcotest.(check (float 0.0)) "response metric" r.Core.Simulator.mean_response
+    (Experiments.Exp_defs.metric_value Experiments.Exp_defs.Response_time r);
+  Alcotest.(check (float 0.0)) "throughput metric" r.Core.Simulator.throughput
+    (Experiments.Exp_defs.metric_value Experiments.Exp_defs.Throughput r)
+
+let suites =
+  [
+    ( "exp_defs",
+      [
+        case "runner memoizes identical specs" test_runner_memoizes;
+        case "distinct specs rerun" test_runner_distinguishes_specs;
+        case "ablation knobs change the key" test_runner_distinguishes_knobs;
+        case "metric_value" test_metric_value;
+      ] );
+    ( "report",
+      [ case "figure csv shape" test_figure_csv_shape ] );
+    ( "suite",
+      [
+        case "experiment catalog" test_experiment_catalog;
+        case "fig13 decision map" test_fig13_runs_quick;
+      ] );
+  ]
+
+let () = Alcotest.run "experiments" suites

@@ -1,0 +1,98 @@
+(* Tests for the network manager (lib/net). *)
+
+open Net
+
+let case name f = Alcotest.test_case name `Quick f
+
+let mk ?(net_delay = 0.002) ?(packet_size = 4096) () =
+  let eng = Sim.Engine.create () in
+  let prm = { Network.net_delay; packet_size; msg_inst = 5000 } in
+  (eng, Network.create eng ~rng:(Sim.Rng.create 9) prm)
+
+let test_packets_for () =
+  let _, net = mk () in
+  Alcotest.(check int) "0 bytes -> 1 packet" 1 (Network.packets_for net ~bytes:0);
+  Alcotest.(check int) "1 byte" 1 (Network.packets_for net ~bytes:1);
+  Alcotest.(check int) "exactly one page" 1 (Network.packets_for net ~bytes:4096);
+  Alcotest.(check int) "one page + 1" 2 (Network.packets_for net ~bytes:4097);
+  Alcotest.(check int) "three pages" 3 (Network.packets_for net ~bytes:12288)
+
+let test_post_delivers () =
+  let eng, net = mk () in
+  let delivered_at = ref (-1.0) in
+  Sim.Engine.spawn eng (fun () ->
+      Network.post net ~bytes:100 ~deliver:(fun () ->
+          delivered_at := Sim.Engine.now eng));
+  ignore (Sim.Engine.run eng ());
+  if !delivered_at <= 0.0 then Alcotest.fail "not delivered or zero delay";
+  Alcotest.(check int) "one message" 1 (Network.messages_sent net);
+  Alcotest.(check int) "one packet" 1 (Network.packets_sent net)
+
+let test_post_sender_not_blocked () =
+  let eng, net = mk () in
+  let sender_done = ref (-1.0) in
+  Sim.Engine.spawn eng (fun () ->
+      Network.post net ~bytes:100_000 ~deliver:(fun () -> ());
+      sender_done := Sim.Engine.now eng);
+  ignore (Sim.Engine.run eng ());
+  Alcotest.(check (float 0.0)) "sender returns immediately" 0.0 !sender_done
+
+let test_zero_delay_instant () =
+  let eng, net = mk ~net_delay:0.0 () in
+  let delivered_at = ref (-1.0) in
+  Sim.Engine.spawn eng (fun () ->
+      Network.post net ~bytes:20_000 ~deliver:(fun () ->
+          delivered_at := Sim.Engine.now eng));
+  ignore (Sim.Engine.run eng ());
+  Alcotest.(check (float 0.0)) "instant delivery" 0.0 !delivered_at;
+  Alcotest.(check int) "packets still counted" 5 (Network.packets_sent net)
+
+let test_fifo_wire () =
+  (* the wire is FCFS at packet granularity: a 1-packet message posted just
+     after a 10-packet message interleaves and is delivered first *)
+  let eng, net = mk () in
+  let order = ref [] in
+  Sim.Engine.spawn eng (fun () ->
+      Network.post net ~bytes:40_960 ~deliver:(fun () -> order := "big" :: !order);
+      Network.post net ~bytes:1 ~deliver:(fun () -> order := "small" :: !order));
+  ignore (Sim.Engine.run eng ());
+  Alcotest.(check (list string)) "packet interleaving" [ "small"; "big" ]
+    (List.rev !order)
+
+let test_utilization_counts () =
+  let eng, net = mk () in
+  Sim.Engine.spawn eng (fun () ->
+      Network.post net ~bytes:4096 ~deliver:(fun () -> ()));
+  ignore (Sim.Engine.run eng ());
+  (* the wire was busy the whole (non-zero) run *)
+  let u = Network.utilization net in
+  if u < 0.99 then Alcotest.failf "expected saturated wire, got %g" u;
+  Network.reset_stats net;
+  Alcotest.(check int) "reset messages" 0 (Network.messages_sent net)
+
+let test_deliver_may_block () =
+  (* deliver runs in its own process and may hold *)
+  let eng, net = mk () in
+  let finished = ref (-1.0) in
+  Sim.Engine.spawn eng (fun () ->
+      Network.post net ~bytes:1 ~deliver:(fun () ->
+          Sim.Engine.hold 5.0;
+          finished := Sim.Engine.now eng));
+  ignore (Sim.Engine.run eng ());
+  if !finished < 5.0 then Alcotest.fail "deliver hold did not run"
+
+let suites =
+  [
+    ( "network",
+      [
+        case "packets_for" test_packets_for;
+        case "post delivers" test_post_delivers;
+        case "sender not blocked" test_post_sender_not_blocked;
+        case "zero delay instant" test_zero_delay_instant;
+        case "wire is FCFS" test_fifo_wire;
+        case "utilization" test_utilization_counts;
+        case "deliver may block" test_deliver_may_block;
+      ] );
+  ]
+
+let () = Alcotest.run "net" suites

@@ -1,0 +1,625 @@
+(* Tests for the discrete-event simulation engine (lib/sim). *)
+
+open Sim
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_float ?eps msg expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some x ->
+        out := x :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek none" None (Heap.peek h)
+
+let test_heap_interleaved () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.add h 3;
+  Heap.add h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Heap.add h 0;
+  Alcotest.(check (option int)) "pop new min" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "pop last" (Some 3) (Heap.pop h);
+  Alcotest.(check bool) "empty again" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any int list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.add h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hold_advances_clock () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  Engine.spawn eng (fun () ->
+      seen := (Engine.now eng, "start") :: !seen;
+      Engine.hold 2.5;
+      seen := (Engine.now eng, "mid") :: !seen;
+      Engine.hold 1.5;
+      seen := (Engine.now eng, "end") :: !seen);
+  let final = Engine.run eng () in
+  check_float "final clock" 4.0 final;
+  match List.rev !seen with
+  | [ (t0, "start"); (t1, "mid"); (t2, "end") ] ->
+      check_float "t0" 0.0 t0;
+      check_float "t1" 2.5 t1;
+      check_float "t2" 4.0 t2
+  | _ -> Alcotest.fail "wrong event trace"
+
+let test_fifo_same_time () =
+  let eng = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn eng (fun () -> order := i :: !order)
+  done;
+  ignore (Engine.run eng ());
+  Alcotest.(check (list int)) "spawn order preserved" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 10 do
+        Engine.hold 1.0;
+        incr hits
+      done);
+  let t = Engine.run eng ~until:4.5 () in
+  check_float "stopped at limit" 4.5 t;
+  Alcotest.(check int) "4 ticks before limit" 4 !hits;
+  (* resuming runs the remaining events *)
+  let t = Engine.run eng () in
+  check_float "drained" 10.0 t;
+  Alcotest.(check int) "all ticks" 10 !hits
+
+let test_stop () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 100 do
+        Engine.hold 1.0;
+        incr hits;
+        if !hits = 3 then Engine.stop eng
+      done);
+  ignore (Engine.run eng ());
+  Alcotest.(check int) "stopped after 3" 3 !hits
+
+let test_spawn_at () =
+  let eng = Engine.create () in
+  let t_seen = ref (-1.0) in
+  Engine.spawn eng ~at:7.0 (fun () -> t_seen := Engine.now eng);
+  ignore (Engine.run eng ());
+  check_float "delayed spawn" 7.0 !t_seen
+
+let test_exit_process () =
+  let eng = Engine.create () in
+  let reached = ref false in
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Engine.exit_process () |> ignore;
+      reached := true);
+  ignore (Engine.run eng ());
+  Alcotest.(check bool) "code after exit not run" false !reached
+
+let test_schedule_past_rejected () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.hold 5.0);
+  ignore (Engine.run eng ());
+  Alcotest.check_raises "past schedule"
+    (Invalid_argument "Engine.schedule: at=1 is before now=5") (fun () ->
+      Engine.schedule eng ~at:1.0 (fun () -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Condition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_signal () =
+  let eng = Engine.create () in
+  let cond = Condition.create eng in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Condition.await cond;
+        woken := (i, Engine.now eng) :: !woken)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      ignore (Condition.signal cond);
+      Engine.hold 1.0;
+      ignore (Condition.broadcast cond));
+  ignore (Engine.run eng ());
+  match List.rev !woken with
+  | [ (1, t1); (2, t2); (3, t3) ] ->
+      check_float "first woken at signal" 1.0 t1;
+      check_float "second at broadcast" 2.0 t2;
+      check_float "third at broadcast" 2.0 t3
+  | _ -> Alcotest.fail "wrong wake order"
+
+let test_condition_signal_empty () =
+  let eng = Engine.create () in
+  let cond = Condition.create eng in
+  Engine.spawn eng (fun () ->
+      Alcotest.(check bool) "signal with no waiter" false (Condition.signal cond);
+      Alcotest.(check int) "broadcast with no waiter" 0 (Condition.broadcast cond));
+  ignore (Engine.run eng ())
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Mailbox.send mb "a";
+      Mailbox.send mb "b";
+      Engine.hold 1.0;
+      Mailbox.send mb "c");
+  ignore (Engine.run eng ());
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_mailbox_nonblocking () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  Engine.spawn eng (fun () ->
+      Alcotest.(check (option int)) "empty" None (Mailbox.recv_opt mb);
+      Mailbox.send mb 42;
+      Alcotest.(check int) "pending" 1 (Mailbox.pending mb);
+      Alcotest.(check (option int)) "pop" (Some 42) (Mailbox.recv_opt mb));
+  ignore (Engine.run eng ())
+
+let test_mailbox_two_receivers () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn eng (fun () ->
+        let v = Mailbox.recv mb in
+        got := (i, v) :: !got)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Mailbox.send mb "x";
+      Mailbox.send mb "y");
+  ignore (Engine.run eng ());
+  Alcotest.(check int) "both received" 2 (List.length !got)
+
+(* ------------------------------------------------------------------ *)
+(* Facility                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_facility_serializes () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"cpu" () in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Facility.use fac 2.0;
+        finish := (i, Engine.now eng) :: !finish)
+  done;
+  ignore (Engine.run eng ());
+  match List.rev !finish with
+  | [ (1, t1); (2, t2); (3, t3) ] ->
+      check_float "first done" 2.0 t1;
+      check_float "second done" 4.0 t2;
+      check_float "third done" 6.0 t3
+  | _ -> Alcotest.fail "wrong completion order"
+
+let test_facility_parallel_units () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"disks" ~capacity:2 () in
+  let finish = ref [] in
+  for i = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Facility.use fac 3.0;
+        finish := (i, Engine.now eng) :: !finish)
+  done;
+  ignore (Engine.run eng ());
+  let times = List.rev_map snd !finish in
+  Alcotest.(check int) "all done" 4 (List.length times);
+  (match times with
+  | [ a; b; c; d ] ->
+      check_float "pair 1" 3.0 a;
+      check_float "pair 1b" 3.0 b;
+      check_float "pair 2" 6.0 c;
+      check_float "pair 2b" 6.0 d
+  | _ -> Alcotest.fail "wrong count");
+  Alcotest.(check int) "completions" 4 (Facility.completions fac)
+
+let test_facility_utilization () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"cpu" () in
+  Engine.spawn eng (fun () ->
+      Facility.use fac 4.0;
+      Engine.hold 4.0)
+  (* busy 4 of 8 seconds -> utilization 0.5 *);
+  ignore (Engine.run eng ());
+  check_float "utilization" 0.5 (Facility.utilization fac);
+  check_float "service time" 4.0 (Facility.total_service_time fac)
+
+let test_facility_queue_stats () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"cpu" () in
+  for _ = 1 to 2 do
+    Engine.spawn eng (fun () -> Facility.use fac 5.0)
+  done;
+  ignore (Engine.run eng ());
+  (* second process queues for 5 s of the 10 s run: mean queue len 0.5 *)
+  check_float "mean queue length" 0.5 (Facility.mean_queue_length fac);
+  check_float "full utilization" 1.0 (Facility.utilization fac)
+
+let test_facility_reset_stats () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"cpu" () in
+  Engine.spawn eng (fun () ->
+      Facility.use fac 2.0;
+      Facility.reset_stats fac;
+      Engine.hold 2.0);
+  ignore (Engine.run eng ());
+  check_float "utilization after reset" 0.0 (Facility.utilization fac);
+  Alcotest.(check int) "completions after reset" 0 (Facility.completions fac)
+
+let prop_facility_fcfs =
+  QCheck.Test.make ~name:"facility completes FCFS for random service times"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 5.0))
+    (fun services ->
+      let eng = Engine.create () in
+      let fac = Facility.create eng ~name:"f" () in
+      let order = ref [] in
+      List.iteri
+        (fun i s ->
+          Engine.spawn eng (fun () ->
+              Facility.use fac s;
+              order := i :: !order))
+        services;
+      ignore (Engine.run eng ());
+      List.rev !order = List.init (List.length services) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let master = Rng.create 7 in
+  let a = Rng.split master "alpha" and b = Rng.split master "beta" in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b);
+  let a' = Rng.split master "alpha" in
+  Alcotest.(check int64) "split reproducible" (Rng.bits64 (Rng.split master "alpha")) (Rng.bits64 a');
+  ignore a'
+
+let test_rng_ranges () =
+  let r = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %g" f;
+    let i = Rng.uniform_int r 3 9 in
+    if i < 3 || i > 9 then Alcotest.failf "int out of range: %d" i;
+    let e = Rng.exponential r ~mean:2.0 in
+    if e < 0.0 then Alcotest.failf "negative exponential: %g" e
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 123 in
+  let s = Stats.create () in
+  for _ = 1 to 100_000 do
+    Stats.add s (Rng.exponential r ~mean:3.0)
+  done;
+  let m = Stats.mean s in
+  if Float.abs (m -. 3.0) > 0.05 then
+    Alcotest.failf "exponential mean off: %g" m
+
+let test_rng_bernoulli_rate () =
+  let r = Rng.create 99 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if Float.abs (rate -. 0.25) > 0.01 then Alcotest.failf "bernoulli rate %g" rate
+
+let test_rng_zero_mean_exponential () =
+  let r = Rng.create 5 in
+  check_float "zero mean -> zero" 0.0 (Rng.exponential r ~mean:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "total" 10.0 (Stats.total s);
+  check_float "min" 1.0 (Stats.min_value s);
+  check_float "max" 4.0 (Stats.max_value s);
+  check_float ~eps:1e-9 "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  check_float "mean" 0.0 (Stats.mean s);
+  check_float "variance" 0.0 (Stats.variance s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  List.iter
+    (fun x ->
+      Stats.add all x;
+      if x < 3.0 then Stats.add a x else Stats.add b x)
+    [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  let m = Stats.merge a b in
+  check_float "merged mean" (Stats.mean all) (Stats.mean m);
+  check_float ~eps:1e-9 "merged variance" (Stats.variance all) (Stats.variance m);
+  Alcotest.(check int) "merged count" 5 (Stats.count m)
+
+let prop_stats_mean_matches_naive =
+  QCheck.Test.make ~name:"welford mean matches naive mean" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.incr c ~by:5;
+  Alcotest.(check int) "value" 6 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let case name f = Alcotest.test_case name `Quick f
+
+
+(* ------------------------------------------------------------------ *)
+(* Stats.Samples                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_samples_quantiles () =
+  let s = Stats.Samples.create () in
+  List.iter (Stats.Samples.add s) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  check_float "min" 1.0 (Stats.Samples.quantile s 0.0);
+  check_float "median" 3.0 (Stats.Samples.quantile s 0.5);
+  check_float "max" 5.0 (Stats.Samples.quantile s 1.0);
+  check_float "interpolated p25" 2.0 (Stats.Samples.quantile s 0.25);
+  Alcotest.(check int) "count" 5 (Stats.Samples.count s)
+
+let test_samples_empty_and_reset () =
+  let s = Stats.Samples.create () in
+  check_float "empty quantile" 0.0 (Stats.Samples.quantile s 0.5);
+  Stats.Samples.add s 7.0;
+  Stats.Samples.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.Samples.count s)
+
+let test_samples_capacity () =
+  let s = Stats.Samples.create ~capacity:3 () in
+  List.iter (Stats.Samples.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check int) "capped" 3 (Stats.Samples.count s)
+
+let test_samples_add_after_quantile () =
+  let s = Stats.Samples.create () in
+  List.iter (Stats.Samples.add s) [ 3.0; 1.0 ];
+  check_float "median of two" 2.0 (Stats.Samples.quantile s 0.5);
+  Stats.Samples.add s 2.0;
+  check_float "median of three" 2.0 (Stats.Samples.quantile s 0.5);
+  check_float "max updated" 3.0 (Stats.Samples.quantile s 1.0)
+
+let prop_samples_median_between_min_max =
+  QCheck.Test.make ~name:"quantiles are monotone and bounded" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) (float_range (-50.) 50.))
+    (fun xs ->
+      let s = Stats.Samples.create () in
+      List.iter (Stats.Samples.add s) xs;
+      let q25 = Stats.Samples.quantile s 0.25 in
+      let q50 = Stats.Samples.quantile s 0.5 in
+      let q75 = Stats.Samples.quantile s 0.75 in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      lo <= q25 && q25 <= q50 && q50 <= q75 && q75 <= hi)
+
+
+(* ------------------------------------------------------------------ *)
+(* Ivar                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ivar_fill_then_read () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  Ivar.fill iv 42;
+  Alcotest.(check bool) "filled" true (Ivar.is_filled iv);
+  Alcotest.(check (option int)) "peek" (Some 42) (Ivar.peek iv);
+  let got = ref 0 in
+  Engine.spawn eng (fun () -> got := Ivar.read iv);
+  ignore (Engine.run eng ());
+  Alcotest.(check int) "read returns immediately" 42 !got
+
+let test_ivar_blocks_until_filled () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  let got_at = ref (-1.0) in
+  Engine.spawn eng (fun () ->
+      ignore (Ivar.read iv);
+      got_at := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Engine.hold 3.0;
+      Ivar.fill iv "x");
+  ignore (Engine.run eng ());
+  check_float "woken at fill time" 3.0 !got_at
+
+let test_ivar_multiple_readers () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  let count = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        ignore (Ivar.read iv);
+        incr count)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Ivar.fill iv ());
+  ignore (Engine.run eng ());
+  Alcotest.(check int) "all readers woken" 4 !count
+
+let test_ivar_double_fill () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  Ivar.fill iv 1;
+  Alcotest.(check bool) "try_fill refused" false (Ivar.try_fill iv 2);
+  Alcotest.check_raises "fill raises"
+    (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 3);
+  Alcotest.(check (option int)) "value unchanged" (Some 1) (Ivar.peek iv)
+
+
+let test_engine_exception_propagates () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      failwith "boom");
+  Alcotest.check_raises "process exception escapes run" (Failure "boom")
+    (fun () -> ignore (Engine.run eng ()))
+
+let test_engine_counts () =
+  let eng = Engine.create () in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () -> Engine.hold 1.0)
+  done;
+  ignore (Engine.run eng ());
+  Alcotest.(check int) "spawned" 3 (Engine.processes_spawned eng);
+  (* each process: one spawn event + one resume after hold *)
+  Alcotest.(check int) "events" 6 (Engine.events_executed eng)
+
+let test_hold_negative_rejected () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> Engine.hold (-1.0));
+  Alcotest.check_raises "negative hold" (Invalid_argument "Engine.hold: negative")
+    (fun () -> ignore (Engine.run eng ()))
+
+let suites =
+  [
+    ( "heap",
+      [
+        case "drains sorted" test_heap_order;
+        case "empty ops" test_heap_empty;
+        case "interleaved add/pop" test_heap_interleaved;
+      ] );
+    qsuite "heap-props" [ prop_heap_sorts ];
+    ( "engine",
+      [
+        case "hold advances clock" test_hold_advances_clock;
+        case "fifo at same time" test_fifo_same_time;
+        case "run ~until" test_run_until;
+        case "stop" test_stop;
+        case "spawn ~at" test_spawn_at;
+        case "exit_process" test_exit_process;
+        case "schedule in past rejected" test_schedule_past_rejected;
+        case "exception propagates" test_engine_exception_propagates;
+        case "event and process counts" test_engine_counts;
+        case "negative hold rejected" test_hold_negative_rejected;
+      ] );
+    ( "condition",
+      [
+        case "signal then broadcast" test_condition_signal;
+        case "signal without waiters" test_condition_signal_empty;
+      ] );
+    ( "mailbox",
+      [
+        case "fifo delivery" test_mailbox_fifo;
+        case "non-blocking recv" test_mailbox_nonblocking;
+        case "two receivers" test_mailbox_two_receivers;
+      ] );
+    ( "facility",
+      [
+        case "serializes unit capacity" test_facility_serializes;
+        case "parallel units" test_facility_parallel_units;
+        case "utilization" test_facility_utilization;
+        case "queue stats" test_facility_queue_stats;
+        case "reset stats" test_facility_reset_stats;
+      ] );
+    qsuite "facility-props" [ prop_facility_fcfs ];
+    ( "ivar",
+      [
+        case "fill then read" test_ivar_fill_then_read;
+        case "blocks until filled" test_ivar_blocks_until_filled;
+        case "multiple readers" test_ivar_multiple_readers;
+        case "double fill" test_ivar_double_fill;
+      ] );
+    ( "rng",
+      [
+        case "deterministic" test_rng_deterministic;
+        case "split independence" test_rng_split_independent;
+        case "ranges" test_rng_ranges;
+        case "exponential mean" test_rng_exponential_mean;
+        case "bernoulli rate" test_rng_bernoulli_rate;
+        case "zero-mean exponential" test_rng_zero_mean_exponential;
+      ] );
+    ( "stats",
+      [
+        case "basic moments" test_stats_basic;
+        case "empty" test_stats_empty;
+        case "merge" test_stats_merge;
+        case "counter" test_counter;
+      ] );
+    qsuite "stats-props" [ prop_stats_mean_matches_naive ];
+    ( "samples",
+      [
+        case "quantiles" test_samples_quantiles;
+        case "empty and reset" test_samples_empty_and_reset;
+        case "capacity cap" test_samples_capacity;
+        case "add after quantile" test_samples_add_after_quantile;
+      ] );
+    qsuite "samples-props" [ prop_samples_median_between_min_max ];
+  ]
+
+let () = Alcotest.run "sim" suites
