@@ -98,11 +98,16 @@ let () =
   let csv = ref None in
   let plots = ref None in
   let list_only = ref false in
+  let jobs = ref (Sim.Pool.default_jobs ()) in
   let speclist =
     [
       ( "-e",
         Arg.String (fun s -> experiments := s :: !experiments),
         "ID run one experiment (repeatable); default: all" );
+      ( "-j",
+        Arg.Set_int jobs,
+        "N worker domains for independent simulations (default: cores - 1); \
+         results are identical for every value" );
       ("--quick", Arg.Set quick, " fewer commits per run (smoke-test depth)");
       ("--detail", Arg.Set detail, " print abort/hit/message columns");
       ("--micro", Arg.Set micro, " also run bechamel engine microbenchmarks");
@@ -125,7 +130,7 @@ let () =
     exit 0
   end;
   let opts = if !quick then Experiments.Exp_defs.quick_opts else Experiments.Exp_defs.default_opts in
-  let runner = Experiments.Exp_defs.make_runner opts in
+  let runner = Experiments.Exp_defs.make_runner ~jobs:!jobs opts in
   let selected =
     match !experiments with
     | [] -> Experiments.Suite.all
@@ -144,7 +149,7 @@ let () =
   List.iter
     (fun (id, descr, build) ->
       Format.printf "@.###### %s — %s@." id descr;
-      let out = build runner in
+      let out = Experiments.Exp_defs.run_build runner build in
       Experiments.Report.print_output ~detail:!detail Format.std_formatter out;
       (match out with
       | Experiments.Suite.Figures figs ->

@@ -32,6 +32,15 @@ let platform_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Sim.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulations (default: cores - 1). \
+           Results are identical for every value; only wall-clock changes.")
+
 (* ------------------------------------------------------------------ *)
 (* ccsim run                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -85,7 +94,8 @@ let run_cmd =
   let reps =
     Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N" ~doc:"Replications to average.")
   in
-  let run algo clients loc pw platform large interactive commits warmup seed reps =
+  let run algo clients loc pw platform large interactive commits warmup seed reps
+      jobs =
     if clients <= 0 then begin
       Printf.eprintf "ccsim: --clients must be positive\n";
       exit 1
@@ -109,7 +119,7 @@ let run_cmd =
       Core.Simulator.default_spec ~seed ~warmup_commits:warmup
         ~measured_commits:commits ~cfg ~xact_params:xp algo
     in
-    let r = Core.Simulator.run_replicated spec ~reps in
+    let r = Core.Simulator.run_replicated ~jobs spec ~reps in
     Format.printf "%a@." Core.Simulator.pp_result r;
     Format.printf
       "  responses: mean %.3fs p50 %.3fs p95 %.3fs stddev %.3fs | window \
@@ -125,7 +135,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one simulation and print its metrics.")
     Term.(
       const run $ algo $ clients $ loc $ pw $ platform $ large $ interactive
-      $ commits $ warmup $ seed $ reps)
+      $ commits $ warmup $ seed $ reps $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim exp                                                           *)
@@ -146,12 +156,12 @@ let exp_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write figures as CSV.")
   in
-  let run ids quick detail csv =
+  let run ids quick detail csv jobs =
     let opts =
       if quick then Experiments.Exp_defs.quick_opts
       else Experiments.Exp_defs.default_opts
     in
-    let runner = Experiments.Exp_defs.make_runner opts in
+    let runner = Experiments.Exp_defs.make_runner ~jobs opts in
     let selected =
       if List.mem "all" ids then Experiments.Suite.all
       else
@@ -169,7 +179,7 @@ let exp_cmd =
     List.iter
       (fun (id, descr, build) ->
         Format.printf "@.###### %s — %s@." id descr;
-        let out = build runner in
+        let out = Experiments.Exp_defs.run_build runner build in
         Experiments.Report.print_output ~detail Format.std_formatter out;
         match out with
         | Experiments.Suite.Figures figs ->
@@ -193,7 +203,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ quick $ detail $ csv)
+    Term.(const run $ ids $ quick $ detail $ csv $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim list                                                          *)

@@ -64,6 +64,7 @@ let aborts_by t = function
 let mean_response t = Sim.Stats.mean t.response
 let response_quantile t q = Sim.Stats.Samples.quantile t.response_samples q
 let response_stats t = t.response
+let response_samples t = t.response_samples
 let lookups t = t.n_lookups
 let hits t = t.n_hits
 let callbacks_sent t = t.n_callbacks

@@ -40,6 +40,10 @@ val aborts_by : t -> abort_reason -> int
 val mean_response : t -> float
 val response_stats : t -> Sim.Stats.t
 
+(** The raw window response times — pooled across replications for exact
+    combined quantiles. *)
+val response_samples : t -> Sim.Stats.Samples.t
+
 (** Exact response-time quantile over the window, [q] in [0, 1]. *)
 val response_quantile : t -> float -> float
 val lookups : t -> int

@@ -53,7 +53,18 @@ type result = {
   events : int;
 }
 
-let run ?audit spec =
+(* Per-replication measurement state that the scalar [result] cannot
+   reconstruct: the response-time accumulator and raw samples (for pooled
+   stddev and quantiles) and the hit/lookup counts (for count-weighted
+   ratios). *)
+type rep_stats = {
+  rep_response : Sim.Stats.t;
+  rep_samples : Sim.Stats.Samples.t;
+  rep_lookups : int;
+  rep_hits : int;
+}
+
+let run_with_stats ?audit spec =
   Sys_params.validate spec.cfg;
   let cfg = spec.cfg in
   let eng = Sim.Engine.create () in
@@ -133,6 +144,7 @@ let run ?audit spec =
     | [] -> 0.0
     | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
   in
+  let result =
   {
     algo = spec.algo;
     n_clients = cfg.Sys_params.n_clients;
@@ -168,33 +180,71 @@ let run ?audit spec =
     sim_time;
     events = Sim.Engine.events_executed eng;
   }
+  in
+  ( result,
+    {
+      rep_response = Metrics.response_stats metrics;
+      rep_samples = Metrics.response_samples metrics;
+      rep_lookups = Metrics.lookups metrics;
+      rep_hits = Metrics.hits metrics;
+    } )
 
-let run_replicated spec ~reps =
+let run ?audit spec = fst (run_with_stats ?audit spec)
+
+let run_replicated ?(jobs = 1) spec ~reps =
   if reps <= 1 then run spec
   else begin
-    let results =
-      List.init reps (fun k -> run { spec with seed = spec.seed + k })
+    let specs = List.init reps (fun k -> { spec with seed = spec.seed + k }) in
+    let runs =
+      if jobs > 1 then Sim.Pool.map ~jobs (fun s -> run_with_stats s) specs
+      else List.map (fun s -> run_with_stats s) specs
     in
+    let results = List.map fst runs in
+    (* Response-time moments and quantiles come from the pooled per-commit
+       observations — averaging per-rep stddevs or quantiles is not a
+       stddev or quantile of anything.  Ratios are weighted by their
+       denominators' counts, not averaged. *)
+    let pooled_response =
+      List.fold_left
+        (fun acc (_, e) -> Sim.Stats.merge acc e.rep_response)
+        (Sim.Stats.create ()) runs
+    in
+    let pooled_samples =
+      match runs with
+      | [] -> Sim.Stats.Samples.create ~capacity:0 ()
+      | (_, e0) :: rest ->
+          List.fold_left
+            (fun acc (_, e) -> Sim.Stats.Samples.merge acc e.rep_samples)
+            e0.rep_samples rest
+    in
+    let lookups = List.fold_left (fun a (_, e) -> a + e.rep_lookups) 0 runs in
+    let hits = List.fold_left (fun a (_, e) -> a + e.rep_hits) 0 runs in
     let n = float_of_int reps in
     let favg f = List.fold_left (fun a r -> a +. f r) 0.0 results /. n in
     let isum f = List.fold_left (fun a r -> a + f r) 0 results in
     let first = List.hd results in
+    let commits = isum (fun r -> r.commits) in
+    let messages = isum (fun r -> r.messages) in
     {
       first with
-      mean_response = favg (fun r -> r.mean_response);
-      response_stddev = favg (fun r -> r.response_stddev);
-      response_p50 = favg (fun r -> r.response_p50);
-      response_p95 = favg (fun r -> r.response_p95);
+      mean_response = Sim.Stats.mean pooled_response;
+      response_stddev = Sim.Stats.stddev pooled_response;
+      response_p50 = Sim.Stats.Samples.quantile pooled_samples 0.5;
+      response_p95 = Sim.Stats.Samples.quantile pooled_samples 0.95;
       throughput = favg (fun r -> r.throughput);
-      commits = isum (fun r -> r.commits);
+      commits;
       aborts = isum (fun r -> r.aborts);
       aborts_deadlock = isum (fun r -> r.aborts_deadlock);
       aborts_stale = isum (fun r -> r.aborts_stale);
       aborts_cert = isum (fun r -> r.aborts_cert);
-      hit_ratio = favg (fun r -> r.hit_ratio);
-      messages = isum (fun r -> r.messages);
+      hit_ratio =
+        (if lookups = 0 then 0.0
+         else float_of_int hits /. float_of_int lookups);
+      messages;
       packets = isum (fun r -> r.packets);
-      msgs_per_commit = favg (fun r -> r.msgs_per_commit);
+      msgs_per_commit =
+        (if commits = 0 then 0.0
+         else float_of_int messages /. float_of_int commits);
       callbacks_sent = isum (fun r -> r.callbacks_sent);
       pushes_sent = isum (fun r -> r.pushes_sent);
       server_cpu_util = favg (fun r -> r.server_cpu_util);

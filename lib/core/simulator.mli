@@ -68,8 +68,15 @@ type result = {
     of {!Cc.History}. *)
 val run : ?audit:Cc.History.t -> spec -> result
 
-(** [run_replicated spec ~reps] averages scalar metrics over [reps]
-    independent seeds (seed, seed+1, ...). *)
-val run_replicated : spec -> reps:int -> result
+(** [run_replicated ?jobs spec ~reps] combines [reps] independent seeds
+    (seed, seed+1, ...): response-time mean, stddev, and quantiles come
+    from the pooled per-commit observations of every replication (via
+    {!Sim.Stats.merge} / {!Sim.Stats.Samples.merge}), counts are summed,
+    [hit_ratio] and [msgs_per_commit] are weighted by their per-rep
+    denominators, and utilizations are averaged.  With [jobs > 1] the
+    replications run concurrently on a {!Sim.Pool} of domains; results are
+    identical to the sequential run because every replication's randomness
+    is derived from its own seed. *)
+val run_replicated : ?jobs:int -> spec -> reps:int -> result
 
 val pp_result : Format.formatter -> result -> unit

@@ -36,8 +36,16 @@ let event_to_string = function
         n_updates
   | Disk_read { page } -> Printf.sprintf "disk read page %d" page
 
-let sink : (float -> event -> unit) option ref = ref None
-let set_sink f = sink := Some f
-let clear_sink () = sink := None
-let emit time ev = match !sink with Some f -> f time ev | None -> ()
-let active () = Option.is_some !sink
+(* Domain-local so simulations running on pool workers (Sim.Pool) neither
+   race on the hook nor leak their events into a sink installed by the
+   calling domain. *)
+let sink : (float -> event -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_sink f = Domain.DLS.set sink (Some f)
+let clear_sink () = Domain.DLS.set sink None
+
+let emit time ev =
+  match Domain.DLS.get sink with Some f -> f time ev | None -> ()
+
+let active () = Option.is_some (Domain.DLS.get sink)

@@ -1,13 +1,15 @@
 (** Protocol event tracing.
 
-    A process-global hook that, when set, receives every interesting
-    protocol event with its simulated timestamp: client requests, server
-    grants and replies, aborts, callbacks, notifications, commits.  Used by
-    the [protocol_trace] example and handy when debugging a protocol
-    change; costs nothing when unset.
+    A hook that, when set, receives every interesting protocol event with
+    its simulated timestamp: client requests, server grants and replies,
+    aborts, callbacks, notifications, commits.  Used by the
+    [protocol_trace] example and handy when debugging a protocol change;
+    costs nothing when unset.
 
-    The sink is global to the process (simulations are single-threaded and
-    run one at a time). *)
+    The sink is domain-local: each domain sees only the sink it installed
+    itself, so simulations dispatched to {!Sim.Pool} workers run untraced
+    and never race on the hook.  To trace a simulation, run it in the
+    domain that called {!set_sink} (e.g. with [-j 1]). *)
 
 type event =
   | Client_send of { client : int; xid : int; what : string }

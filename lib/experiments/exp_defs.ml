@@ -31,79 +31,140 @@ let metric_value m (r : Core.Simulator.result) =
 
 type runner = {
   opts : run_opts;
+  jobs : int;
   cache : (string, Core.Simulator.result) Hashtbl.t;
+  mutable collecting : bool;
+  mutable pending : (string * Core.Simulator.spec) list;  (* newest first *)
+  pending_keys : (string, unit) Hashtbl.t;
   mutable executed : int;
 }
 
-let make_runner opts = { opts; cache = Hashtbl.create 64; executed = 0 }
+let make_runner ?(jobs = 1) opts =
+  {
+    opts;
+    jobs = max 1 jobs;
+    cache = Hashtbl.create 64;
+    collecting = false;
+    pending = [];
+    pending_keys = Hashtbl.create 64;
+    executed = 0;
+  }
 
-(* Specs are keyed by their observable parameters; two figures asking for
-   the same simulation share one run. *)
+let jobs t = t.jobs
+
+(* Specs are keyed by a digest of the whole (normalized) spec value, so two
+   figures asking for the same simulation share one run and — unlike the
+   previous hand-enumerated format string, which silently omitted fields
+   like n_data_disks, client_mips, page_size, and control_msg_bytes — any
+   field added to the spec is part of the key automatically.  No_sharing
+   makes the bytes depend only on the structure, never on physical
+   sharing within the value. *)
 let key_of_spec (s : Core.Simulator.spec) =
-  let cfg = s.Core.Simulator.cfg in
-  let xp = s.Core.Simulator.xact_params in
-  let dbp = s.Core.Simulator.db_params in
-  Printf.sprintf
-    "%s|nc=%d|smips=%g|nd=%g|cache=%d|buf=%d|mpl=%d|logd=%d|spp=%d|cpp=%d|idc=%d|seek=%g-%g|tran=%g|msg=%d|size=%d-%d|pw=%g|ud=%g|id=%g|ed=%g|loc=%g|set=%d|cls=%dx%d|os=%d|cf=%g|async=%b"
-    (Core.Proto.algorithm_name s.Core.Simulator.algo)
-    cfg.Core.Sys_params.n_clients cfg.Core.Sys_params.server_mips
-    cfg.Core.Sys_params.net.Net.Network.net_delay cfg.Core.Sys_params.cache_size
-    cfg.Core.Sys_params.buffer_size cfg.Core.Sys_params.mpl
-    cfg.Core.Sys_params.n_log_disks cfg.Core.Sys_params.server_proc_inst
-    cfg.Core.Sys_params.client_proc_inst cfg.Core.Sys_params.init_disk_inst
-    cfg.Core.Sys_params.disk.Storage.Disk.seek_low
-    cfg.Core.Sys_params.disk.Storage.Disk.seek_high
-    cfg.Core.Sys_params.disk.Storage.Disk.transfer_time
-    cfg.Core.Sys_params.net.Net.Network.msg_inst xp.Db.Xact_params.min_xact_size
-    xp.Db.Xact_params.max_xact_size xp.Db.Xact_params.prob_write
-    xp.Db.Xact_params.update_delay xp.Db.Xact_params.internal_delay
-    xp.Db.Xact_params.external_delay xp.Db.Xact_params.inter_xact_loc
-    xp.Db.Xact_params.inter_xact_set_size dbp.Db.Db_params.n_classes
-    (if dbp.Db.Db_params.n_classes > 0 then dbp.Db.Db_params.n_pages.(0) else 0)
-    (if dbp.Db.Db_params.n_classes > 0 then dbp.Db.Db_params.object_size.(0)
-     else 0)
-    dbp.Db.Db_params.cluster_factor
-    cfg.Core.Sys_params.process_async_during_think
-  ^ Printf.sprintf "|sda=%b|rp=%s|cg=%g" cfg.Core.Sys_params.stale_drop_all
-      (match cfg.Core.Sys_params.restart_policy with
-      | Core.Sys_params.Adaptive -> "adaptive"
-      | Core.Sys_params.Fixed f -> Printf.sprintf "fixed%g" f
-      | Core.Sys_params.Immediate -> "immediate")
-      cfg.Core.Sys_params.callback_grace
-  ^ Printf.sprintf "|crw=%b" cfg.Core.Sys_params.callback_retain_writes
-  ^ (match s.Core.Simulator.mix with
-    | None -> ""
-    | Some mix ->
-        "|mix="
-        ^ String.concat "+"
-            (List.map
-               (fun (w, (xp : Db.Xact_params.t)) ->
-                 Printf.sprintf "%g*%d-%d-pw%g-loc%g" w
-                   xp.Db.Xact_params.min_xact_size xp.Db.Xact_params.max_xact_size
-                   xp.Db.Xact_params.prob_write xp.Db.Xact_params.inter_xact_loc)
-               mix))
-  ^ (match cfg.Core.Sys_params.notify_updates with
-    | None -> ""
-    | Some Core.Proto.Push -> "|nu=push"
-    | Some Core.Proto.Invalidate -> "|nu=inval")
+  Digest.to_hex (Digest.string (Marshal.to_string s [ Marshal.No_sharing ]))
+
+let normalize t spec =
+  {
+    spec with
+    Core.Simulator.seed = t.opts.seed;
+    warmup_commits = t.opts.warmup;
+    measured_commits = t.opts.measured;
+    max_sim_time = t.opts.max_sim_time;
+  }
+
+(* What [run] returns while collecting: only reached on a cache miss during
+   the first (spec-gathering) pass of [run_build], and discarded with the
+   rest of that pass's output. *)
+let placeholder_result (s : Core.Simulator.spec) : Core.Simulator.result =
+  {
+    algo = s.Core.Simulator.algo;
+    n_clients = s.Core.Simulator.cfg.Core.Sys_params.n_clients;
+    mean_response = 0.0;
+    response_stddev = 0.0;
+    response_p50 = 0.0;
+    response_p95 = 0.0;
+    throughput = 0.0;
+    commits = 0;
+    aborts = 0;
+    aborts_deadlock = 0;
+    aborts_stale = 0;
+    aborts_cert = 0;
+    hit_ratio = 0.0;
+    messages = 0;
+    packets = 0;
+    msgs_per_commit = 0.0;
+    callbacks_sent = 0;
+    pushes_sent = 0;
+    server_cpu_util = 0.0;
+    client_cpu_util = 0.0;
+    disk_util = 0.0;
+    log_disk_util = 0.0;
+    net_util = 0.0;
+    window = 0.0;
+    sim_time = 0.0;
+    events = 0;
+  }
+
+let execute t spec =
+  Core.Simulator.run_replicated ~jobs:t.jobs spec ~reps:t.opts.reps
 
 let run t spec =
-  let spec =
-    {
-      spec with
-      Core.Simulator.seed = t.opts.seed;
-      warmup_commits = t.opts.warmup;
-      measured_commits = t.opts.measured;
-      max_sim_time = t.opts.max_sim_time;
-    }
-  in
+  let spec = normalize t spec in
   let key = key_of_spec spec in
   match Hashtbl.find_opt t.cache key with
   | Some r -> r
   | None ->
-      let r = Core.Simulator.run_replicated spec ~reps:t.opts.reps in
-      t.executed <- t.executed + 1;
-      Hashtbl.replace t.cache key r;
-      r
+      if t.collecting then begin
+        if not (Hashtbl.mem t.pending_keys key) then begin
+          Hashtbl.add t.pending_keys key ();
+          t.pending <- (key, spec) :: t.pending
+        end;
+        placeholder_result spec
+      end
+      else begin
+        let r = execute t spec in
+        t.executed <- t.executed + 1;
+        Hashtbl.replace t.cache key r;
+        r
+      end
+
+let run_build t build =
+  if t.jobs <= 1 then build t
+  else begin
+    (* Pass 1: evaluate [build] with the runner in collecting mode.  Cache
+       misses record their spec and return a placeholder; the pass's output
+       is discarded.  This assumes — true of every figure in Suite — that
+       WHICH specs a figure requests does not depend on simulation results,
+       only what it renders from them. *)
+    t.collecting <- true;
+    t.pending <- [];
+    Hashtbl.reset t.pending_keys;
+    let batch =
+      Fun.protect
+        ~finally:(fun () ->
+          t.collecting <- false;
+          t.pending <- [];
+          Hashtbl.reset t.pending_keys)
+        (fun () ->
+          ignore (build t);
+          List.rev t.pending)
+    in
+    (* Dispatch the batch across the pool.  Each cell is seeded from the
+       runner options, never from scheduling, so results — and therefore
+       the figures rebuilt below — are identical for any jobs count.
+       Replications are left sequential inside each cell: the cells
+       themselves already saturate the pool. *)
+    let results =
+      Sim.Pool.map ~jobs:t.jobs
+        (fun (_, spec) -> Core.Simulator.run_replicated spec ~reps:t.opts.reps)
+        batch
+    in
+    List.iter2
+      (fun (key, _) r ->
+        t.executed <- t.executed + 1;
+        Hashtbl.replace t.cache key r)
+      batch results;
+    (* Pass 2: every spec now hits the cache. *)
+    build t
+  end
 
 let runs_executed t = t.executed

@@ -34,14 +34,39 @@ type figure = {
 
 val metric_value : metric -> Core.Simulator.result -> float
 
-(** A memoizing simulation runner. *)
+(** A memoizing simulation runner, optionally backed by a pool of worker
+    domains ({!Sim.Pool}). *)
 type runner
 
-val make_runner : run_opts -> runner
+(** [make_runner ?jobs opts] — [jobs] (default 1, clamped to at least 1) is
+    the number of domains {!run_build} and replicated runs may use. *)
+val make_runner : ?jobs:int -> run_opts -> runner
+
+val jobs : runner -> int
 
 (** [run runner spec] — run (or reuse) the simulation for [spec]; the
-    spec's warmup/measured/seed fields are overridden from the options. *)
+    spec's warmup/measured/seed fields are overridden from the options.
+    Replications of the spec run on the pool when [jobs > 1]. *)
 val run : runner -> Core.Simulator.spec -> Core.Simulator.result
+
+(** [run_build runner build] evaluates [build runner] — typically a
+    function assembling one experiment's figures from {!run} calls — with
+    the grid cells evaluated across the runner's domains.  With [jobs > 1]
+    it first evaluates [build] once in a collecting mode that records every
+    uncached spec (assuming, as holds for every experiment in {!Suite},
+    that the set of specs requested does not depend on simulation
+    results), dispatches the batch through {!Sim.Pool.map}, memoizes, and
+    re-evaluates [build] against the warm cache.  Results are identical
+    for every jobs count because each cell's randomness comes from its
+    spec's seed, not from scheduling.  With [jobs <= 1] it is exactly
+    [build runner]. *)
+val run_build : runner -> (runner -> 'a) -> 'a
+
+(** The memoization key: a digest over every observable field of the
+    normalized spec.  Specs differing in any configuration field —
+    including [n_data_disks], [client_mips], [page_size],
+    [control_msg_bytes], ... — have distinct keys. *)
+val key_of_spec : Core.Simulator.spec -> string
 
 (** Number of distinct simulations executed so far. *)
 val runs_executed : runner -> int

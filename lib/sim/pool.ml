@@ -1,0 +1,38 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if n = 0 then []
+  else if jobs = 1 then Array.to_list (Array.map f items)
+  else begin
+    (* Work stealing via a shared index: each worker repeatedly claims the
+       next unclaimed item, so an uneven grid (one 200-client cell among
+       many 2-client cells) still load-balances.  Every slot is written by
+       exactly one domain and read only after the joins. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some (try Ok (f items.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.to_list results
+    |> List.map (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+  end

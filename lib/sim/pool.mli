@@ -1,0 +1,26 @@
+(** A fixed-size worker pool over OCaml 5 domains.
+
+    [map] evaluates independent jobs across several domains and returns
+    their results in submission order, so callers observe exactly the
+    sequential semantics regardless of how work was scheduled.  Built for
+    the experiment harness: every simulation owns its engine, RNG, and
+    database, so cells of a figure grid (and replications of one cell) are
+    embarrassingly parallel.
+
+    Jobs must not share mutable state.  The one process-wide hook the
+    simulator has — the {!Core.Trace} sink — is domain-local, so a sink
+    installed in the calling domain never observes worker-domain events. *)
+
+(** [default_jobs ()] is [Domain.recommended_domain_count () - 1], at
+    least 1: one worker per available core, keeping a core free for the
+    caller's domain. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] evaluates [f] on every item, using up to [jobs]
+    domains (the calling domain counts as one), and returns the results in
+    the order of [items].  [jobs <= 1] degenerates to [List.map].
+
+    If any job raises, the remaining jobs still run to completion and the
+    exception of the lowest-indexed failing item is re-raised in the
+    calling domain. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

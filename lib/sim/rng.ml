@@ -31,8 +31,25 @@ let float t =
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection-free for our purposes: bias is < 2^-40 for n < 2^24. *)
-  int_of_float (float t *. float_of_int n)
+  if n land (n - 1) = 0 then
+    (* power of two: mask the low bits of one draw *)
+    Int64.to_int (Int64.logand (bits64 t) (Int64.of_int (n - 1)))
+  else begin
+    let bound = Int64.of_int n in
+    let rec draw () =
+      let bits = Int64.shift_right_logical (bits64 t) 1 in
+      let r = Int64.rem bits bound in
+      (* Reject draws from the final partial block of [0, 2^63): [bits - r]
+         is the block base, and adding [n - 1] overflows exactly when the
+         block extends past 2^63 - 1.  Without this the residues below
+         [2^63 mod n] are over-represented — and the previous float-scaling
+         implementation additionally zeroed the low bits of results for
+         bounds beyond 2^53. *)
+      if Int64.add (Int64.sub bits r) (Int64.of_int (n - 1)) < 0L then draw ()
+      else Int64.to_int r
+    in
+    draw ()
+  end
 
 let uniform_int t lo hi =
   if hi < lo then invalid_arg "Rng.uniform_int: hi < lo";

@@ -21,7 +21,8 @@ val bits64 : t -> int64
 (** Uniform float in [0, 1). *)
 val float : t -> float
 
-(** [int t n] is uniform in [0, n-1]; [n] must be positive. *)
+(** [int t n] is exactly uniform in [0, n-1] for any positive [n] (rejection
+    sampling over 63-bit draws; no float round-trip). *)
 val int : t -> int -> int
 
 (** [uniform_int t lo hi] is uniform in [lo, hi] inclusive. *)

@@ -116,4 +116,11 @@ module Samples = struct
   let reset t =
     t.len <- 0;
     t.sorted <- true
+
+  let merge a b =
+    let len = a.len + b.len in
+    let data = Array.make (max len 1) 0.0 in
+    Array.blit a.data 0 data 0 a.len;
+    Array.blit b.data 0 data a.len b.len;
+    { cap = a.cap + b.cap; data; len; sorted = false }
 end

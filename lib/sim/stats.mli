@@ -61,4 +61,9 @@ module Samples : sig
   val quantile : t -> float -> float
 
   val reset : t -> unit
+
+  (** [merge a b] is a fresh sample set holding both inputs' observations
+      (capacities add), so pooled quantiles are exact — used to combine
+      replications. *)
+  val merge : t -> t -> t
 end

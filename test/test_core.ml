@@ -621,6 +621,94 @@ let test_replication_averages () =
   let r = Core.Simulator.run_replicated spec ~reps:3 in
   Alcotest.(check int) "commits summed over reps" (3 * 300) r.Core.Simulator.commits
 
+(* Regression for the replication-statistics bug: stddev and quantiles
+   must come from the pooled per-commit observations, not from averaging
+   per-rep stddevs/quantiles (which is not a stddev or quantile of
+   anything), and ratios must be ratios of pooled counts. *)
+let test_replication_pools_statistics () =
+  let spec = quick_spec (Core.Proto.Two_phase Core.Proto.Inter) in
+  let pooled = Core.Simulator.run_replicated spec ~reps:3 in
+  let reps =
+    List.map
+      (fun k ->
+        Core.Simulator.run
+          { spec with Core.Simulator.seed = spec.Core.Simulator.seed + k })
+      [ 0; 1; 2 ]
+  in
+  let isum f = List.fold_left (fun a r -> a + f r) 0 reps in
+  Alcotest.(check int) "commits pooled"
+    (isum (fun r -> r.Core.Simulator.commits))
+    pooled.Core.Simulator.commits;
+  Alcotest.(check int) "messages pooled"
+    (isum (fun r -> r.Core.Simulator.messages))
+    pooled.Core.Simulator.messages;
+  Alcotest.(check (float 1e-9)) "msgs_per_commit is ratio of pooled counts"
+    (float_of_int pooled.Core.Simulator.messages
+    /. float_of_int pooled.Core.Simulator.commits)
+    pooled.Core.Simulator.msgs_per_commit;
+  (* mean: commit-weighted mean of the per-rep means (one response
+     observation per measured commit) *)
+  let n_tot = float_of_int pooled.Core.Simulator.commits in
+  let weighted_mean =
+    List.fold_left
+      (fun a (r : Core.Simulator.result) ->
+        a +. (float_of_int r.Core.Simulator.commits *. r.Core.Simulator.mean_response))
+      0.0 reps
+    /. n_tot
+  in
+  Alcotest.(check (float 1e-6)) "pooled mean is commit-weighted mean"
+    weighted_mean pooled.Core.Simulator.mean_response;
+  (* stddev: merge the per-rep (n, mean, m2) moments exactly as a single
+     pass over all observations would, then compare *)
+  let n, _, m2 =
+    List.fold_left
+      (fun (na, ma, m2a) (r : Core.Simulator.result) ->
+        let nb = float_of_int r.Core.Simulator.commits in
+        let mb = r.Core.Simulator.mean_response in
+        let m2b =
+          r.Core.Simulator.response_stddev ** 2.0 *. (nb -. 1.0)
+        in
+        if na = 0.0 then (nb, mb, m2b)
+        else
+          let n = na +. nb in
+          let d = mb -. ma in
+          (n, ma +. (d *. nb /. n), m2a +. m2b +. (d *. d *. na *. nb /. n)))
+      (0.0, 0.0, 0.0) reps
+  in
+  let expected_stddev = sqrt (m2 /. (n -. 1.0)) in
+  Alcotest.(check (float 1e-6)) "pooled stddev from merged moments"
+    expected_stddev pooled.Core.Simulator.response_stddev;
+  (* and pooling is NOT the buggy average of per-rep stddevs *)
+  let avg_stddev =
+    List.fold_left
+      (fun a (r : Core.Simulator.result) -> a +. r.Core.Simulator.response_stddev)
+      0.0 reps
+    /. 3.0
+  in
+  Alcotest.(check bool) "differs from averaged stddevs" true
+    (Float.abs (avg_stddev -. pooled.Core.Simulator.response_stddev) > 1e-12);
+  (* quantiles of the pooled samples live near the per-rep quantiles *)
+  let fmin f = List.fold_left (fun a r -> Float.min a (f r)) infinity reps in
+  let fmax f = List.fold_left (fun a r -> Float.max a (f r)) neg_infinity reps in
+  let in_band name v lo hi =
+    if v < (0.9 *. lo) -. 1e-9 || v > (1.1 *. hi) +. 1e-9 then
+      Alcotest.failf "%s %.6f outside pooled band [%.6f, %.6f]" name v lo hi
+  in
+  in_band "p50" pooled.Core.Simulator.response_p50
+    (fmin (fun r -> r.Core.Simulator.response_p50))
+    (fmax (fun r -> r.Core.Simulator.response_p50));
+  in_band "p95" pooled.Core.Simulator.response_p95
+    (fmin (fun r -> r.Core.Simulator.response_p95))
+    (fmax (fun r -> r.Core.Simulator.response_p95));
+  Alcotest.(check bool) "p50 <= p95" true
+    (pooled.Core.Simulator.response_p50 <= pooled.Core.Simulator.response_p95)
+
+let test_replication_jobs_invariant () =
+  let spec = quick_spec (Core.Proto.Two_phase Core.Proto.Inter) in
+  let seq = Core.Simulator.run_replicated ~jobs:1 spec ~reps:3 in
+  let par = Core.Simulator.run_replicated ~jobs:3 spec ~reps:3 in
+  Alcotest.(check bool) "jobs=1 and jobs=3 results identical" true (seq = par)
+
 let test_hot_spot_buffer_sharing () =
   (* a tiny database makes every page hot: buffer hits should keep disk
      reads well below total page requests *)
@@ -1095,6 +1183,8 @@ let suites =
         case "interactive think-time response" test_interactive_response_dominated_by_think_time;
         case "utilizations bounded" test_utilizations_bounded;
         case "replication sums commits" test_replication_averages;
+        case "replication pools statistics" test_replication_pools_statistics;
+        case "replication jobs invariant" test_replication_jobs_invariant;
         case "hot database stays in buffer" test_hot_spot_buffer_sharing;
       ] );
     qsuite "integration-props" [ prop_random_configs_complete ];

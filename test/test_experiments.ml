@@ -56,6 +56,96 @@ let test_runner_distinguishes_knobs () =
   Alcotest.(check int) "knob changes the key" 2
     (Experiments.Exp_defs.runs_executed runner)
 
+(* Regression for the cache-key collision bug: the old hand-enumerated key
+   omitted several Sys_params fields, so specs differing only in one of
+   them collided in the runner cache and reused the wrong result. *)
+let test_key_covers_every_config_field () =
+  let base = tiny_spec () in
+  let cfg = base.Core.Simulator.cfg in
+  let with_cfg c = { base with Core.Simulator.cfg = c } in
+  let variants =
+    [
+      ("n_data_disks", with_cfg { cfg with Core.Sys_params.n_data_disks = 4 });
+      ("client_mips", with_cfg { cfg with Core.Sys_params.client_mips = 2.5 });
+      ("page_size", with_cfg { cfg with Core.Sys_params.page_size = 8192 });
+      ( "control_msg_bytes",
+        with_cfg { cfg with Core.Sys_params.control_msg_bytes = 512 } );
+      ( "packet_size",
+        with_cfg
+          {
+            cfg with
+            Core.Sys_params.net =
+              { cfg.Core.Sys_params.net with Net.Network.packet_size = 8192 };
+          } );
+      ("n_client_cpus", with_cfg { cfg with Core.Sys_params.n_client_cpus = 2 });
+      ("n_server_cpus", with_cfg { cfg with Core.Sys_params.n_server_cpus = 2 });
+      ( "db n_pages",
+        {
+          base with
+          Core.Simulator.db_params =
+            Db.Db_params.uniform ~n_classes:40 ~pages_per_class:60 ();
+        } );
+    ]
+  in
+  let base_key = Experiments.Exp_defs.key_of_spec base in
+  List.iter
+    (fun (field, spec') ->
+      if Experiments.Exp_defs.key_of_spec spec' = base_key then
+        Alcotest.failf "changing %s does not change the cache key" field)
+    variants;
+  (* and the key is still stable: equal specs built twice share it *)
+  Alcotest.(check string) "equal specs share a key" base_key
+    (Experiments.Exp_defs.key_of_spec (tiny_spec ()))
+
+(* The acceptance contract of the parallel runner: one figure cell run
+   through run_build with 1 and 4 workers yields identical results,
+   field by field, because randomness is seeded per spec. *)
+let test_run_build_jobs_invariant () =
+  let build runner =
+    List.map
+      (fun n -> Experiments.Exp_defs.run runner (tiny_spec ~n_clients:n ()))
+      [ 2; 3; 4 ]
+  in
+  let r1 =
+    Experiments.Exp_defs.run_build
+      (Experiments.Exp_defs.make_runner ~jobs:1 tiny_opts)
+      build
+  in
+  let runner4 = Experiments.Exp_defs.make_runner ~jobs:4 tiny_opts in
+  let r4 = Experiments.Exp_defs.run_build runner4 build in
+  Alcotest.(check int) "three cells executed once each" 3
+    (Experiments.Exp_defs.runs_executed runner4);
+  List.iter2
+    (fun (a : Core.Simulator.result) (b : Core.Simulator.result) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "clients=%d identical" a.Core.Simulator.n_clients)
+        true (a = b))
+    r1 r4
+
+let test_run_build_memoizes_across_calls () =
+  let runner = Experiments.Exp_defs.make_runner ~jobs:2 tiny_opts in
+  let build r = Experiments.Exp_defs.run r (tiny_spec ()) in
+  let a = Experiments.Exp_defs.run_build runner build in
+  let b = Experiments.Exp_defs.run_build runner build in
+  Alcotest.(check int) "one simulation for both builds" 1
+    (Experiments.Exp_defs.runs_executed runner);
+  Alcotest.(check bool) "cached result returned" true (a = b);
+  (* direct run also hits the same cache *)
+  let c = Experiments.Exp_defs.run runner (tiny_spec ()) in
+  Alcotest.(check int) "still one" 1 (Experiments.Exp_defs.runs_executed runner);
+  Alcotest.(check bool) "same" true (a = c)
+
+let test_run_build_propagates_build_exception () =
+  let runner = Experiments.Exp_defs.make_runner ~jobs:2 tiny_opts in
+  Alcotest.check_raises "build exception escapes" (Failure "bad build")
+    (fun () ->
+      ignore
+        (Experiments.Exp_defs.run_build runner (fun _ -> failwith "bad build")));
+  (* the runner is still usable afterwards *)
+  ignore (Experiments.Exp_defs.run_build runner (fun r ->
+      Experiments.Exp_defs.run r (tiny_spec ())));
+  Alcotest.(check int) "recovered" 1 (Experiments.Exp_defs.runs_executed runner)
+
 let test_figure_csv_shape () =
   let runner = Experiments.Exp_defs.make_runner tiny_opts in
   let r = Experiments.Exp_defs.run runner (tiny_spec ()) in
@@ -122,7 +212,14 @@ let suites =
         case "runner memoizes identical specs" test_runner_memoizes;
         case "distinct specs rerun" test_runner_distinguishes_specs;
         case "ablation knobs change the key" test_runner_distinguishes_knobs;
+        case "key covers every config field" test_key_covers_every_config_field;
         case "metric_value" test_metric_value;
+      ] );
+    ( "parallel runner",
+      [
+        case "jobs=1 and jobs=4 results identical" test_run_build_jobs_invariant;
+        case "run_build memoizes across calls" test_run_build_memoizes_across_calls;
+        case "build exceptions propagate" test_run_build_propagates_build_exception;
       ] );
     ( "report",
       [ case "figure csv shape" test_figure_csv_shape ] );

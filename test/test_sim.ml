@@ -546,6 +546,132 @@ let test_hold_negative_rejected () =
   Alcotest.check_raises "negative hold" (Invalid_argument "Engine.hold: negative")
     (fun () -> ignore (Engine.run eng ()))
 
+(* ------------------------------------------------------------------ *)
+(* Samples.merge                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_samples_merge_exact_quantiles () =
+  let a = Stats.Samples.create () and b = Stats.Samples.create () in
+  let all = Stats.Samples.create () in
+  let xs = [ 9.0; 1.0; 4.0; 7.0 ] and ys = [ 2.0; 8.0; 3.0; 6.0; 5.0 ] in
+  List.iter (Stats.Samples.add a) xs;
+  List.iter (Stats.Samples.add b) ys;
+  List.iter (Stats.Samples.add all) (xs @ ys);
+  (* sorting [a] first must not change what merge sees *)
+  ignore (Stats.Samples.quantile a 0.5);
+  let m = Stats.Samples.merge a b in
+  Alcotest.(check int) "count" 9 (Stats.Samples.count m);
+  List.iter
+    (fun q ->
+      check_float
+        (Printf.sprintf "q=%g" q)
+        (Stats.Samples.quantile all q)
+        (Stats.Samples.quantile m q))
+    [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ]
+
+let test_samples_merge_empty () =
+  let a = Stats.Samples.create () and b = Stats.Samples.create () in
+  Stats.Samples.add b 3.0;
+  let m = Stats.Samples.merge a b in
+  Alcotest.(check int) "count" 1 (Stats.Samples.count m);
+  check_float "median" 3.0 (Stats.Samples.quantile m 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Rng.int uniformity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The float-scaling implementation mapped 53 mantissa bits onto the range,
+   so for n = 2^60 every result had its low ~7 bits zero: bucketing by the
+   low 4 bits put 100% of the mass in bucket 0.  The rejection sampler must
+   fill every low-bit bucket evenly. *)
+let test_rng_int_large_bound_low_bits () =
+  let r = Rng.create 7 in
+  let n = 1 lsl 60 in
+  let draws = 20_000 in
+  let buckets = Array.make 16 0 in
+  for _ = 1 to draws do
+    let x = Rng.int r n in
+    if x < 0 || x >= n then Alcotest.failf "out of range: %d" x;
+    buckets.(x land 15) <- buckets.(x land 15) + 1
+  done;
+  let expect = float_of_int draws /. 16.0 in
+  Array.iteri
+    (fun i c ->
+      let err = Float.abs (float_of_int c -. expect) /. expect in
+      if err > 0.15 then
+        Alcotest.failf "low-bit bucket %d off by %.0f%% (%d draws)" i
+          (100.0 *. err) c)
+    buckets
+
+let prop_rng_int_bucket_frequency =
+  QCheck.Test.make ~name:"Rng.int per-bucket frequency error bounded" ~count:25
+    QCheck.(pair (int_range 16 (1 lsl 55)) (int_range 0 1000))
+    (fun (n, seed) ->
+      let r = Rng.create seed in
+      let k = 8 in
+      let draws = 8_000 in
+      let buckets = Array.make k 0 in
+      for _ = 1 to draws do
+        let x = Rng.int r n in
+        if x < 0 || x >= n then QCheck.Test.fail_reportf "out of range: %d" x;
+        let b = min (k - 1) (int_of_float (float_of_int x /. float_of_int n *. float_of_int k)) in
+        buckets.(b) <- buckets.(b) + 1
+      done;
+      let expect = float_of_int draws /. float_of_int k in
+      Array.for_all
+        (fun c -> Float.abs (float_of_int c -. expect) /. expect < 0.25)
+        buckets)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~name:"Rng.int always lands in [0, n)" ~count:500
+    QCheck.(pair (int_range 1 max_int) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let r = Rng.create seed in
+      let x = Rng.int r n in
+      0 <= x && x < n)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_preserves_order () =
+  let items = List.init 50 Fun.id in
+  let got = Pool.map ~jobs:4 (fun x -> x * x) items in
+  Alcotest.(check (list int)) "submission order" (List.map (fun x -> x * x) items) got
+
+let test_pool_single_job () =
+  let got = Pool.map ~jobs:1 (fun x -> x + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "sequential path" [ 2; 3; 4 ] got
+
+let test_pool_empty_batch () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) [])
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "worker exception reaches caller" (Failure "boom")
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 10 Fun.id)))
+
+let test_pool_first_failure_wins () =
+  (* both items fail; the lowest-indexed exception must be the one raised *)
+  Alcotest.check_raises "lowest index first" (Failure "first") (fun () ->
+      ignore
+        (Pool.map ~jobs:2
+           (function
+             | 0 -> failwith "first" | 9 -> failwith "last" | x -> x)
+           (List.init 10 Fun.id)))
+
+let test_pool_matches_sequential_map () =
+  let items = List.init 37 (fun i -> i * 3) in
+  let f x = (x * 7) mod 11 in
+  Alcotest.(check (list int)) "same as List.map" (List.map f items)
+    (Pool.map ~jobs:8 f items)
+
+let test_pool_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
 let suites =
   [
     ( "heap",
@@ -603,6 +729,18 @@ let suites =
         case "exponential mean" test_rng_exponential_mean;
         case "bernoulli rate" test_rng_bernoulli_rate;
         case "zero-mean exponential" test_rng_zero_mean_exponential;
+        case "large-bound low bits uniform" test_rng_int_large_bound_low_bits;
+      ] );
+    qsuite "rng-props" [ prop_rng_int_bucket_frequency; prop_rng_int_in_range ];
+    ( "pool",
+      [
+        case "preserves submission order" test_pool_preserves_order;
+        case "single job" test_pool_single_job;
+        case "empty batch" test_pool_empty_batch;
+        case "propagates exception" test_pool_propagates_exception;
+        case "first failure wins" test_pool_first_failure_wins;
+        case "matches sequential map" test_pool_matches_sequential_map;
+        case "default jobs positive" test_pool_default_jobs_positive;
       ] );
     ( "stats",
       [
@@ -618,6 +756,8 @@ let suites =
         case "empty and reset" test_samples_empty_and_reset;
         case "capacity cap" test_samples_capacity;
         case "add after quantile" test_samples_add_after_quantile;
+        case "merge pools exactly" test_samples_merge_exact_quantiles;
+        case "merge with empty" test_samples_merge_empty;
       ] );
     qsuite "samples-props" [ prop_samples_median_between_min_max ];
   ]
