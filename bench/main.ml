@@ -130,6 +130,9 @@ let () =
     exit 0
   end;
   let opts = if !quick then Experiments.Exp_defs.quick_opts else Experiments.Exp_defs.default_opts in
+  Printf.printf "%s\n%!"
+    (Experiments.Report.repro_line ~seed:opts.Experiments.Exp_defs.seed
+       ~jobs:!jobs);
   let runner = Experiments.Exp_defs.make_runner ~jobs:!jobs opts in
   let selected =
     match !experiments with

@@ -161,6 +161,8 @@ let exp_cmd =
       if quick then Experiments.Exp_defs.quick_opts
       else Experiments.Exp_defs.default_opts
     in
+    Format.printf "%s@."
+      (Experiments.Report.repro_line ~seed:opts.Experiments.Exp_defs.seed ~jobs);
     let runner = Experiments.Exp_defs.make_runner ~jobs opts in
     let selected =
       if List.mem "all" ids then Experiments.Suite.all
@@ -206,6 +208,115 @@ let exp_cmd =
     Term.(const run $ ids $ quick $ detail $ csv $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ccsim chaos                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Seeded fault plans per algorithm (seeds 1..N).")
+  in
+  let algos =
+    Arg.(
+      value
+      & opt (list algo_conv) Experiments.Chaos.default_algos
+      & info [ "algos" ] ~docv:"A,B,..."
+          ~doc:"Algorithms to audit (default: all five).")
+  in
+  let drop =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drop" ] ~docv:"P" ~doc:"Override message drop probability.")
+  in
+  let crash_mean =
+    Arg.(
+      value & opt (some float) None
+      & info [ "crash-mean" ] ~docv:"S"
+          ~doc:"Override mean seconds between client crashes (0 disables).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer commits per run.")
+  in
+  let unsafe =
+    Arg.(
+      value & flag
+      & info [ "unsafe-skip-validation" ]
+          ~doc:
+            "Deliberately disable commit validation to prove the audit \
+             catches protocol violations (expected to FAIL).")
+  in
+  let run seeds algos drop crash_mean quick unsafe jobs =
+    if seeds <= 0 then begin
+      Printf.eprintf "ccsim: --seeds must be positive\n";
+      exit 1
+    end;
+    let measured_commits = if quick then 150 else 400 in
+    let plan seed =
+      let p = Fault.Plan.default ~seed in
+      let p =
+        match drop with Some d -> { p with Fault.Plan.drop_prob = d } | None -> p
+      in
+      let p =
+        match crash_mean with
+        | Some m ->
+            if m = 0.0 then
+              { p with Fault.Plan.crash_mean = 0.0; restart_mean = 0.0 }
+            else { p with Fault.Plan.crash_mean = m }
+        | None -> p
+      in
+      { p with Fault.Plan.unsafe_skip_validation = unsafe }
+    in
+    let specs =
+      List.concat_map
+        (fun algo ->
+          List.init seeds (fun k ->
+              (* validation bypass only shows up under contention, so the
+                 violation proof runs on the hot workload *)
+              Experiments.Chaos.spec ~measured_commits ~hot:unsafe
+                ~fault:(plan (k + 1)) algo))
+        algos
+    in
+    Format.printf "# chaos: %d plans x %d algorithms, %d commits each, %s@."
+      seeds (List.length algos) measured_commits
+      (Experiments.Report.repro_line ~seed:1 ~jobs);
+    let verdicts = Experiments.Chaos.sweep ~jobs specs in
+    let failures =
+      List.filter_map
+        (fun (sp, v) ->
+          Format.printf "%a@." Experiments.Chaos.pp_verdict v;
+          if Experiments.Chaos.ok v then None else Some (sp, v))
+        (List.combine specs verdicts)
+    in
+    match failures with
+    | [] ->
+        Format.printf "@.all %d chaos runs passed their audits@."
+          (List.length specs)
+    | fs ->
+        Format.printf "@.%d of %d chaos runs FAILED; shrinking first failure@."
+          (List.length fs) (List.length specs);
+        let sp, v = List.hd fs in
+        let minimal = Experiments.Chaos.shrink sp in
+        Format.printf
+          "minimal reproducer: algo=%s plan={%s}@.rerun with: ccsim chaos \
+           --seeds 1 ... (seed %d)@."
+          (Core.Proto.algorithm_name v.Experiments.Chaos.v_algo)
+          (Fault.Plan.to_string minimal) minimal.Fault.Plan.seed;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Audit the consistency algorithms under seeded fault injection: \
+          every run must stay serializable, reach its commit target, pass \
+          the lock-table and cache-coherence sweeps, and recover every \
+          crashed client.")
+    Term.(
+      const run $ seeds $ algos $ drop $ crash_mean $ quick $ unsafe
+      $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* ccsim list                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -224,4 +335,4 @@ let () =
         "Client/server DBMS cache-consistency simulator (Wang & Rowe, \
          UCB/ERL M90/120)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; chaos_cmd; list_cmd ]))

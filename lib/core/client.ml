@@ -1,4 +1,5 @@
 exception Restart
+exception Crashed
 
 type t = {
   id : int;
@@ -11,6 +12,9 @@ type t = {
   to_server : Proto.c2s -> unit;
   on_commit : unit -> unit;
   audit : Cc.History.t option;
+  fault : Fault.Plan.t;
+  faulty : bool; (* [Fault.Plan.active fault]: arms timeouts, leases, retries *)
+  frng : Sim.Rng.t; (* crash/restart stream, split off the plan seed *)
   cport : Proto.port;
   cache_pool : Storage.Lru_pool.t;
   vers : (int, int) Hashtbl.t; (* cached page -> version of our copy *)
@@ -26,17 +30,26 @@ type t = {
   acquired : (int, unit) Hashtbl.t; (* callback: locks first taken this xact *)
   retained : (int, Proto.lock_kind) Hashtbl.t; (* callback: retained locks *)
   pending_cb : (int, unit) Hashtbl.t; (* callbacks deferred to xact end *)
+  read_snap : (int, int) Hashtbl.t; (* locking: page -> version first read *)
   mutable contacted : bool; (* sent any xact-scoped message this attempt *)
   mutable abort_flag : bool;
   mutable abort_stale : int list;
   mutable thinking : bool;
   deferred : Proto.s2c Queue.t;
+  (* fault-recovery state (inert under Fault.none) *)
+  mutable cur_req : int; (* sequence number of the last awaitable request *)
+  mutable last_req : Proto.c2s option; (* that request, for retransmission *)
+  mutable last_req_sent : float; (* its FIRST transmission time *)
+  mutable lease_deadline : float; (* retained state trusted until here *)
+  mutable crash_requested : bool;
+  mutable crashed : bool; (* down: the dispatcher drops every message *)
   (* stats *)
   mutable n_commits : int;
   mutable n_restarts : int;
 }
 
-let create ?audit eng ~id ~cfg ~algo ~workload ~rng ~metrics ~to_server ~on_commit =
+let create ?audit ?(fault = Fault.Plan.none) eng ~id ~cfg ~algo ~workload ~rng
+    ~metrics ~to_server ~on_commit =
   let cpu =
     Sim.Facility.create eng
       ~name:(Printf.sprintf "client-%d-cpu" id)
@@ -53,6 +66,9 @@ let create ?audit eng ~id ~cfg ~algo ~workload ~rng ~metrics ~to_server ~on_comm
     to_server;
     on_commit;
     audit;
+    fault;
+    faulty = Fault.Plan.active fault;
+    frng = Fault.Injector.client_stream fault id;
     cport = { Proto.cpu; mips = cfg.Sys_params.client_mips };
     cache_pool = Storage.Lru_pool.create ~capacity:cfg.Sys_params.cache_size;
     vers = Hashtbl.create 256;
@@ -67,11 +83,18 @@ let create ?audit eng ~id ~cfg ~algo ~workload ~rng ~metrics ~to_server ~on_comm
     acquired = Hashtbl.create 64;
     retained = Hashtbl.create 256;
     pending_cb = Hashtbl.create 16;
+    read_snap = Hashtbl.create 64;
     contacted = false;
     abort_flag = false;
     abort_stale = [];
     thinking = false;
     deferred = Queue.create ();
+    cur_req = 0;
+    last_req = None;
+    last_req_sent = 0.0;
+    lease_deadline = infinity;
+    crash_requested = false;
+    crashed = false;
     n_commits = 0;
     n_restarts = 0;
   }
@@ -164,6 +187,8 @@ let handle_async t = function
       assert false
 
 let dispatch t msg =
+  if t.crashed then () (* a down workstation hears nothing *)
+  else
   match msg with
   | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _ ->
       if t.thinking && not t.cfg.Sys_params.process_async_during_think then
@@ -196,7 +221,9 @@ let drain_deferred t =
 (* Main-process helpers                                                *)
 (* ------------------------------------------------------------------ *)
 
-let check_abort t = if t.abort_flag then raise Restart
+let check_abort t =
+  if t.crash_requested then raise Crashed;
+  if t.abort_flag then raise Restart
 
 let reply_xid = function
   | Proto.Fetch_reply { xid; _ }
@@ -207,10 +234,72 @@ let reply_xid = function
   | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _ ->
       -1
 
-let rec await_reply t =
+let reply_req = function
+  | Proto.Fetch_reply { req; _ }
+  | Proto.Cert_reply { req; _ }
+  | Proto.Commit_reply { req; _ } ->
+      req
+  | Proto.Aborted _ | Proto.Callback_request _ | Proto.Update_push _
+  | Proto.Invalidate_page _ ->
+      -1
+
+(* [req] sequence numbers only advance under an active fault plan; without
+   one every request carries [req = 0] and replies are matched by xid
+   alone, exactly as before. *)
+let next_req t =
+  if t.faulty then begin
+    t.cur_req <- t.cur_req + 1;
+    t.cur_req
+  end
+  else 0
+
+(* Timed receive with capped exponential backoff.  On every timeout the
+   current request is retransmitted verbatim (same xid, same [req]), so
+   the server sees an idempotent duplicate.  Replies to earlier [req]s of
+   the current transaction are discarded.  A matched reply acknowledges
+   the request and renews the lease from the request's FIRST transmission
+   time — the server has heard us no earlier than that, so its own expiry
+   clock [last_heard + lease] is never behind ours.
+
+   [crashable] is false for the commit round-trip: a crash request is
+   deferred until the commit outcome is known, so a transaction the server
+   committed is always recorded (and audited) by the client.  The
+   observable difference from a client that crashed mid-round-trip is
+   nil — the commit was already durable at the server. *)
+let await_reply_faulty t ~crashable =
+  let rec wait timeout =
+    if crashable && t.crash_requested then raise Crashed;
+    match Sim.Mailbox.recv_timeout t.reply_box ~timeout with
+    | Some msg ->
+        if reply_xid msg <> t.xid then wait timeout
+        else (
+          match msg with
+          | Proto.Aborted _ -> raise Restart
+          | m when reply_req m = t.cur_req ->
+              if t.fault.Fault.Plan.lease > 0.0 then
+                t.lease_deadline <-
+                  Float.max t.lease_deadline
+                    (t.last_req_sent +. t.fault.Fault.Plan.lease);
+              m
+          | _ -> wait timeout (* duplicate reply to a superseded request *))
+    | None ->
+        if crashable && t.crash_requested then raise Crashed;
+        Metrics.record_retry t.metrics;
+        if Trace.active () then
+          Trace.emit (Sim.Engine.now t.eng)
+            (Trace.Retransmit { client = t.id; xid = t.xid });
+        (match t.last_req with Some m -> t.to_server m | None -> ());
+        wait (Float.min (timeout *. 2.0) t.fault.Fault.Plan.max_backoff)
+  in
+  wait t.fault.Fault.Plan.req_timeout
+
+let rec await_reply_plain t =
   let msg = Sim.Mailbox.recv t.reply_box in
-  if reply_xid msg <> t.xid then await_reply t (* stale, from an old attempt *)
+  if reply_xid msg <> t.xid then await_reply_plain t (* stale, old attempt *)
   else match msg with Proto.Aborted _ -> raise Restart | m -> m
+
+let await_reply ?(crashable = true) t =
+  if t.faulty then await_reply_faulty t ~crashable else await_reply_plain t
 
 let think t dt =
   if dt > 0.0 then begin
@@ -236,12 +325,20 @@ let describe_c2s = function
       Printf.sprintf "release retained [%s]"
         (String.concat "," (List.map string_of_int pages))
   | Proto.Dirty_evict { page; _ } -> Printf.sprintf "dirty evict p%d" page
+  | Proto.Recovered _ -> "recovered (cold cache)"
 
 let send_xact_msg t msg =
   if Trace.active () then
     Trace.emit (Sim.Engine.now t.eng)
       (Trace.Client_send { client = t.id; xid = t.xid; what = describe_c2s msg });
   t.contacted <- true;
+  if t.faulty then (
+    match msg with
+    | Proto.Fetch { no_wait = false; _ } | Proto.Cert_read _ | Proto.Commit _
+      ->
+        t.last_req <- Some msg;
+        t.last_req_sent <- Sim.Engine.now t.eng
+    | _ -> ());
   t.to_server msg
 
 let record_lookups t ~total ~misses =
@@ -251,6 +348,46 @@ let record_lookups t ~total ~misses =
   for _ = 1 to total - misses do
     Metrics.record_lookup t.metrics ~hit:true
   done
+
+(* Record the version a page had when the transaction first accessed it.
+   This is what the serializability audit reports as the read: later
+   re-reads of a locked page are served from the transaction's private
+   copy, so a mid-transaction push to the cached frame (possible only
+   under faults, after a lock was lease-reclaimed) must not rewrite
+   history.  Under [Fault.none] the snapshot provably equals the cached
+   version at commit, because a held lock keeps writers out. *)
+let snap_reads t pages =
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem t.read_snap p) then
+        match Hashtbl.find_opt t.vers p with
+        | Some v -> Hashtbl.add t.read_snap p v
+        | None -> ())
+    pages
+
+(* Callback locking under a lease: retained locks are only trusted while
+   the lease holds.  The deadline renews from acknowledged requests, and
+   the server's reclamation clock ([last_heard + lease]) is always at or
+   behind ours, so a client that stops trusting here can never use a lock
+   the server has already given away.  When the lease lapses we drop all
+   retained locks; if this attempt already read through them those reads
+   are suspect, so the attempt restarts. *)
+let check_lease t =
+  if
+    t.faulty && t.algo = Proto.Callback
+    && t.fault.Fault.Plan.lease > 0.0
+    && Sim.Engine.now t.eng > t.lease_deadline
+  then begin
+    let pages = Hashtbl.fold (fun p _ acc -> p :: acc) t.retained [] in
+    if pages <> [] then begin
+      Hashtbl.reset t.retained;
+      Hashtbl.reset t.pending_cb;
+      Metrics.record_lease_lapse t.metrics;
+      (* best effort; the server may already have reclaimed them *)
+      t.to_server (Proto.Release_retained { client = t.id; pages });
+      if t.in_xact && Hashtbl.length t.locked > 0 then raise Restart
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* ReadObject                                                          *)
@@ -281,6 +418,7 @@ let read_locking t pages ~no_wait_ok =
            {
              client = t.id;
              xid = t.xid;
+             req = 0;
              mode = Proto.Read;
              pages = fetch_pages_of t need;
              no_wait = true;
@@ -293,6 +431,7 @@ let read_locking t pages ~no_wait_ok =
            {
              client = t.id;
              xid = t.xid;
+             req = next_req t;
              mode = Proto.Read;
              pages = fetch_pages_of t need;
              no_wait = false;
@@ -305,7 +444,8 @@ let read_locking t pages ~no_wait_ok =
             need
       | _ -> assert false
     end;
-    List.iter (fun p -> Hashtbl.replace t.locked p Proto.Read) need
+    List.iter (fun p -> Hashtbl.replace t.locked p Proto.Read) need;
+    snap_reads t need
   end;
   List.iter
     (fun p -> if not (List.memq p need) then touch_and_pin t p)
@@ -315,6 +455,7 @@ let read_locking t pages ~no_wait_ok =
 (* callback locking: retained locks make cached pages valid with no server
    contact at all (§2.3) *)
 let read_callback t pages =
+  check_lease t;
   pin_resident t pages;
   let local p =
     (Hashtbl.mem t.retained p || Hashtbl.mem t.locked p)
@@ -336,6 +477,7 @@ let read_callback t pages =
          {
            client = t.id;
            xid = t.xid;
+           req = next_req t;
            mode = Proto.Read;
            pages = fetch_pages_of t need;
            no_wait = false;
@@ -362,6 +504,7 @@ let read_callback t pages =
         Hashtbl.replace t.locked p Proto.Read;
       if not (List.memq p need) then touch_and_pin t p)
     pages;
+  snap_reads t pages;
   check_abort t
 
 (* certification: check each cached page with the server once per
@@ -373,7 +516,7 @@ let read_certification t pages =
   if need <> [] then begin
     send_xact_msg t
       (Proto.Cert_read
-         { client = t.id; xid = t.xid; pages = fetch_pages_of t need });
+         { client = t.id; xid = t.xid; req = next_req t; pages = fetch_pages_of t need });
     (match await_reply t with
     | Proto.Cert_reply { data; _ } ->
         install_fetch_data t data;
@@ -409,6 +552,7 @@ let mark_dirty t pages =
     pages
 
 let update_object t pages =
+  if t.algo = Proto.Callback then check_lease t;
   let have_x p =
     Hashtbl.find_opt t.locked p = Some Proto.Write
     || (is_callback t && Hashtbl.find_opt t.retained p = Some Proto.Write)
@@ -434,6 +578,7 @@ let update_object t pages =
              {
                client = t.id;
                xid = t.xid;
+               req = next_req t;
                mode = Proto.Write;
                pages = fetch_pages_of t need_x;
                no_wait = false;
@@ -449,11 +594,13 @@ let update_object t pages =
              {
                client = t.id;
                xid = t.xid;
+               req = 0;
                mode = Proto.Write;
                pages = fetch_pages_of t need_x;
                no_wait = true;
              }));
   List.iter (fun p -> Hashtbl.replace t.locked p Proto.Write) need_x;
+  snap_reads t need_x;
   mark_dirty t pages;
   check_abort t
 
@@ -477,6 +624,7 @@ let clear_xact_state t =
   Hashtbl.reset t.checked;
   Hashtbl.reset t.dirty;
   Hashtbl.reset t.acquired;
+  Hashtbl.reset t.read_snap;
   Storage.Lru_pool.unpin_all t.cache_pool;
   t.contacted <- false;
   t.abort_flag <- false;
@@ -495,20 +643,23 @@ let record_audit t ~new_versions =
         | Proto.Certification _ ->
             Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.checked []
         | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
-            Hashtbl.fold
-              (fun p _ acc ->
-                match Hashtbl.find_opt t.vers p with
-                | Some v -> (p, v) :: acc
-                | None -> acc)
-              t.locked []
+            Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.read_snap []
       in
       Cc.History.add_commit history
         { Cc.History.xid = t.xid; reads; writes = new_versions }
 
 let send_commit t ~read_set ~update_pages ~release_pages =
   send_xact_msg t
-    (Proto.Commit { client = t.id; xid = t.xid; read_set; update_pages; release_pages });
-  match await_reply t with
+    (Proto.Commit
+       {
+         client = t.id;
+         xid = t.xid;
+         req = next_req t;
+         read_set;
+         update_pages;
+         release_pages;
+       });
+  match await_reply ~crashable:false t with
   | Proto.Commit_reply { ok; new_versions; stale_pages; _ } ->
       (ok, new_versions, stale_pages)
   | _ -> assert false
@@ -517,10 +668,23 @@ let commit t =
   let updates = dirty_pages t in
   match t.algo with
   | Proto.Two_phase _ | Proto.No_wait _ ->
-      let ok, new_versions, _ =
-        send_commit t ~read_set:[] ~update_pages:updates ~release_pages:[]
+      (* Under faults, no-wait's optimistic (fire-and-forget) reads are
+         re-validated at commit: a dropped no-wait fetch must not let a
+         stale read commit.  The read set is empty — and the server skips
+         validation — in the fault-free model, preserving §2.4 exactly. *)
+      let read_set =
+        match t.algo with
+        | Proto.No_wait _ when t.faulty ->
+            Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.read_snap []
+        | _ -> []
       in
-      assert ok;
+      let ok, new_versions, stale =
+        send_commit t ~read_set ~update_pages:updates ~release_pages:[]
+      in
+      if not ok then begin
+        List.iter (drop_page t) stale;
+        raise Restart
+      end;
       record_audit t ~new_versions;
       apply_new_versions t new_versions
   | Proto.Certification _ ->
@@ -538,7 +702,7 @@ let commit t =
         let ok, new_versions, _ =
           send_commit t ~read_set:[] ~update_pages:updates ~release_pages
         in
-        assert ok;
+        if not ok then raise Restart;
         record_audit t ~new_versions;
         apply_new_versions t new_versions
       end
@@ -622,6 +786,7 @@ let run_profile t (profile : Db.Workload.profile) =
   commit t
 
 let begin_attempt t =
+  if t.crash_requested then raise Crashed;
   t.seq <- t.seq + 1;
   t.xid <- Proto.make_xid ~client:t.id ~seq:t.seq;
   t.in_xact <- true;
@@ -632,6 +797,61 @@ let begin_attempt t =
     Storage.Lru_pool.clear t.cache_pool;
     Hashtbl.reset t.vers
   end
+
+(* ------------------------------------------------------------------ *)
+(* Crash / recovery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let request_crash t = t.crash_requested <- true
+
+(* A crash loses every bit of volatile state: the cache, version table,
+   retained locks, and any in-flight transaction.  The dispatcher keeps
+   running but drops messages while [crashed] — a down workstation hears
+   nothing, and whatever queued meanwhile is gone on reboot. *)
+let crash_cleanup t =
+  Metrics.record_crash t.metrics ~in_xact:t.in_xact;
+  if Trace.active () then
+    Trace.emit (Sim.Engine.now t.eng) (Trace.Client_crash { client = t.id });
+  Storage.Lru_pool.unpin_all t.cache_pool;
+  Storage.Lru_pool.clear t.cache_pool;
+  Hashtbl.reset t.vers;
+  Hashtbl.reset t.locked;
+  Hashtbl.reset t.checked;
+  Hashtbl.reset t.dirty;
+  Hashtbl.reset t.acquired;
+  Hashtbl.reset t.retained;
+  Hashtbl.reset t.pending_cb;
+  Hashtbl.reset t.read_snap;
+  Queue.clear t.deferred;
+  t.contacted <- false;
+  t.abort_flag <- false;
+  t.abort_stale <- [];
+  t.in_xact <- false;
+  t.thinking <- false;
+  t.last_req <- None;
+  t.lease_deadline <- infinity;
+  t.crash_requested <- false;
+  t.crashed <- true
+
+let recover t ~downtime =
+  t.crashed <- false;
+  (* messages delivered during the outage were already dropped by the
+     dispatcher; clear any reply that slipped in before the crash *)
+  let rec drain () =
+    match Sim.Mailbox.recv_opt t.reply_box with
+    | Some _ -> drain ()
+    | None -> ()
+  in
+  drain ();
+  Metrics.record_recovery t.metrics ~downtime;
+  if Trace.active () then
+    Trace.emit (Sim.Engine.now t.eng)
+      (Trace.Client_recover { client = t.id; downtime });
+  (* tell the server we rebooted cold, so it aborts our in-flight
+     transaction and frees every lock we held.  Best effort: if this
+     message is dropped, the lease sweep reclaims them instead (an active
+     crash plan requires a lease, see Fault.Plan.validate). *)
+  t.to_server (Proto.Recovered { client = t.id })
 
 let main_loop t () =
   (* stagger client start-up so the fleet does not move in lockstep *)
@@ -659,12 +879,51 @@ let main_loop t () =
     Sim.Engine.hold profile.Db.Workload.external_delay;
     xact_loop ()
   in
-  xact_loop ()
+  if not t.faulty then xact_loop ()
+  else
+    let down_rng = Sim.Rng.split t.frng "downtime" in
+    let rec life () =
+      match xact_loop () with
+      | () -> ()
+      | exception Crashed ->
+          crash_cleanup t;
+          let downtime =
+            Float.max 1e-4
+              (Sim.Rng.exponential down_rng
+                 ~mean:t.fault.Fault.Plan.restart_mean)
+          in
+          Sim.Engine.hold downtime;
+          recover t ~downtime;
+          life ()
+    in
+    life ()
 
 let start t =
   Sim.Engine.spawn t.eng ~name:(Printf.sprintf "client-%d-dispatch" t.id)
     (dispatcher_loop t);
-  Sim.Engine.spawn t.eng ~name:(Printf.sprintf "client-%d-main" t.id) (main_loop t)
+  Sim.Engine.spawn t.eng ~name:(Printf.sprintf "client-%d-main" t.id) (main_loop t);
+  if t.faulty && t.fault.Fault.Plan.crash_mean > 0.0 then begin
+    let sched = Sim.Rng.split t.frng "crash-schedule" in
+    Sim.Engine.spawn t.eng ~name:(Printf.sprintf "client-%d-gremlin" t.id)
+      (fun () ->
+        let rec loop () =
+          Sim.Engine.hold
+            (Sim.Rng.exponential sched ~mean:t.fault.Fault.Plan.crash_mean);
+          (* the flag takes effect at the client's next checkpoint; crash
+             requests raised during downtime coalesce into the reboot *)
+          t.crash_requested <- true;
+          loop ()
+        in
+        loop ())
+  end
+
+let crashed t = t.crashed
+
+let cached_versions t =
+  Hashtbl.fold
+    (fun p v acc ->
+      if Storage.Lru_pool.mem t.cache_pool p then (p, v) :: acc else acc)
+    t.vers []
 
 let debug_state t =
   let keys h = Hashtbl.fold (fun k _ acc -> string_of_int k :: acc) h [] |> String.concat "," in

@@ -20,9 +20,18 @@ type t
 
 (** [?audit] — when given, every committed transaction appends its
     (page, version) read and write summaries to the history, enabling the
-    serializability check of {!Cc.History}. *)
+    serializability check of {!Cc.History}.
+
+    [?fault] — an active {!Fault.Plan} arms the recovery machinery:
+    request timeouts with capped exponential backoff and idempotent
+    retransmission, crash/restart handling (a third process, the crash
+    gremlin, schedules crashes off the plan seed), and — under callback
+    locking — lease-bounded trust in retained locks.  With the default
+    {!Fault.Plan.none} every one of those paths is dormant and behavior
+    is bit-identical to a fault-free build. *)
 val create :
   ?audit:Cc.History.t ->
+  ?fault:Fault.Plan.t ->
   Sim.Engine.t ->
   id:int ->
   cfg:Sys_params.t ->
@@ -50,6 +59,17 @@ val start : t -> unit
 
 val commits : t -> int
 val restarts : t -> int
+
+(** Ask the client to crash at its next checkpoint (used by the crash
+    gremlin; harmless to call directly in tests). *)
+val request_crash : t -> unit
+
+(** Is the client currently down? *)
+val crashed : t -> bool
+
+(** (page, version) pairs currently cached — the chaos harness's
+    cache-coherence sweep compares them against the server's versions. *)
+val cached_versions : t -> (int * int) list
 val cpu_utilization : t -> float
 val retained_count : t -> int
 val reset_stats : t -> unit

@@ -1,4 +1,4 @@
-type abort_reason = Deadlock | Stale_read | Cert_fail
+type abort_reason = Deadlock | Stale_read | Cert_fail | Lease_reclaim
 
 type t = {
   eng : Sim.Engine.t;
@@ -14,6 +14,18 @@ type t = {
   mutable n_hits : int;
   mutable n_callbacks : int;
   mutable n_pushes : int;
+  (* fault-injection availability counters (all zero under Fault.none) *)
+  mutable n_lease : int;
+  mutable n_retries : int;
+  mutable n_crashes : int;
+  mutable n_recoveries : int;
+  mutable n_lost_xacts : int;
+  mutable n_reclaimed_locks : int;
+  mutable n_lease_lapses : int;
+  mutable n_msgs_dropped : int;
+  mutable n_msgs_delayed : int;
+  mutable n_msgs_duplicated : int;
+  recovery : Sim.Stats.t;
 }
 
 let create eng =
@@ -31,6 +43,17 @@ let create eng =
     n_hits = 0;
     n_callbacks = 0;
     n_pushes = 0;
+    n_lease = 0;
+    n_retries = 0;
+    n_crashes = 0;
+    n_recoveries = 0;
+    n_lost_xacts = 0;
+    n_reclaimed_locks = 0;
+    n_lease_lapses = 0;
+    n_msgs_dropped = 0;
+    n_msgs_delayed = 0;
+    n_msgs_duplicated = 0;
+    recovery = Sim.Stats.create ();
   }
 
 let measure_start t = t.start
@@ -45,6 +68,7 @@ let record_abort t = function
   | Deadlock -> t.n_deadlock <- t.n_deadlock + 1
   | Stale_read -> t.n_stale <- t.n_stale + 1
   | Cert_fail -> t.n_cert <- t.n_cert + 1
+  | Lease_reclaim -> t.n_lease <- t.n_lease + 1
 
 let record_lookup t ~hit =
   t.n_lookups <- t.n_lookups + 1;
@@ -52,14 +76,30 @@ let record_lookup t ~hit =
 
 let record_callback_sent t = t.n_callbacks <- t.n_callbacks + 1
 let record_push_sent t = t.n_pushes <- t.n_pushes + 1
+let record_retry t = t.n_retries <- t.n_retries + 1
+
+let record_crash t ~in_xact =
+  t.n_crashes <- t.n_crashes + 1;
+  if in_xact then t.n_lost_xacts <- t.n_lost_xacts + 1
+
+let record_recovery t ~downtime =
+  t.n_recoveries <- t.n_recoveries + 1;
+  Sim.Stats.add t.recovery downtime
+
+let record_reclaimed t ~locks = t.n_reclaimed_locks <- t.n_reclaimed_locks + locks
+let record_lease_lapse t = t.n_lease_lapses <- t.n_lease_lapses + 1
+let record_msg_dropped t = t.n_msgs_dropped <- t.n_msgs_dropped + 1
+let record_msg_delayed t = t.n_msgs_delayed <- t.n_msgs_delayed + 1
+let record_msg_duplicated t = t.n_msgs_duplicated <- t.n_msgs_duplicated + 1
 let total_commits t = t.n_total_commits
 let commits t = t.n_commits
-let aborts t = t.n_deadlock + t.n_stale + t.n_cert
+let aborts t = t.n_deadlock + t.n_stale + t.n_cert + t.n_lease
 
 let aborts_by t = function
   | Deadlock -> t.n_deadlock
   | Stale_read -> t.n_stale
   | Cert_fail -> t.n_cert
+  | Lease_reclaim -> t.n_lease
 
 let mean_response t = Sim.Stats.mean t.response
 let response_quantile t q = Sim.Stats.Samples.quantile t.response_samples q
@@ -69,6 +109,16 @@ let lookups t = t.n_lookups
 let hits t = t.n_hits
 let callbacks_sent t = t.n_callbacks
 let pushes_sent t = t.n_pushes
+let retries t = t.n_retries
+let crashes t = t.n_crashes
+let recoveries t = t.n_recoveries
+let lost_xacts t = t.n_lost_xacts
+let reclaimed_locks t = t.n_reclaimed_locks
+let lease_lapses t = t.n_lease_lapses
+let msgs_dropped t = t.n_msgs_dropped
+let msgs_delayed t = t.n_msgs_delayed
+let msgs_duplicated t = t.n_msgs_duplicated
+let mean_recovery t = Sim.Stats.mean t.recovery
 
 let throughput t ~now =
   let dt = now -. t.start in
@@ -85,4 +135,15 @@ let reset t =
   t.n_lookups <- 0;
   t.n_hits <- 0;
   t.n_callbacks <- 0;
-  t.n_pushes <- 0
+  t.n_pushes <- 0;
+  t.n_lease <- 0;
+  t.n_retries <- 0;
+  t.n_crashes <- 0;
+  t.n_recoveries <- 0;
+  t.n_lost_xacts <- 0;
+  t.n_reclaimed_locks <- 0;
+  t.n_lease_lapses <- 0;
+  t.n_msgs_dropped <- 0;
+  t.n_msgs_delayed <- 0;
+  t.n_msgs_duplicated <- 0;
+  Sim.Stats.reset t.recovery

@@ -17,7 +17,7 @@ val measure_start : t -> float
     seconds from its first attempt's begin to commit (restarts included). *)
 val record_commit : t -> response:float -> unit
 
-type abort_reason = Deadlock | Stale_read | Cert_fail
+type abort_reason = Deadlock | Stale_read | Cert_fail | Lease_reclaim
 
 val record_abort : t -> abort_reason -> unit
 
@@ -27,6 +27,30 @@ val record_lookup : t -> hit:bool -> unit
 
 val record_callback_sent : t -> unit
 val record_push_sent : t -> unit
+
+(** {1 Fault-injection availability accounting}
+
+    All zero when fault injection is off. *)
+
+(** A client re-sent a timed-out request. *)
+val record_retry : t -> unit
+
+(** A client crashed; [in_xact] marks a transaction lost mid-flight. *)
+val record_crash : t -> in_xact:bool -> unit
+
+(** A crashed client came back after [downtime] seconds. *)
+val record_recovery : t -> downtime:float -> unit
+
+(** The server lease-reclaimed [locks] locks from a silent client. *)
+val record_reclaimed : t -> locks:int -> unit
+
+(** A client stopped trusting its retained state because its lease
+    lapsed, and voluntarily restarted the transaction. *)
+val record_lease_lapse : t -> unit
+
+val record_msg_dropped : t -> unit
+val record_msg_delayed : t -> unit
+val record_msg_duplicated : t -> unit
 
 (** Commits since the simulation (not the window) started — used for warmup
     and run-length control. *)
@@ -50,6 +74,18 @@ val lookups : t -> int
 val hits : t -> int
 val callbacks_sent : t -> int
 val pushes_sent : t -> int
+val retries : t -> int
+val crashes : t -> int
+val recoveries : t -> int
+val lost_xacts : t -> int
+val reclaimed_locks : t -> int
+val lease_lapses : t -> int
+val msgs_dropped : t -> int
+val msgs_delayed : t -> int
+val msgs_duplicated : t -> int
+
+(** Mean client downtime over recorded recoveries (0 if none). *)
+val mean_recovery : t -> float
 
 (** Committed transactions per second of window time. *)
 val throughput : t -> now:float -> float

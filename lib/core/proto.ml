@@ -36,14 +36,16 @@ type c2s =
   | Fetch of {
       client : int;
       xid : int;
+      req : int;
       mode : lock_kind;
       pages : fetch_page list;
       no_wait : bool;
     }
-  | Cert_read of { client : int; xid : int; pages : fetch_page list }
+  | Cert_read of { client : int; xid : int; req : int; pages : fetch_page list }
   | Commit of {
       client : int;
       xid : int;
+      req : int;
       read_set : (int * int) list;
       update_pages : int list;
       release_pages : int list;
@@ -51,12 +53,14 @@ type c2s =
   | Callback_reply of { client : int; page : int }
   | Release_retained of { client : int; pages : int list }
   | Dirty_evict of { client : int; xid : int; page : int }
+  | Recovered of { client : int }
 
 type s2c =
-  | Fetch_reply of { xid : int; data : (int * int) list }
-  | Cert_reply of { xid : int; data : (int * int) list }
+  | Fetch_reply of { xid : int; req : int; data : (int * int) list }
+  | Cert_reply of { xid : int; req : int; data : (int * int) list }
   | Commit_reply of {
       xid : int;
+      req : int;
       ok : bool;
       new_versions : (int * int) list;
       stale_pages : int list;
@@ -71,8 +75,20 @@ let xid_stride = 1 lsl 30
 let make_xid ~client ~seq = (client * xid_stride) + seq
 let xid_client xid = xid / xid_stride
 
+let c2s_client = function
+  | Fetch { client; _ }
+  | Cert_read { client; _ }
+  | Commit { client; _ }
+  | Callback_reply { client; _ }
+  | Release_retained { client; _ }
+  | Dirty_evict { client; _ }
+  | Recovered { client } ->
+      client
+
 let c2s_bytes ~control ~page_size = function
-  | Fetch _ | Cert_read _ | Callback_reply _ | Release_retained _ -> control
+  | Fetch _ | Cert_read _ | Callback_reply _ | Release_retained _
+  | Recovered _ ->
+      control
   | Commit { update_pages; _ } -> control + (page_size * List.length update_pages)
   | Dirty_evict _ -> control + page_size
 

@@ -41,16 +41,21 @@ type c2s =
   | Fetch of {
       client : int;
       xid : int;
+      req : int;
+          (** per-client request sequence number, echoed by the reply so
+              retried requests and duplicate replies pair up; 0 when fault
+              injection is off *)
       mode : lock_kind;
       pages : fetch_page list;
       no_wait : bool;
           (** [true]: the client is not blocked; the server stays silent on
               success and aborts the transaction on failure (§2.4) *)
     }
-  | Cert_read of { client : int; xid : int; pages : fetch_page list }
+  | Cert_read of { client : int; xid : int; req : int; pages : fetch_page list }
   | Commit of {
       client : int;
       xid : int;
+      req : int;
       read_set : (int * int) list;
           (** certification only: (page, version-read) to validate *)
       update_pages : int list;  (** dirty page images carried along *)
@@ -64,15 +69,19 @@ type c2s =
       (** client evicted clean pages that had retained locks *)
   | Dirty_evict of { client : int; xid : int; page : int }
       (** in-place algorithms: an updated page was swapped out mid-xact *)
+  | Recovered of { client : int }
+      (** the client rebooted with a cold cache: the server must abort its
+          in-flight transaction and free every lock it held *)
 
 (** Server-to-client messages. *)
 type s2c =
-  | Fetch_reply of { xid : int; data : (int * int) list }
+  | Fetch_reply of { xid : int; req : int; data : (int * int) list }
       (** locks granted; (page, version) images for the stale/missing
           subset — pages whose cached copies were valid carry no data *)
-  | Cert_reply of { xid : int; data : (int * int) list }
+  | Cert_reply of { xid : int; req : int; data : (int * int) list }
   | Commit_reply of {
       xid : int;
+      req : int;
       ok : bool;
       new_versions : (int * int) list;  (** versions of our installed updates *)
       stale_pages : int list;  (** failed certification: drop these *)
@@ -90,6 +99,9 @@ type s2c =
 val make_xid : client:int -> seq:int -> int
 
 val xid_client : int -> int
+
+(** Originating client of any client-to-server message. *)
+val c2s_client : c2s -> int
 
 (** Message sizes, for packetization: a data-free message costs
     [control_msg_bytes]; each carried page adds [page_size]. *)

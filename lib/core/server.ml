@@ -43,9 +43,13 @@ type t = {
   in_flight : (int, Sim.Condition.t) Hashtbl.t;
   wait_since : (int, float) Hashtbl.t; (* client -> when its lock wait began *)
   mutable detector_armed : bool; (* callback-mode periodic deadlock detector *)
+  fault : Fault.Plan.t;
+  faulty : bool; (* [Fault.Plan.active fault]: gates every recovery path *)
+  completed : (int, Proto.s2c) Hashtbl.t; (* xid -> final commit reply *)
+  last_heard : (int, float) Hashtbl.t; (* client -> last message arrival *)
 }
 
-let create eng ~cfg ~db ~algo ~net ~rng ~metrics =
+let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
   Sys_params.validate cfg;
   let cpu =
     Sim.Facility.create eng ~name:"server-cpu" ~capacity:cfg.Sys_params.n_server_cpus ()
@@ -92,6 +96,10 @@ let create eng ~cfg ~db ~algo ~net ~rng ~metrics =
     in_flight = Hashtbl.create 64;
     wait_since = Hashtbl.create 64;
     detector_armed = false;
+    fault;
+    faulty = Fault.Plan.active fault;
+    completed = Hashtbl.create 1024;
+    last_heard = Hashtbl.create 64;
   }
 
 let register_clients t links = t.clients <- links
@@ -329,7 +337,8 @@ let abort_xact t xs ~reason ~stale =
                (match reason with
                | Metrics.Deadlock -> "deadlock"
                | Metrics.Stale_read -> "stale read"
-               | Metrics.Cert_fail -> "certification");
+               | Metrics.Cert_fail -> "certification"
+               | Metrics.Lease_reclaim -> "lease reclaimed");
            });
     Metrics.record_abort t.metrics reason;
     List.iter
@@ -513,7 +522,27 @@ let acquire t xs ~page ~mode =
                   Metrics.record_callback_sent t.metrics;
                   send_to_client t holder (Proto.Callback_request { page })
                 end)
-              holders
+              holders;
+            (* under message loss a callback request (or its reply) can
+               vanish; re-nag the surviving holders until the wait ends *)
+            if t.faulty && t.fault.Fault.Plan.callback_retry > 0.0 then
+              Sim.Engine.spawn t.eng (fun () ->
+                  let rec nag () =
+                    Sim.Engine.hold t.fault.Fault.Plan.callback_retry;
+                    if (not (Sim.Ivar.is_filled cell)) && not xs.x_aborted
+                    then begin
+                      List.iter
+                        (fun (holder, _m) ->
+                          if holder <> client then begin
+                            Metrics.record_callback_sent t.metrics;
+                            send_to_client t holder
+                              (Proto.Callback_request { page })
+                          end)
+                        (Cc.Lock_table.holders t.lock_table ~page);
+                      nag ()
+                    end
+                  in
+                  nag ())
         | _ -> ());
         (match t.algo with
         | Proto.Callback when t.cfg.Sys_params.callback_grace > 0.0 ->
@@ -566,15 +595,31 @@ let charge_pages_sent t n =
 let charge_updates_received t n =
   if n > 0 then Comms.use_cpu t.sport (t.cfg.Sys_params.server_proc_inst * n)
 
-let handle_fetch t ~client ~xid ~mode ~pages ~no_wait =
+(* A transaction is finished once its commit verdict is recorded; duplicate
+   or retransmitted messages for it must not re-open it through [admit].
+   Only populated under an active fault plan (retries cannot otherwise
+   occur), so the fault-free path never consults a growing table. *)
+let remember_reply t xid reply =
+  if t.faulty then Hashtbl.replace t.completed xid reply
+
+let finished_reply t xid =
+  if t.faulty then Hashtbl.find_opt t.completed xid else None
+
+(* In-chain guard: a duplicate that queued on the transaction's chain
+   behind the handler that finished it would otherwise run against a
+   closed transaction's stale state. *)
+let still_open t xs = (not xs.x_aborted) && Hashtbl.mem t.active xs.x_xid
+
+let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
   if tombstoned t xid then begin
     if not no_wait then
       send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
   end
+  else if finished_reply t xid <> None then ()
   else begin
     let xs = admit t ~client ~xid in
     with_chain xs (fun () ->
-        if xs.x_aborted then ()
+        if not (still_open t xs) then ()
         else begin
           (* lock every page of the object first, then read the stale and
              missing ones in one clustering-aware disk access *)
@@ -605,43 +650,58 @@ let handle_fetch t ~client ~xid ~mode ~pages ~no_wait =
               if not xs.x_aborted then begin
                 charge_pages_sent t (List.length data);
                 if not no_wait then
-                  send_to_client t client (Proto.Fetch_reply { xid; data })
+                  send_to_client t client (Proto.Fetch_reply { xid; req; data })
               end
         end)
   end
 
-let handle_cert_read t ~client ~xid ~pages =
-  let xs = admit t ~client ~xid in
-  with_chain xs (fun () ->
-      let data =
-        List.filter_map
-          (fun { Proto.page; cached_version } ->
-            let current = Cc.Version_table.current t.version_table page in
-            match cached_version with
-            | Some v when v = current -> None
-            | Some _ | None -> Some (page, current))
-          pages
-      in
-      read_pages t (List.map fst data);
-      charge_pages_sent t (List.length data);
-      send_to_client t client (Proto.Cert_reply { xid; data }))
+let handle_cert_read t ~client ~xid ~req ~pages =
+  if tombstoned t xid then
+    send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+  else if finished_reply t xid <> None then ()
+  else begin
+    let xs = admit t ~client ~xid in
+    with_chain xs (fun () ->
+        if not (still_open t xs) then ()
+        else begin
+          let data =
+            List.filter_map
+              (fun { Proto.page; cached_version } ->
+                let current = Cc.Version_table.current t.version_table page in
+                match cached_version with
+                | Some v when v = current -> None
+                | Some _ | None -> Some (page, current))
+              pages
+          in
+          read_pages t (List.map fst data);
+          charge_pages_sent t (List.length data);
+          send_to_client t client (Proto.Cert_reply { xid; req; data })
+        end)
+  end
 
 (* Commit for the certification algorithms: validate, then atomically bump
    versions (no suspension point between validation and bumping), then pay
    for the log and installation. *)
-let commit_certification t xs ~client ~xid ~read_set ~update_pages =
+let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
   let stale =
-    List.filter_map
-      (fun (page, version) ->
-        if Cc.Version_table.is_current t.version_table ~page ~version then None
-        else Some page)
-      read_set
+    if t.fault.Fault.Plan.unsafe_skip_validation then []
+    else
+      List.filter_map
+        (fun (page, version) ->
+          if Cc.Version_table.is_current t.version_table ~page ~version then
+            None
+          else Some page)
+        read_set
   in
   if stale <> [] then begin
     Metrics.record_abort t.metrics Metrics.Cert_fail;
+    let reply =
+      Proto.Commit_reply
+        { xid; req; ok = false; new_versions = []; stale_pages = stale }
+    in
+    remember_reply t xid reply;
     close_xact t xs;
-    send_to_client t client
-      (Proto.Commit_reply { xid; ok = false; new_versions = []; stale_pages = stale })
+    send_to_client t client reply
   end
   else begin
     let new_versions =
@@ -653,9 +713,12 @@ let commit_certification t xs ~client ~xid ~read_set ~update_pages =
         Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
     | Some _ | None -> ());
     List.iter (fun p -> install_page t p ~dirty:true) update_pages;
+    let reply =
+      Proto.Commit_reply { xid; req; ok = true; new_versions; stale_pages = [] }
+    in
+    remember_reply t xid reply;
     close_xact t xs;
-    send_to_client t client
-      (Proto.Commit_reply { xid; ok = true; new_versions; stale_pages = [] })
+    send_to_client t client reply
   end
 
 let notify_clients t ~updater ~mode new_versions =
@@ -675,14 +738,57 @@ let notify_clients t ~updater ~mode new_versions =
         t.clients)
     new_versions
 
-let commit_locking t xs ~client ~xid ~update_pages ~release_pages =
+let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
+    ~release_pages =
+  (* [read_set] is only sent by no-wait clients under an active fault plan:
+     a lease reclaim may have handed their locks to another writer, so the
+     optimistic assumption must be re-validated at commit.  Fault-free runs
+     always take the [read_set = []] branch, whose operation order is kept
+     byte-for-byte identical to the original. *)
+  let stale =
+    if read_set = [] || t.fault.Fault.Plan.unsafe_skip_validation then []
+    else
+      List.filter_map
+        (fun (page, version) ->
+          if Cc.Version_table.is_current t.version_table ~page ~version then
+            None
+          else Some page)
+        read_set
+  in
+  if stale <> [] then begin
+    Metrics.record_abort t.metrics Metrics.Stale_read;
+    ignore (Cc.Lock_table.release_all t.lock_table client);
+    let reply =
+      Proto.Commit_reply
+        { xid; req; ok = false; new_versions = []; stale_pages = stale }
+    in
+    remember_reply t xid reply;
+    close_xact t xs;
+    send_to_client t client reply
+  end
+  else begin
+  (* when validation ran, bump before any suspension point so no competing
+     commit can slip between the version check and the version advance *)
+  let validated_versions =
+    if read_set = [] then None
+    else
+      Some
+        (List.map
+           (fun p -> (p, Cc.Version_table.bump t.version_table p))
+           update_pages)
+  in
   charge_updates_received t (List.length update_pages);
   (match t.log with
   | Some log when update_pages <> [] ->
       Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
   | Some _ | None -> ());
   let new_versions =
-    List.map (fun p -> (p, Cc.Version_table.bump t.version_table p)) update_pages
+    match validated_versions with
+    | Some nv -> nv
+    | None ->
+        List.map
+          (fun p -> (p, Cc.Version_table.bump t.version_table p))
+          update_pages
   in
   List.iter (fun p -> install_page t p ~dirty:true) update_pages;
   (match t.algo with
@@ -703,60 +809,136 @@ let commit_locking t xs ~client ~xid ~update_pages ~release_pages =
   | Proto.Two_phase _ | Proto.No_wait _ ->
       ignore (Cc.Lock_table.release_all t.lock_table client)
   | Proto.Certification _ -> assert false);
+  let reply =
+    Proto.Commit_reply { xid; req; ok = true; new_versions; stale_pages = [] }
+  in
+  remember_reply t xid reply;
   close_xact t xs;
   if Trace.active () then
     Trace.emit (Sim.Engine.now t.eng)
       (Trace.Commit { client; xid; n_updates = List.length update_pages });
-  send_to_client t client
-    (Proto.Commit_reply { xid; ok = true; new_versions; stale_pages = [] });
-  let notify_mode =
-    match t.algo with
-    | Proto.No_wait { notify = Some mode } -> Some mode
-    | Proto.No_wait { notify = None } | Proto.Two_phase _ | Proto.Callback ->
-        t.cfg.Sys_params.notify_updates
-    | Proto.Certification _ -> None
-  in
-  match notify_mode with
-  | Some mode when new_versions <> [] ->
-      notify_clients t ~updater:client ~mode new_versions
-  | Some _ | None -> ()
-
-let handle_commit t ~client ~xid ~read_set ~update_pages ~release_pages =
-  if tombstoned t xid then
-    send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
-  else begin
-    let xs = admit t ~client ~xid in
-    with_chain xs (fun () ->
-        if xs.x_aborted then ()
-        else
-          match t.algo with
-          | Proto.Certification _ ->
-              commit_certification t xs ~client ~xid ~read_set ~update_pages
-          | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
-              commit_locking t xs ~client ~xid ~update_pages ~release_pages)
+  send_to_client t client reply;
+  (let notify_mode =
+     match t.algo with
+     | Proto.No_wait { notify = Some mode } -> Some mode
+     | Proto.No_wait { notify = None } | Proto.Two_phase _ | Proto.Callback ->
+         t.cfg.Sys_params.notify_updates
+     | Proto.Certification _ -> None
+   in
+   match notify_mode with
+   | Some mode when new_versions <> [] ->
+       notify_clients t ~updater:client ~mode new_versions
+   | Some _ | None -> ())
   end
 
+let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages =
+  if tombstoned t xid then
+    send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+  else
+    match finished_reply t xid with
+    | Some reply ->
+        (* the commit already ran; its reply was lost — replay it verbatim *)
+        send_to_client t client reply
+    | None ->
+        let xs = admit t ~client ~xid in
+        with_chain xs (fun () ->
+            if not (still_open t xs) then begin
+              (* a duplicate queued behind the handler that finished the
+                 transaction: replay the recorded verdict, if any *)
+              match finished_reply t xid with
+              | Some reply -> send_to_client t client reply
+              | None -> ()
+            end
+            else
+              match t.algo with
+              | Proto.Certification _ ->
+                  commit_certification t xs ~client ~xid ~req ~read_set
+                    ~update_pages
+              | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
+                  commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
+                    ~release_pages)
+
 let handle_dirty_evict t ~client ~xid ~page =
-  if not (tombstoned t xid) then begin
+  if (not (tombstoned t xid)) && finished_reply t xid = None then begin
     let xs = admit t ~client ~xid in
     with_chain xs (fun () ->
-        if not xs.x_aborted then begin
+        if still_open t xs then begin
           charge_updates_received t 1;
           install_page t page ~dirty:true;
           xs.x_installed <- page :: xs.x_installed
         end)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Lease reclamation (fault plans only)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Take back everything a crashed or partitioned client holds: its active
+   transaction (if any), then any leftover locks — including callback
+   locks retained across transactions, which its empty post-restart cache
+   no longer justifies. *)
+let reclaim_client t ~client =
+  (match Hashtbl.find_opt t.active_by_client client with
+  | Some xs -> abort_xact t xs ~reason:Metrics.Lease_reclaim ~stale:[]
+  | None -> ());
+  Cc.Lock_table.cancel_all_waits t.lock_table client;
+  let freed = Cc.Lock_table.release_all t.lock_table client in
+  if freed <> [] then begin
+    Metrics.record_reclaimed t.metrics ~locks:(List.length freed);
+    if Trace.active () then
+      Trace.emit (Sim.Engine.now t.eng)
+        (Trace.Lock_reclaimed { client; pages = freed })
+  end
+
+(* Periodic sweep: any client silent for longer than the lease has, by the
+   client-side lease rule, already stopped trusting its locks — reclaim
+   them so their pages do not stay locked forever.  The client deadline is
+   first-transmission time + lease; [last_heard] is an arrival time, which
+   is never earlier, so the server acts only after the client has lapsed. *)
+let lease_sweep t =
+  let lease = t.fault.Fault.Plan.lease in
+  let now = Sim.Engine.now t.eng in
+  let silent =
+    Hashtbl.fold
+      (fun cid heard acc -> if now -. heard > lease then cid :: acc else acc)
+      t.last_heard []
+  in
+  List.iter
+    (fun cid ->
+      if
+        Hashtbl.mem t.active_by_client cid
+        || Cc.Lock_table.pages_held_by t.lock_table cid <> []
+      then reclaim_client t ~client:cid)
+    (List.sort Int.compare silent)
+
+let start t =
+  if t.faulty && t.fault.Fault.Plan.lease > 0.0 then
+    Sim.Engine.spawn t.eng ~name:"lease-sweep" (fun () ->
+        let rec loop () =
+          Sim.Engine.hold (t.fault.Fault.Plan.lease /. 2.0);
+          lease_sweep t;
+          loop ()
+        in
+        loop ())
+
 let handle t = function
-  | Proto.Fetch { client; xid; mode; pages; no_wait } ->
-      handle_fetch t ~client ~xid ~mode ~pages ~no_wait
-  | Proto.Cert_read { client; xid; pages } -> handle_cert_read t ~client ~xid ~pages
-  | Proto.Commit { client; xid; read_set; update_pages; release_pages } ->
-      handle_commit t ~client ~xid ~read_set ~update_pages ~release_pages
+  | Proto.Fetch { client; xid; req; mode; pages; no_wait } ->
+      handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait
+  | Proto.Cert_read { client; xid; req; pages } ->
+      handle_cert_read t ~client ~xid ~req ~pages
+  | Proto.Commit { client; xid; req; read_set; update_pages; release_pages } ->
+      handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages
   | Proto.Callback_reply { client; page } ->
       Cc.Lock_table.release t.lock_table ~page client
   | Proto.Release_retained { client; pages } ->
       List.iter (fun page -> Cc.Lock_table.release t.lock_table ~page client) pages
   | Proto.Dirty_evict { client; xid; page } -> handle_dirty_evict t ~client ~xid ~page
+  | Proto.Recovered { client } ->
+      (* best-effort fast path (this notice itself is droppable; the lease
+         sweep is the reliable backstop) *)
+      reclaim_client t ~client
 
-let deliver t msg = Sim.Engine.spawn t.eng (fun () -> handle t msg)
+let deliver t msg =
+  if t.faulty then
+    Hashtbl.replace t.last_heard (Proto.c2s_client msg) (Sim.Engine.now t.eng);
+  Sim.Engine.spawn t.eng (fun () -> handle t msg)

@@ -24,7 +24,14 @@ type client_link = {
   cache_view : Storage.Lru_pool.t;
 }
 
+(** [?fault] enables the recovery paths: request idempotency (a table of
+    finished commit verdicts replayed to retransmissions), commit-time
+    re-validation of no-wait read sets, callback-request re-sends, and
+    lease-based reclamation of locks held by silent clients.  With the
+    default [Fault.Plan.none] every one of those paths is inert and the
+    server behaves bit-identically to the original. *)
 val create :
+  ?fault:Fault.Plan.t ->
   Sim.Engine.t ->
   cfg:Sys_params.t ->
   db:Db.Database.t ->
@@ -36,6 +43,10 @@ val create :
 
 (** Must be called once, before any message is delivered. *)
 val register_clients : t -> client_link array -> unit
+
+(** Start background services (the lease-reclamation sweep).  A no-op
+    unless the fault plan is active with a positive lease. *)
+val start : t -> unit
 
 (** The server CPU endpoint (for charging inbound messages). *)
 val port : t -> Proto.port

@@ -8,10 +8,12 @@ type spec = {
   warmup_commits : int;
   measured_commits : int;
   max_sim_time : float;
+  fault : Fault.Plan.t;
 }
 
 let default_spec ?(seed = 1) ?(warmup_commits = 300) ?(measured_commits = 2000)
-    ?(max_sim_time = 50_000.0) ~cfg ~xact_params algo =
+    ?(max_sim_time = 50_000.0) ?(fault = Fault.Plan.none) ~cfg ~xact_params
+    algo =
   {
     cfg;
     db_params = Db.Db_params.uniform ~n_classes:40 ~pages_per_class:50 ();
@@ -22,6 +24,7 @@ let default_spec ?(seed = 1) ?(warmup_commits = 300) ?(measured_commits = 2000)
     warmup_commits;
     measured_commits;
     max_sim_time;
+    fault;
   }
 
 type result = {
@@ -51,6 +54,18 @@ type result = {
   window : float;
   sim_time : float;
   events : int;
+  (* fault / availability metrics (all zero under [Fault.Plan.none]) *)
+  aborts_lease : int;
+  retries : int;
+  crashes : int;
+  recoveries : int;
+  lost_xacts : int;
+  reclaimed_locks : int;
+  lease_lapses : int;
+  msgs_dropped : int;
+  msgs_delayed : int;
+  msgs_duplicated : int;
+  mean_recovery : float;
 }
 
 (* Per-replication measurement state that the scalar [result] cannot
@@ -64,8 +79,9 @@ type rep_stats = {
   rep_hits : int;
 }
 
-let run_with_stats ?audit spec =
+let run_with_stats ?audit ?inspect spec =
   Sys_params.validate spec.cfg;
+  Fault.Plan.validate spec.fault;
   let cfg = spec.cfg in
   let eng = Sim.Engine.create () in
   let master = Sim.Rng.create spec.seed in
@@ -73,8 +89,36 @@ let run_with_stats ?audit spec =
   let metrics = Metrics.create eng in
   let net = Sim.Rng.split master "network" |> fun rng ->
             Net.Network.create eng ~rng cfg.Sys_params.net in
+  (* with [Fault.Plan.none] no hook is installed and [Net.Network.post]
+     takes its original path byte-for-byte: fault-free runs stay
+     bit-identical to the pre-fault simulator *)
+  if Fault.Plan.active spec.fault then begin
+    let inj = Fault.Injector.create spec.fault in
+    Net.Network.set_fault_hook net (fun ~bytes ->
+        let v = Fault.Injector.message inj in
+        if v.Fault.Injector.drop then begin
+          Metrics.record_msg_dropped metrics;
+          if Trace.active () then
+            Trace.emit (Sim.Engine.now eng) (Trace.Msg_dropped { bytes })
+        end
+        else begin
+          if v.Fault.Injector.extra_delay > 0.0 then begin
+            Metrics.record_msg_delayed metrics;
+            if Trace.active () then
+              Trace.emit (Sim.Engine.now eng)
+                (Trace.Msg_delayed { bytes; by = v.Fault.Injector.extra_delay })
+          end;
+          if v.Fault.Injector.copies > 1 then
+            Metrics.record_msg_duplicated metrics
+        end;
+        {
+          Net.Network.drop = v.Fault.Injector.drop;
+          extra_delay = v.Fault.Injector.extra_delay;
+          copies = v.Fault.Injector.copies;
+        })
+  end;
   let server =
-    Server.create eng ~cfg ~db ~algo:spec.algo ~net
+    Server.create ~fault:spec.fault eng ~cfg ~db ~algo:spec.algo ~net
       ~rng:(Sim.Rng.split master "server") ~metrics
   in
   let clients = Array.make cfg.Sys_params.n_clients None in
@@ -110,8 +154,9 @@ let run_with_stats ?audit spec =
         ~deliver:(fun () -> Server.deliver server msg)
     in
     let c =
-      Client.create eng ?audit ~id:i ~cfg ~algo:spec.algo ~workload
-        ~rng:(Sim.Rng.split crng "client") ~metrics ~to_server ~on_commit
+      Client.create eng ?audit ~fault:spec.fault ~id:i ~cfg ~algo:spec.algo
+        ~workload ~rng:(Sim.Rng.split crng "client") ~metrics ~to_server
+        ~on_commit
     in
     client := Some c;
     clients.(i) <- Some c
@@ -129,8 +174,14 @@ let run_with_stats ?audit spec =
       clients
   in
   Server.register_clients server links;
+  Server.start server;
   Array.iter (function Some c -> Client.start c | None -> ()) clients;
   let sim_time = Sim.Engine.run eng ~until:spec.max_sim_time () in
+  (match inspect with
+  | Some f ->
+      f server
+        (Array.map (function Some c -> c | None -> assert false) clients)
+  | None -> ());
   let now = sim_time in
   let window = now -. Metrics.measure_start metrics in
   let commits = Metrics.commits metrics in
@@ -179,6 +230,17 @@ let run_with_stats ?audit spec =
     window;
     sim_time;
     events = Sim.Engine.events_executed eng;
+    aborts_lease = Metrics.aborts_by metrics Metrics.Lease_reclaim;
+    retries = Metrics.retries metrics;
+    crashes = Metrics.crashes metrics;
+    recoveries = Metrics.recoveries metrics;
+    lost_xacts = Metrics.lost_xacts metrics;
+    reclaimed_locks = Metrics.reclaimed_locks metrics;
+    lease_lapses = Metrics.lease_lapses metrics;
+    msgs_dropped = Metrics.msgs_dropped metrics;
+    msgs_delayed = Metrics.msgs_delayed metrics;
+    msgs_duplicated = Metrics.msgs_duplicated metrics;
+    mean_recovery = Metrics.mean_recovery metrics;
   }
   in
   ( result,
@@ -189,7 +251,7 @@ let run_with_stats ?audit spec =
       rep_hits = Metrics.hits metrics;
     } )
 
-let run ?audit spec = fst (run_with_stats ?audit spec)
+let run ?audit ?inspect spec = fst (run_with_stats ?audit ?inspect spec)
 
 let run_replicated ?(jobs = 1) spec ~reps =
   if reps <= 1 then run spec
@@ -255,6 +317,25 @@ let run_replicated ?(jobs = 1) spec ~reps =
       window = favg (fun r -> r.window);
       sim_time = favg (fun r -> r.sim_time);
       events = isum (fun r -> r.events);
+      aborts_lease = isum (fun r -> r.aborts_lease);
+      retries = isum (fun r -> r.retries);
+      crashes = isum (fun r -> r.crashes);
+      recoveries = isum (fun r -> r.recoveries);
+      lost_xacts = isum (fun r -> r.lost_xacts);
+      reclaimed_locks = isum (fun r -> r.reclaimed_locks);
+      lease_lapses = isum (fun r -> r.lease_lapses);
+      msgs_dropped = isum (fun r -> r.msgs_dropped);
+      msgs_delayed = isum (fun r -> r.msgs_delayed);
+      msgs_duplicated = isum (fun r -> r.msgs_duplicated);
+      mean_recovery =
+        (* weight per-rep means by their recovery counts *)
+        (let recs = isum (fun r -> r.recoveries) in
+         if recs = 0 then 0.0
+         else
+           List.fold_left
+             (fun a r -> a +. (r.mean_recovery *. float_of_int r.recoveries))
+             0.0 results
+           /. float_of_int recs);
     }
   end
 
@@ -266,4 +347,13 @@ let pp_result fmt r =
     (Proto.algorithm_name r.algo)
     r.n_clients r.mean_response r.throughput r.commits r.aborts
     r.aborts_deadlock r.aborts_stale r.aborts_cert r.hit_ratio
-    r.msgs_per_commit r.server_cpu_util r.disk_util r.net_util
+    r.msgs_per_commit r.server_cpu_util r.disk_util r.net_util;
+  if
+    r.crashes > 0 || r.retries > 0 || r.msgs_dropped > 0
+    || r.aborts_lease > 0
+  then
+    Format.fprintf fmt
+      " | faults: drops=%d dups=%d retries=%d crashes=%d recovered=%d \
+       (%.3fs avg) lost=%d lease-aborts=%d reclaimed=%d"
+      r.msgs_dropped r.msgs_duplicated r.retries r.crashes r.recoveries
+      r.mean_recovery r.lost_xacts r.aborts_lease r.reclaimed_locks

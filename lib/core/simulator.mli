@@ -20,15 +20,20 @@ type spec = {
   warmup_commits : int;
   measured_commits : int;
   max_sim_time : float;  (** hard stop in simulated seconds *)
+  fault : Fault.Plan.t;
+      (** deterministic fault-injection plan; [Fault.Plan.none] (the
+          default) leaves every run bit-identical to the fault-free
+          simulator *)
 }
 
 (** A convenient spec: Table 5 system, short-batch workload, 300 warmup +
-    2000 measured commits. *)
+    2000 measured commits, no faults. *)
 val default_spec :
   ?seed:int ->
   ?warmup_commits:int ->
   ?measured_commits:int ->
   ?max_sim_time:float ->
+  ?fault:Fault.Plan.t ->
   cfg:Sys_params.t ->
   xact_params:Db.Xact_params.t ->
   Proto.algorithm ->
@@ -61,12 +66,29 @@ type result = {
   window : float;  (** measured seconds of simulated time *)
   sim_time : float;  (** total simulated seconds *)
   events : int;
+  aborts_lease : int;  (** aborts from lease reclamation of silent clients *)
+  retries : int;  (** client request retransmissions *)
+  crashes : int;
+  recoveries : int;
+  lost_xacts : int;  (** crashes that killed an in-flight transaction *)
+  reclaimed_locks : int;
+  lease_lapses : int;  (** client-side retained-lock lease expirations *)
+  msgs_dropped : int;
+  msgs_delayed : int;
+  msgs_duplicated : int;
+  mean_recovery : float;  (** mean crash-to-recovery downtime, seconds *)
 }
 
 (** Run one simulation to completion.  [?audit] collects every committed
     transaction's read/write version summary for the serializability check
-    of {!Cc.History}. *)
-val run : ?audit:Cc.History.t -> spec -> result
+    of {!Cc.History}.  [?inspect] runs after the simulation ends, with the
+    server and clients still intact, for end-state invariant sweeps (lock
+    table consistency, cache coherence, crash/recovery bookkeeping). *)
+val run :
+  ?audit:Cc.History.t ->
+  ?inspect:(Server.t -> Client.t array -> unit) ->
+  spec ->
+  result
 
 (** [run_replicated ?jobs spec ~reps] combines [reps] independent seeds
     (seed, seed+1, ...): response-time mean, stddev, and quantiles come

@@ -9,6 +9,12 @@ type event =
   | Notify of { client : int; page : int; push : bool }
   | Commit of { client : int; xid : int; n_updates : int }
   | Disk_read of { page : int }
+  | Msg_dropped of { bytes : int }
+  | Msg_delayed of { bytes : int; by : float }
+  | Client_crash of { client : int }
+  | Client_recover of { client : int; downtime : float }
+  | Lock_reclaimed of { client : int; pages : int list }
+  | Retransmit of { client : int; xid : int }
 
 let event_to_string = function
   | Client_send { client; xid; what } ->
@@ -35,6 +41,18 @@ let event_to_string = function
       Printf.sprintf "commit client %d xid %d (%d updated pages)" client xid
         n_updates
   | Disk_read { page } -> Printf.sprintf "disk read page %d" page
+  | Msg_dropped { bytes } -> Printf.sprintf "message dropped (%d bytes)" bytes
+  | Msg_delayed { bytes; by } ->
+      Printf.sprintf "message delayed %.4fs (%d bytes)" by bytes
+  | Client_crash { client } -> Printf.sprintf "client %d crashed" client
+  | Client_recover { client; downtime } ->
+      Printf.sprintf "client %d recovered after %.4fs" client downtime
+  | Lock_reclaimed { client; pages } ->
+      Printf.sprintf "lease expired: reclaimed %d lock(s) of client %d [%s]"
+        (List.length pages) client
+        (String.concat " " (List.map string_of_int pages))
+  | Retransmit { client; xid } ->
+      Printf.sprintf "client %d retransmits request (xid %d)" client xid
 
 (* Domain-local so simulations running on pool workers (Sim.Pool) neither
    race on the hook nor leak their events into a sink installed by the

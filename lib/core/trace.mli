@@ -22,6 +22,12 @@ type event =
   | Notify of { client : int; page : int; push : bool }
   | Commit of { client : int; xid : int; n_updates : int }
   | Disk_read of { page : int }
+  | Msg_dropped of { bytes : int }
+  | Msg_delayed of { bytes : int; by : float }
+  | Client_crash of { client : int }
+  | Client_recover of { client : int; downtime : float }
+  | Lock_reclaimed of { client : int; pages : int list }
+  | Retransmit of { client : int; xid : int }
 
 val event_to_string : event -> string
 

@@ -1,0 +1,149 @@
+(* Seeded chaos-audit harness: run one simulation under a deterministic
+   fault plan and audit the whole run — serializability of the committed
+   history, end-state invariants, liveness, and crash/recovery
+   bookkeeping.  Everything is a pure function of the spec, so sweeps
+   parallelize over [Sim.Pool] with bit-identical verdicts at any job
+   count. *)
+
+type verdict = {
+  v_algo : Core.Proto.algorithm;
+  v_plan : Fault.Plan.t;
+  v_result : Core.Simulator.result option;  (* [None] if the run raised *)
+  v_errors : string list;  (* empty means the run passed every audit *)
+}
+
+let ok v = v.v_errors = []
+
+let default_algos =
+  [
+    Core.Proto.Two_phase Core.Proto.Inter;
+    Core.Proto.Certification Core.Proto.Inter;
+    Core.Proto.Callback;
+    Core.Proto.No_wait { notify = None };
+    Core.Proto.No_wait { notify = Some Core.Proto.Push };
+  ]
+
+(* Chaos runs measure availability, not steady state: no warmup reset, so
+   crash/recovery counters cover the whole run and the end-state
+   bookkeeping below is exact.  The simulation seed is the plan seed —
+   one integer reproduces the run. *)
+let spec ?(n_clients = 8) ?(measured_commits = 400)
+    ?(max_sim_time = 20_000.0) ?(hot = false) ~fault algo =
+  {
+    (* [hot] shrinks the database to a contention furnace — the workload
+       for proving that a broken protocol is actually caught *)
+    Core.Simulator.cfg = Core.Sys_params.table5 ~n_clients ();
+    db_params =
+      (if hot then Db.Db_params.uniform ~n_classes:2 ~pages_per_class:25 ()
+       else Db.Db_params.uniform ~n_classes:40 ~pages_per_class:50 ());
+    xact_params =
+      (if hot then
+         Db.Xact_params.short_batch ~prob_write:0.5 ~inter_xact_loc:0.9 ()
+       else Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.5 ());
+    mix = None;
+    algo;
+    seed = fault.Fault.Plan.seed;
+    warmup_commits = 0;
+    measured_commits;
+    max_sim_time;
+    fault;
+  }
+
+let audit_run (sp : Core.Simulator.spec) =
+  let audit = Cc.History.create () in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let clients_down = ref 0 in
+  let inspect server clients =
+    (* lock-table structural invariants *)
+    (try Cc.Lock_table.check_invariants (Core.Server.locks server)
+     with Failure m -> err "lock table: %s" m);
+    (* cache coherence: no client may cache a version the server has not
+       installed yet *)
+    let vt = Core.Server.versions server in
+    Array.iteri
+      (fun cid c ->
+        List.iter
+          (fun (page, v) ->
+            let cur = Cc.Version_table.current vt page in
+            if v > cur then
+              err "client %d caches p%d@v%d ahead of server v%d" cid page v
+                cur)
+          (Core.Client.cached_versions c))
+      clients;
+    clients_down :=
+      Array.fold_left
+        (fun a c -> if Core.Client.crashed c then a + 1 else a)
+        0 clients
+  in
+  match Core.Simulator.run ~audit ~inspect sp with
+  | exception e ->
+      {
+        v_algo = sp.Core.Simulator.algo;
+        v_plan = sp.Core.Simulator.fault;
+        v_result = None;
+        v_errors = [ Printf.sprintf "run raised: %s" (Printexc.to_string e) ];
+      }
+  | r ->
+      (match Cc.History.check audit with
+      | Cc.History.Serializable -> ()
+      | Cc.History.Cycle xids ->
+          err "non-serializable history: cycle through xids [%s]"
+            (String.concat "; " (List.map string_of_int xids)));
+      if r.Core.Simulator.commits < sp.Core.Simulator.measured_commits then
+        err "stuck: %d of %d commits before t=%g" r.Core.Simulator.commits
+          sp.Core.Simulator.measured_commits sp.Core.Simulator.max_sim_time;
+      (* every crash is either recovered or still inside its restart
+         delay when the simulation stopped *)
+      let outstanding =
+        r.Core.Simulator.crashes - r.Core.Simulator.recoveries
+      in
+      if outstanding <> !clients_down then
+        err "crash bookkeeping: %d crashes - %d recoveries = %d but %d \
+             clients down at end"
+          r.Core.Simulator.crashes r.Core.Simulator.recoveries outstanding
+          !clients_down;
+      {
+        v_algo = sp.Core.Simulator.algo;
+        v_plan = sp.Core.Simulator.fault;
+        v_result = Some r;
+        v_errors = List.rev !errors;
+      }
+
+(* Greedy plan shrinking: while some simpler candidate plan still fails
+   the audit, descend into it.  The returned plan is locally minimal —
+   every further simplification passes. *)
+let shrink ?(max_steps = 32) (sp : Core.Simulator.spec) =
+  let failing p =
+    not (ok (audit_run { sp with Core.Simulator.fault = p }))
+  in
+  let rec go steps plan =
+    if steps = 0 then plan
+    else
+      match List.find_opt failing (Fault.Plan.shrink_candidates plan) with
+      | Some simpler -> go (steps - 1) simpler
+      | None -> plan
+  in
+  go max_steps sp.Core.Simulator.fault
+
+let sweep ?(jobs = 1) specs =
+  if jobs > 1 then Sim.Pool.map ~jobs audit_run specs
+  else List.map audit_run specs
+
+let pp_verdict fmt v =
+  let name = Core.Proto.algorithm_name v.v_algo in
+  match v.v_errors with
+  | [] ->
+      let r = Option.get v.v_result in
+      Format.fprintf fmt
+        "ok   %-14s seed=%-6d commits=%d aborts=%d retries=%d crashes=%d \
+         recovered=%d dropped=%d"
+        name v.v_plan.Fault.Plan.seed r.Core.Simulator.commits
+        r.Core.Simulator.aborts r.Core.Simulator.retries
+        r.Core.Simulator.crashes r.Core.Simulator.recoveries
+        r.Core.Simulator.msgs_dropped
+  | errs ->
+      Format.fprintf fmt "FAIL %-14s seed=%-6d plan={%s}" name
+        v.v_plan.Fault.Plan.seed
+        (Fault.Plan.to_string v.v_plan);
+      List.iter (fun e -> Format.fprintf fmt "@\n       - %s" e) errs

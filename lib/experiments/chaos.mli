@@ -1,0 +1,58 @@
+(** Seeded chaos-audit harness.
+
+    A chaos run executes one simulation under a deterministic
+    {!Fault.Plan} and audits the whole execution:
+
+    - the committed history must be serializable ({!Cc.History.check});
+    - the server lock table must satisfy its structural invariants;
+    - no client cache may hold a version ahead of the server;
+    - the run must reach its commit target (liveness under faults);
+    - every crash must be recovered, or the client must still be inside
+      its restart delay when the simulation stops.
+
+    Verdicts are pure functions of the spec, so sweeps over many seeded
+    plans parallelize across a {!Sim.Pool} with identical output at any
+    job count, and a failing plan can be shrunk to a locally minimal
+    reproducer. *)
+
+type verdict = {
+  v_algo : Core.Proto.algorithm;
+  v_plan : Fault.Plan.t;
+  v_result : Core.Simulator.result option;
+      (** [None] only when the run itself raised *)
+  v_errors : string list;  (** empty means every audit passed *)
+}
+
+val ok : verdict -> bool
+
+(** The five algorithms the chaos suite exercises: 2PL, certification,
+    callback locking, and no-wait with and without update propagation. *)
+val default_algos : Core.Proto.algorithm list
+
+(** [spec ~fault algo] is a small Table-5 configuration suited to chaos
+    auditing: no warmup reset (availability counters cover the whole
+    run) and simulation seed tied to the plan seed, so one integer
+    reproduces the run. *)
+val spec :
+  ?n_clients:int ->
+  ?measured_commits:int ->
+  ?max_sim_time:float ->
+  ?hot:bool ->
+  fault:Fault.Plan.t ->
+  Core.Proto.algorithm ->
+  Core.Simulator.spec
+
+(** Run one spec under full audit. *)
+val audit_run : Core.Simulator.spec -> verdict
+
+(** [shrink spec] assumes [spec] fails its audit and greedily searches
+    {!Fault.Plan.shrink_candidates} for a simpler plan that still fails,
+    returning a locally minimal failing plan (every further
+    simplification passes). *)
+val shrink : ?max_steps:int -> Core.Simulator.spec -> Fault.Plan.t
+
+(** Audit many specs, optionally across a domain pool; verdict order
+    matches spec order regardless of [jobs]. *)
+val sweep : ?jobs:int -> Core.Simulator.spec list -> verdict list
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -102,6 +102,17 @@ let placeholder_result (s : Core.Simulator.spec) : Core.Simulator.result =
     window = 0.0;
     sim_time = 0.0;
     events = 0;
+    aborts_lease = 0;
+    retries = 0;
+    crashes = 0;
+    recoveries = 0;
+    lost_xacts = 0;
+    reclaimed_locks = 0;
+    lease_lapses = 0;
+    msgs_dropped = 0;
+    msgs_delayed = 0;
+    msgs_duplicated = 0;
+    mean_recovery = 0.0;
   }
 
 let execute t spec =

@@ -62,6 +62,23 @@ let print_output ?detail fmt = function
   | Suite.Figures figs -> List.iter (print_figure ?detail fmt) figs
   | Suite.Map m -> print_decision_map fmt m
 
+(* RFC-4180 quoting: free-text fields (figure ids, series labels) may
+   contain commas or quotes and must not shift the column layout *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+
 let figure_csv (fig : figure) =
   let header = "fig_id,metric,x,algorithm,value,aborts,hit_ratio,msgs_per_commit" in
   let rows =
@@ -69,11 +86,12 @@ let figure_csv (fig : figure) =
       (fun s ->
         List.map
           (fun (x, r) ->
-            Printf.sprintf "%s,%s,%g,%s,%.4f,%d,%.3f,%.2f" fig.fig_id
+            Printf.sprintf "%s,%s,%g,%s,%.4f,%d,%.3f,%.2f"
+              (csv_field fig.fig_id)
               (match fig.metric with
               | Response_time -> "response"
               | Throughput -> "throughput")
-              x s.label
+              x (csv_field s.label)
               (metric_value fig.metric r)
               r.Core.Simulator.aborts r.Core.Simulator.hit_ratio
               r.Core.Simulator.msgs_per_commit)
@@ -81,6 +99,28 @@ let figure_csv (fig : figure) =
       fig.series
   in
   header :: rows
+
+(* One-line provenance header for experiment and benchmark output, so a
+   printed figure can be traced back to the exact run that produced it. *)
+let git_describe () =
+  let tmp = Filename.temp_file "ccsim" ".git" in
+  let cmd =
+    Printf.sprintf "git describe --always --dirty >%s 2>/dev/null"
+      (Filename.quote tmp)
+  in
+  let out =
+    if Sys.command cmd = 0 then (
+      let ic = open_in tmp in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      line)
+    else ""
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  if out = "" then "unknown" else out
+
+let repro_line ~seed ~jobs =
+  Printf.sprintf "# repro: seed=%d jobs=%d git=%s" seed jobs (git_describe ())
 
 let sanitize id =
   String.map

@@ -10,9 +10,20 @@ val print_decision_map : Format.formatter -> Suite.decision_map -> unit
 
 val print_output : ?detail:bool -> Format.formatter -> Suite.output -> unit
 
+(** Quote one CSV field per RFC 4180: fields containing commas, quotes,
+    or newlines are wrapped in double quotes with internal quotes
+    doubled; anything else is returned unchanged. *)
+val csv_field : string -> string
+
 (** CSV lines for a figure: header then
-    [fig_id,metric,x,label,value,aborts,hit_ratio,msgs_per_commit]. *)
+    [fig_id,metric,x,label,value,aborts,hit_ratio,msgs_per_commit].
+    Free-text fields are escaped with {!csv_field}. *)
 val figure_csv : Exp_defs.figure -> string list
+
+(** [repro_line ~seed ~jobs] is a ["# repro: seed=… jobs=… git=…"]
+    provenance comment ([git describe --always --dirty], or "unknown"
+    outside a git checkout). *)
+val repro_line : seed:int -> jobs:int -> string
 
 (** [write_gnuplot ~dir fig] writes [<id>.dat] (x column plus one column
     per series) and a ready-to-run [<id>.gp] script into [dir] (created if

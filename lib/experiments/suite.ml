@@ -22,6 +22,7 @@ let spec ~cfg ~db ~xp algo =
     warmup_commits = 0;
     measured_commits = 0;
     max_sim_time = 0.0;
+    fault = Fault.Plan.none;
   }
 (* seed/warmup/measured are overridden by the runner's options *)
 

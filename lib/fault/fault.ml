@@ -1,0 +1,141 @@
+module Plan = struct
+  type t = {
+    seed : int;
+    drop_prob : float;
+    delay_prob : float;
+    delay_mean : float;
+    dup_prob : float;
+    crash_mean : float;
+    restart_mean : float;
+    req_timeout : float;
+    max_backoff : float;
+    lease : float;
+    callback_retry : float;
+    unsafe_skip_validation : bool;
+  }
+
+  let none =
+    {
+      seed = 0;
+      drop_prob = 0.0;
+      delay_prob = 0.0;
+      delay_mean = 0.0;
+      dup_prob = 0.0;
+      crash_mean = 0.0;
+      restart_mean = 0.0;
+      req_timeout = 0.0;
+      max_backoff = 0.0;
+      lease = 0.0;
+      callback_retry = 0.0;
+      unsafe_skip_validation = false;
+    }
+
+  let active t =
+    t.drop_prob > 0.0 || t.delay_prob > 0.0 || t.dup_prob > 0.0
+    || t.crash_mean > 0.0
+
+  let default ~seed =
+    {
+      seed;
+      drop_prob = 0.03;
+      delay_prob = 0.05;
+      delay_mean = 0.05;
+      dup_prob = 0.02;
+      crash_mean = 150.0;
+      restart_mean = 1.0;
+      req_timeout = 1.0;
+      max_backoff = 8.0;
+      lease = 10.0;
+      callback_retry = 1.0;
+      unsafe_skip_validation = false;
+    }
+
+  let validate t =
+    let prob name p =
+      if p < 0.0 || p > 1.0 then
+        invalid_arg (Printf.sprintf "Fault.Plan: %s = %g outside [0,1]" name p)
+    in
+    let non_neg name x =
+      if x < 0.0 then
+        invalid_arg (Printf.sprintf "Fault.Plan: %s = %g negative" name x)
+    in
+    prob "drop_prob" t.drop_prob;
+    prob "delay_prob" t.delay_prob;
+    prob "dup_prob" t.dup_prob;
+    non_neg "delay_mean" t.delay_mean;
+    non_neg "crash_mean" t.crash_mean;
+    non_neg "restart_mean" t.restart_mean;
+    non_neg "req_timeout" t.req_timeout;
+    non_neg "max_backoff" t.max_backoff;
+    non_neg "lease" t.lease;
+    non_neg "callback_retry" t.callback_retry;
+    if active t && t.req_timeout <= 0.0 then
+      invalid_arg "Fault.Plan: active plan needs req_timeout > 0";
+    if active t && t.max_backoff < t.req_timeout then
+      invalid_arg "Fault.Plan: max_backoff < req_timeout";
+    if t.crash_mean > 0.0 && t.drop_prob > 0.0 && t.lease <= 0.0 then
+      invalid_arg
+        "Fault.Plan: crashes under message loss need lease > 0 (the \
+         recovery notice is droppable; only the lease sweep is reliable)"
+
+  let to_string t =
+    if not (active t) then "none"
+    else
+      Printf.sprintf
+        "seed=%d drop=%g delay=%g~%gs dup=%g crash~%gs restart~%gs \
+         timeout=%g..%gs lease=%gs nag=%gs%s"
+        t.seed t.drop_prob t.delay_prob t.delay_mean t.dup_prob t.crash_mean
+        t.restart_mean t.req_timeout t.max_backoff t.lease t.callback_retry
+        (if t.unsafe_skip_validation then " UNSAFE-NO-VALIDATION" else "")
+
+  let shrink_candidates t =
+    let cands =
+      [
+        (* zero one adversity dimension at a time *)
+        { t with drop_prob = 0.0 };
+        { t with delay_prob = 0.0; delay_mean = 0.0 };
+        { t with dup_prob = 0.0 };
+        { t with crash_mean = 0.0; restart_mean = 0.0 };
+        (* then soften dimensions that must stay *)
+        { t with drop_prob = t.drop_prob /. 2.0 };
+        { t with delay_prob = t.delay_prob /. 2.0 };
+        { t with delay_mean = t.delay_mean /. 2.0 };
+        { t with dup_prob = t.dup_prob /. 2.0 };
+        { t with crash_mean = t.crash_mean *. 2.0 };
+      ]
+    in
+    List.filter (fun c -> c <> t && active c) cands
+end
+
+module Injector = struct
+  type verdict = { drop : bool; extra_delay : float; copies : int }
+
+  type t = { plan : Plan.t; net_rng : Sim.Rng.t }
+
+  let create (plan : Plan.t) =
+    { plan; net_rng = Sim.Rng.split (Sim.Rng.create plan.seed) "fault-net" }
+
+  let plan t = t.plan
+
+  let message t =
+    let p = t.plan in
+    let r = t.net_rng in
+    if p.Plan.drop_prob > 0.0 && Sim.Rng.bernoulli r p.Plan.drop_prob then
+      { drop = true; extra_delay = 0.0; copies = 0 }
+    else
+      let extra_delay =
+        if p.Plan.delay_prob > 0.0 && Sim.Rng.bernoulli r p.Plan.delay_prob
+        then Sim.Rng.exponential r ~mean:p.Plan.delay_mean
+        else 0.0
+      in
+      let copies =
+        if p.Plan.dup_prob > 0.0 && Sim.Rng.bernoulli r p.Plan.dup_prob then 2
+        else 1
+      in
+      { drop = false; extra_delay; copies }
+
+  let client_stream (plan : Plan.t) i =
+    Sim.Rng.split
+      (Sim.Rng.create plan.Plan.seed)
+      (Printf.sprintf "fault-client-%d" i)
+end

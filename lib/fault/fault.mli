@@ -1,0 +1,94 @@
+(** Deterministic fault injection.
+
+    A {!Plan.t} is a seeded, spec-like description of the adversity applied
+    to one simulation run: message drops, delays and duplications on the
+    shared network, and client crash/restart events.  Plans are plain
+    immutable records of scalars, so they [Marshal]-digest stably and
+    compose with the experiment result cache exactly like the rest of a
+    simulation spec.
+
+    All stochastic fault decisions flow from split {!Sim.Rng} streams
+    derived from [plan.seed] — never from the simulation's own workload
+    streams — so (a) a fault plan perturbs the run only through the faults
+    themselves, and (b) any failing run reproduces exactly from
+    [(spec, plan)] at any [-j].
+
+    {!Plan.none} is the identity: with it, no hook is installed, no timer
+    is armed, and no extra random draw is made, leaving every existing
+    experiment bit-identical to a build without this subsystem. *)
+
+module Plan : sig
+  type t = {
+    seed : int;  (** master seed of every fault stream *)
+    drop_prob : float;  (** per-message drop probability *)
+    delay_prob : float;  (** per-message extra-delay probability *)
+    delay_mean : float;  (** mean of the exponential extra delay (s) *)
+    dup_prob : float;  (** per-message duplication probability *)
+    crash_mean : float;
+        (** mean interval between crash events per client (s); 0 = never *)
+    restart_mean : float;  (** mean client downtime before restart (s) *)
+    req_timeout : float;  (** initial client request timeout (s) *)
+    max_backoff : float;  (** retry timeout cap (s) *)
+    lease : float;
+        (** server reclaims locks of clients silent for this long (s);
+            clients stop trusting retained state at the same horizon.
+            0 = no lease protocol *)
+    callback_retry : float;
+        (** server re-sends pending callback requests at this period (s);
+            0 = send once (original protocol) *)
+    unsafe_skip_validation : bool;
+        (** test-only protocol mutation: the server skips commit-time
+            version validation of optimistic reads, re-opening the
+            lost-update window that the hardening closes.  Exists so the
+            chaos audit has a real violation to catch; never set it in a
+            real experiment. *)
+  }
+
+  (** The identity plan: no faults, no hardening, bit-identical runs. *)
+  val none : t
+
+  (** A plan injects faults iff it can drop, delay, duplicate or crash.
+      Protocol hardening (timeouts, leases, retries) is armed only for
+      active plans so that [none] changes nothing. *)
+  val active : t -> bool
+
+  (** A moderate default chaos plan for [seed]: a few percent of messages
+      dropped/delayed/duplicated, occasional client crashes, leases on. *)
+  val default : seed:int -> t
+
+  (** Raises [Invalid_argument] on malformed plans (probabilities outside
+      [0,1], negative durations, active plan without a positive timeout). *)
+  val validate : t -> unit
+
+  (** One-line rendering for logs and failure reports. *)
+  val to_string : t -> string
+
+  (** Strictly simpler variants of an active plan, most aggressive
+      simplification first: each adversity dimension zeroed, then each
+      halved.  The chaos shrinker keeps a candidate iff it still
+      reproduces the failure.  Candidates equal to the input (or already
+      inactive when the input was active in that dimension only) are
+      omitted. *)
+  val shrink_candidates : t -> t list
+end
+
+module Injector : sig
+  (** Per-message verdict. [copies] is how many transmissions to make
+      (= 1 normally, 2 when duplicated, irrelevant when [drop]). *)
+  type verdict = { drop : bool; extra_delay : float; copies : int }
+
+  type t
+
+  (** [create plan] derives the injector's private streams from
+      [plan.seed]. *)
+  val create : Plan.t -> t
+
+  val plan : t -> Plan.t
+
+  (** Verdict for the next network message.  Draws only from the
+      injector's network stream. *)
+  val message : t -> verdict
+
+  (** Independent stream for client [i]'s crash/restart schedule. *)
+  val client_stream : Plan.t -> int -> Sim.Rng.t
+end

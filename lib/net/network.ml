@@ -2,6 +2,8 @@ type params = { net_delay : float; packet_size : int; msg_inst : int }
 
 let default_params = { net_delay = 0.002; packet_size = 4096; msg_inst = 5000 }
 
+type fault = { drop : bool; extra_delay : float; copies : int }
+
 type t = {
   eng : Sim.Engine.t;
   rng : Sim.Rng.t;
@@ -9,6 +11,7 @@ type t = {
   wire : Sim.Facility.t;
   mutable msgs : int;
   mutable pkts : int;
+  mutable fault_hook : (bytes:int -> fault) option;
 }
 
 let create eng ~rng prm =
@@ -21,23 +24,47 @@ let create eng ~rng prm =
     wire = Sim.Facility.create eng ~name:"network" ();
     msgs = 0;
     pkts = 0;
+    fault_hook = None;
   }
+
+let set_fault_hook t f = t.fault_hook <- Some f
 
 let params t = t.prm
 
 let packets_for t ~bytes =
   if bytes <= 0 then 1 else (bytes + t.prm.packet_size - 1) / t.prm.packet_size
 
-let post t ~bytes ~deliver =
-  let n = packets_for t ~bytes in
-  t.msgs <- t.msgs + 1;
+let transmit t n ~extra_delay ~deliver =
   Sim.Engine.spawn t.eng (fun () ->
+      if extra_delay > 0.0 then Sim.Engine.hold extra_delay;
       for _ = 1 to n do
         t.pkts <- t.pkts + 1;
         let service = Sim.Rng.exponential t.rng ~mean:t.prm.net_delay in
         Sim.Facility.use t.wire service
       done;
       deliver ())
+
+let post t ~bytes ~deliver =
+  let n = packets_for t ~bytes in
+  t.msgs <- t.msgs + 1;
+  match t.fault_hook with
+  | None ->
+      (* Keep the fault-free path byte-for-byte identical to the original:
+         one transfer process, no extra-delay branch in its event trace. *)
+      Sim.Engine.spawn t.eng (fun () ->
+          for _ = 1 to n do
+            t.pkts <- t.pkts + 1;
+            let service = Sim.Rng.exponential t.rng ~mean:t.prm.net_delay in
+            Sim.Facility.use t.wire service
+          done;
+          deliver ())
+  | Some hook ->
+      let f = hook ~bytes in
+      if f.drop then ()
+      else
+        for _ = 1 to max 1 f.copies do
+          transmit t n ~extra_delay:f.extra_delay ~deliver
+        done
 
 let messages_sent t = t.msgs
 let packets_sent t = t.pkts

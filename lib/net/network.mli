@@ -34,6 +34,19 @@ val packets_for : t -> bytes:int -> int
     process and may block. *)
 val post : t -> bytes:int -> deliver:(unit -> unit) -> unit
 
+(** Per-message fault verdict, consulted by {!post} when a hook is
+    installed: [drop] discards the message silently; otherwise [copies]
+    independent transmissions are made (at least 1), each preceded by
+    [extra_delay] seconds of latency before its packets queue for the
+    wire. *)
+type fault = { drop : bool; extra_delay : float; copies : int }
+
+(** [set_fault_hook t f] routes every subsequent {!post} through [f].
+    Without a hook the transmission path is exactly the original —
+    installing no hook guarantees bit-identical simulations.  The hook
+    runs in the sender's context and must not block. *)
+val set_fault_hook : t -> (bytes:int -> fault) -> unit
+
 (** Messages posted. *)
 val messages_sent : t -> int
 

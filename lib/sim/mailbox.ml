@@ -1,10 +1,10 @@
 type 'a t = {
-  _eng : Engine.t;
+  eng : Engine.t;
   msgs : 'a Queue.t;
   blocked : (unit -> unit) Queue.t;
 }
 
-let create eng = { _eng = eng; msgs = Queue.create (); blocked = Queue.create () }
+let create eng = { eng; msgs = Queue.create (); blocked = Queue.create () }
 let pending mb = Queue.length mb.msgs
 
 let send mb v =
@@ -23,3 +23,38 @@ let rec recv mb =
       recv mb
 
 let recv_opt mb = Queue.take_opt mb.msgs
+
+(* The timed receive races a wake from [send] against a timer event; a
+   shared state cell guarantees exactly one of them resumes the process.
+   Queues cannot delete interior entries, so a timed-out waiter leaves its
+   closure in [blocked] as a tombstone: when [send] eventually pops it, it
+   forwards the wake to the next live waiter instead of dropping it. *)
+let recv_timeout mb ~timeout =
+  match Queue.take_opt mb.msgs with
+  | Some v -> Some v
+  | None ->
+      let state = ref `Waiting in
+      Engine.suspend (fun resume ->
+          Queue.add
+            (fun () ->
+              match !state with
+              | `Waiting ->
+                  state := `Woken;
+                  resume ()
+              | `Timed_out | `Woken -> (
+                  match Queue.take_opt mb.blocked with
+                  | Some next -> next ()
+                  | None -> ()))
+            mb.blocked;
+          Engine.schedule mb.eng
+            ~at:(Engine.now mb.eng +. timeout)
+            (fun () ->
+              match !state with
+              | `Waiting ->
+                  state := `Timed_out;
+                  resume ()
+              | `Woken | `Timed_out -> ()));
+      (* Either a message arrived (Woken) or the timer fired (Timed_out).
+         A woken receiver can still lose the message to a racing plain
+         [recv]; report that as an early timeout — callers retry. *)
+      Queue.take_opt mb.msgs

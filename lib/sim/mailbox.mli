@@ -20,3 +20,10 @@ val recv : 'a t -> 'a
 
 (** Dequeue the oldest message if one is available, without blocking. *)
 val recv_opt : 'a t -> 'a option
+
+(** [recv_timeout mb ~timeout] blocks like {!recv} but gives up after
+    [timeout] simulated seconds, returning [None].  A message that arrives
+    at exactly the deadline may be delivered to a later receive instead.
+    Timed-out waiters never steal a wake-up: a [send] that lands on one
+    passes the wake to the next blocked receiver. *)
+val recv_timeout : 'a t -> timeout:float -> 'a option

@@ -84,13 +84,15 @@ let fp ?v page = { Core.Proto.page; cached_version = v }
 let xid ~client ~seq = Core.Proto.make_xid ~client ~seq
 
 let fetch ?(mode = Core.Proto.Read) ?(no_wait = false) ~client ~seq pages =
-  Core.Proto.Fetch { client; xid = xid ~client ~seq; mode; pages; no_wait }
+  Core.Proto.Fetch
+    { client; xid = xid ~client ~seq; req = 0; mode; pages; no_wait }
 
 let commit ?(read_set = []) ?(updates = []) ?(release = []) ~client ~seq () =
   Core.Proto.Commit
     {
       client;
       xid = xid ~client ~seq;
+      req = 0;
       read_set;
       update_pages = updates;
       release_pages = release;
@@ -222,7 +224,7 @@ let test_read_only_commit_is_ok () =
 (* ------------------------------------------------------------------ *)
 
 let cert_read ~client ~seq pages =
-  Core.Proto.Cert_read { client; xid = xid ~client ~seq; pages }
+  Core.Proto.Cert_read { client; xid = xid ~client ~seq; req = 0; pages }
 
 let test_cert_read_never_blocks () =
   let h = mk_harness ~algo:(Core.Proto.Certification Core.Proto.Inter) () in
@@ -1111,7 +1113,7 @@ let test_message_sizes () =
   Alcotest.(check int) "commit carries updates" (256 + (2 * 4096))
     (bytes_c2s (commit ~client:0 ~seq:1 ~updates:[ 1; 2 ] ()));
   Alcotest.(check int) "reply carries data" (256 + 4096)
-    (bytes_s2c (Core.Proto.Fetch_reply { xid = 1; data = [ (1, 1) ] }));
+    (bytes_s2c (Core.Proto.Fetch_reply { xid = 1; req = 0; data = [ (1, 1) ] }));
   Alcotest.(check int) "push carries a page" (256 + 4096)
     (bytes_s2c (Core.Proto.Update_push { page = 1; version = 1 }));
   Alcotest.(check int) "invalidation is control-sized" 256

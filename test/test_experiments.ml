@@ -22,6 +22,7 @@ let tiny_spec ?(algo = Core.Proto.Two_phase Core.Proto.Inter) ?(n_clients = 4) (
     warmup_commits = 0;
     measured_commits = 0;
     max_sim_time = 0.0;
+    fault = Fault.Plan.none;
   }
 
 let test_runner_memoizes () =

@@ -1,0 +1,195 @@
+(* Tests for the deterministic fault-injection subsystem (lib/fault), the
+   protocol recovery paths, and the chaos-audit harness. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Fault.Plan                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_none_inactive () =
+  Alcotest.(check bool) "none is inactive" false
+    (Fault.Plan.active Fault.Plan.none);
+  Fault.Plan.validate Fault.Plan.none;
+  Alcotest.(check string) "prints as none" "none"
+    (Fault.Plan.to_string Fault.Plan.none)
+
+let test_plan_default_valid () =
+  for seed = 1 to 5 do
+    let p = Fault.Plan.default ~seed in
+    Alcotest.(check bool) "default is active" true (Fault.Plan.active p);
+    Fault.Plan.validate p
+  done
+
+let test_plan_validate_rejects () =
+  let reject p =
+    match Fault.Plan.validate p with
+    | () -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  reject { Fault.Plan.none with Fault.Plan.drop_prob = 1.5 };
+  reject { Fault.Plan.none with Fault.Plan.delay_mean = -1.0 };
+  (* active plan without a request timeout cannot survive message loss *)
+  reject { Fault.Plan.none with Fault.Plan.drop_prob = 0.1 };
+  (* crashes under message loss need the lease backstop *)
+  reject
+    {
+      (Fault.Plan.default ~seed:1) with
+      Fault.Plan.lease = 0.0;
+      callback_retry = 0.0;
+    }
+
+let test_plan_shrink_candidates () =
+  let p = Fault.Plan.default ~seed:7 in
+  let cands = Fault.Plan.shrink_candidates p in
+  Alcotest.(check bool) "has candidates" true (cands <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate differs" true (c <> p);
+      Alcotest.(check bool) "candidate still active" true
+        (Fault.Plan.active c);
+      Alcotest.(check int) "seed preserved" p.Fault.Plan.seed
+        c.Fault.Plan.seed)
+    cands
+
+let test_injector_deterministic () =
+  let plan = Fault.Plan.default ~seed:3 in
+  let draw () =
+    let inj = Fault.Injector.create plan in
+    List.init 500 (fun _ ->
+        let v = Fault.Injector.message inj in
+        (v.Fault.Injector.drop, v.Fault.Injector.extra_delay,
+         v.Fault.Injector.copies))
+  in
+  Alcotest.(check bool) "same plan, same verdict stream" true
+    (draw () = draw ());
+  let some_drop =
+    List.exists (fun (d, _, _) -> d) (draw ())
+  and some_dup = List.exists (fun (_, _, c) -> c > 1) (draw ()) in
+  Alcotest.(check bool) "drops occur" true some_drop;
+  Alcotest.(check bool) "duplicates occur" true some_dup
+
+(* ------------------------------------------------------------------ *)
+(* Chaos audits                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let quick_spec ?hot ~fault algo =
+  Experiments.Chaos.spec ?hot ~measured_commits:120 ~fault algo
+
+let test_faultfree_run_clean () =
+  let v =
+    Experiments.Chaos.audit_run (quick_spec ~fault:Fault.Plan.none Core.Proto.Callback)
+  in
+  Alcotest.(check bool) "audit passes" true (Experiments.Chaos.ok v);
+  let r = Option.get v.Experiments.Chaos.v_result in
+  Alcotest.(check int) "no retries" 0 r.Core.Simulator.retries;
+  Alcotest.(check int) "no crashes" 0 r.Core.Simulator.crashes;
+  Alcotest.(check int) "no drops" 0 r.Core.Simulator.msgs_dropped
+
+(* Every algorithm must stay serializable, live, and invariant-clean under
+   a lossy, crashy plan — the heart of the chaos acceptance criterion. *)
+let test_all_algorithms_survive_faults () =
+  List.iter
+    (fun algo ->
+      let fault = Fault.Plan.default ~seed:11 in
+      let v = Experiments.Chaos.audit_run (quick_spec ~fault algo) in
+      if not (Experiments.Chaos.ok v) then
+        Alcotest.failf "%s failed audit: %s"
+          (Core.Proto.algorithm_name algo)
+          (String.concat "; " v.Experiments.Chaos.v_errors);
+      let r = Option.get v.Experiments.Chaos.v_result in
+      Alcotest.(check bool)
+        (Core.Proto.algorithm_name algo ^ " saw real adversity")
+        true
+        (r.Core.Simulator.msgs_dropped > 0 && r.Core.Simulator.retries > 0))
+    Experiments.Chaos.default_algos
+
+let test_crashes_recovered () =
+  let fault = Fault.Plan.default ~seed:4 in
+  let v =
+    Experiments.Chaos.audit_run
+      (quick_spec ~fault (Core.Proto.Two_phase Core.Proto.Inter))
+  in
+  Alcotest.(check bool) "audit passes" true (Experiments.Chaos.ok v);
+  let r = Option.get v.Experiments.Chaos.v_result in
+  Alcotest.(check bool) "crashes occurred" true (r.Core.Simulator.crashes > 0);
+  Alcotest.(check bool) "recoveries happened" true
+    (r.Core.Simulator.recoveries > 0)
+
+let test_verdicts_deterministic_across_jobs () =
+  let specs =
+    List.map
+      (fun seed ->
+        quick_spec ~fault:(Fault.Plan.default ~seed) Core.Proto.Callback)
+      [ 1; 2 ]
+  in
+  let v1 = Experiments.Chaos.sweep ~jobs:1 specs in
+  let v2 = Experiments.Chaos.sweep ~jobs:2 specs in
+  Alcotest.(check bool) "jobs=1 and jobs=2 verdicts identical" true (v1 = v2)
+
+(* Disable commit validation on a hot workload: the audit must catch the
+   resulting non-serializable history, and shrinking must return an
+   active plan that still fails. *)
+let test_unsafe_violation_caught_and_shrunk () =
+  let algo = Core.Proto.Certification Core.Proto.Inter in
+  let failing_spec =
+    (* seeds differ in when conflicts line up; scan a few for a violation *)
+    let rec find = function
+      | [] -> Alcotest.fail "no seed produced a violation on the hot workload"
+      | seed :: rest ->
+          let fault =
+            {
+              (Fault.Plan.default ~seed) with
+              Fault.Plan.unsafe_skip_validation = true;
+            }
+          in
+          let sp = quick_spec ~hot:true ~fault algo in
+          let v = Experiments.Chaos.audit_run sp in
+          if Experiments.Chaos.ok v then find rest
+          else begin
+            Alcotest.(check bool) "error names the cycle" true
+              (List.exists
+                 (fun e ->
+                   String.length e >= 18
+                   && String.sub e 0 18 = "non-serializable h")
+                 v.Experiments.Chaos.v_errors);
+            sp
+          end
+    in
+    find [ 1; 2; 3; 4; 5 ]
+  in
+  let minimal = Experiments.Chaos.shrink ~max_steps:3 failing_spec in
+  Alcotest.(check bool) "shrunk plan still active" true
+    (Fault.Plan.active minimal);
+  Alcotest.(check bool) "shrunk plan keeps the mutation" true
+    minimal.Fault.Plan.unsafe_skip_validation;
+  let v =
+    Experiments.Chaos.audit_run
+      { failing_spec with Core.Simulator.fault = minimal }
+  in
+  Alcotest.(check bool) "shrunk plan still fails" false
+    (Experiments.Chaos.ok v)
+
+let suites =
+  [
+    ( "plan",
+      [
+        case "none inactive" test_plan_none_inactive;
+        case "default valid" test_plan_default_valid;
+        case "validate rejects" test_plan_validate_rejects;
+        case "shrink candidates" test_plan_shrink_candidates;
+        case "injector deterministic" test_injector_deterministic;
+      ] );
+    ( "chaos",
+      [
+        case "fault-free run clean" test_faultfree_run_clean;
+        case "all algorithms survive faults" test_all_algorithms_survive_faults;
+        case "crashes recovered" test_crashes_recovered;
+        case "verdicts deterministic across jobs"
+          test_verdicts_deterministic_across_jobs;
+        case "violation caught and shrunk"
+          test_unsafe_violation_caught_and_shrunk;
+      ] );
+  ]
+
+let () = Alcotest.run "fault" suites

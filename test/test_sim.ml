@@ -205,6 +205,81 @@ let test_mailbox_nonblocking () =
       Alcotest.(check (option int)) "pop" (Some 42) (Mailbox.recv_opt mb));
   ignore (Engine.run eng ())
 
+let test_mailbox_recv_timeout_expires () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref (Some "sentinel") in
+  let at = ref (-1.0) in
+  Engine.spawn eng (fun () ->
+      got := Mailbox.recv_timeout mb ~timeout:2.5;
+      at := Engine.now eng);
+  ignore (Engine.run eng ());
+  Alcotest.(check (option string)) "timed out empty" None !got;
+  check_float "resumed at the deadline" 2.5 !at
+
+let test_mailbox_recv_timeout_delivers () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref None in
+  let at = ref (-1.0) in
+  Engine.spawn eng (fun () ->
+      got := Mailbox.recv_timeout mb ~timeout:10.0;
+      at := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Mailbox.send mb "msg");
+  let drained_at = Engine.run eng () in
+  Alcotest.(check (option string)) "message won the race" (Some "msg") !got;
+  check_float "resumed at send time" 1.0 !at;
+  (* the losing timer event still runs; it must be inert *)
+  check_float "stale timer drains cleanly" 10.0 drained_at
+
+let test_mailbox_stale_waiter_forwards_wake () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let first = ref (Some "sentinel") in
+  let second = ref None in
+  let second_at = ref (-1.0) in
+  (* first receiver times out, leaving a tombstone in the blocked queue *)
+  Engine.spawn eng (fun () -> first := Mailbox.recv_timeout mb ~timeout:1.0);
+  (* second receiver blocks behind it, indefinitely *)
+  Engine.spawn eng (fun () ->
+      let v = Mailbox.recv mb in
+      second := Some v;
+      second_at := Engine.now eng);
+  (* a send after the timeout pops the tombstone, which must forward the
+     wake to the live waiter instead of swallowing it *)
+  Engine.spawn eng (fun () ->
+      Engine.hold 2.0;
+      Mailbox.send mb "late");
+  ignore (Engine.run eng ());
+  Alcotest.(check (option string)) "first timed out" None !first;
+  Alcotest.(check (option string)) "second got the message" (Some "late")
+    !second;
+  check_float "woken by the forwarded wake" 2.0 !second_at
+
+let test_mailbox_wake_order_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        let v = Mailbox.recv mb in
+        order := (i, v) :: !order)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Mailbox.send mb "a";
+      Engine.hold 1.0;
+      Mailbox.send mb "b";
+      Engine.hold 1.0;
+      Mailbox.send mb "c");
+  ignore (Engine.run eng ());
+  Alcotest.(check (list (pair int string)))
+    "receivers woken in blocking order"
+    [ (1, "a"); (2, "b"); (3, "c") ]
+    (List.rev !order)
+
 let test_mailbox_two_receivers () =
   let eng = Engine.create () in
   let mb = Mailbox.create eng in
@@ -512,6 +587,38 @@ let test_ivar_multiple_readers () =
   ignore (Engine.run eng ());
   Alcotest.(check int) "all readers woken" 4 !count
 
+let test_ivar_wake_order () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  let order = ref [] in
+  for i = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        ignore (Ivar.read iv);
+        order := i :: !order)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      Ivar.fill iv ());
+  ignore (Engine.run eng ());
+  Alcotest.(check (list int))
+    "readers resume in blocking order" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_condition_broadcast_order () =
+  let eng = Engine.create () in
+  let cond = Condition.create eng in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Condition.await cond;
+        order := i :: !order)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.hold 1.0;
+      ignore (Condition.broadcast cond));
+  ignore (Engine.run eng ());
+  Alcotest.(check (list int))
+    "broadcast wakes in await order" [ 1; 2; 3 ] (List.rev !order)
+
 let test_ivar_double_fill () =
   let eng = Engine.create () in
   let iv = Ivar.create eng in
@@ -698,12 +805,17 @@ let suites =
       [
         case "signal then broadcast" test_condition_signal;
         case "signal without waiters" test_condition_signal_empty;
+        case "broadcast wake order" test_condition_broadcast_order;
       ] );
     ( "mailbox",
       [
         case "fifo delivery" test_mailbox_fifo;
         case "non-blocking recv" test_mailbox_nonblocking;
         case "two receivers" test_mailbox_two_receivers;
+        case "recv_timeout expires" test_mailbox_recv_timeout_expires;
+        case "recv_timeout delivers" test_mailbox_recv_timeout_delivers;
+        case "stale waiter forwards wake" test_mailbox_stale_waiter_forwards_wake;
+        case "wake order fifo" test_mailbox_wake_order_fifo;
       ] );
     ( "facility",
       [
@@ -719,6 +831,7 @@ let suites =
         case "fill then read" test_ivar_fill_then_read;
         case "blocks until filled" test_ivar_blocks_until_filled;
         case "multiple readers" test_ivar_multiple_readers;
+        case "wake order" test_ivar_wake_order;
         case "double fill" test_ivar_double_fill;
       ] );
     ( "rng",
