@@ -64,6 +64,28 @@ let micro_tests =
                (Core.Proto.Two_phase Core.Proto.Inter)
            in
            ignore (Core.Simulator.run spec)));
+    (* same cell with the trace recorder on: the delta against the run
+       above is the whole observability overhead *)
+    Test.make ~name:"end-to-end: same sim, trace recorder on"
+      (Staged.stage (fun () ->
+           let cfg = Core.Sys_params.table5 ~n_clients:10 () in
+           let xp =
+             Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+           in
+           let spec =
+             Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+               ~measured_commits:250 ~obs:Obs.Config.trace_only ~cfg
+               ~xact_params:xp
+               (Core.Proto.Two_phase Core.Proto.Inter)
+           in
+           ignore (Core.Simulator.run spec)));
+    Test.make ~name:"recorder: 1M typed events"
+      (Staged.stage (fun () ->
+           let r = Obs.Recorder.create () in
+           for i = 1 to 1_000_000 do
+             Obs.Recorder.add r ~time:(float_of_int i)
+               (Obs.Event.Disk_read { page = i land 0xfff })
+           done));
   ]
 
 let micro_benchmarks () =

@@ -42,10 +42,24 @@ let jobs_arg =
            Results are identical for every value; only wall-clock changes.")
 
 (* ------------------------------------------------------------------ *)
-(* ccsim run                                                           *)
+(* shared workload-cell arguments (run / trace / stats)                *)
 (* ------------------------------------------------------------------ *)
 
-let run_cmd =
+type cell = {
+  cell_algo : Core.Proto.algorithm;
+  cell_clients : int;
+  cell_loc : float;
+  cell_pw : float;
+  cell_platform : string;
+  cell_large : bool;
+  cell_interactive : bool;
+  cell_commits : int;
+  cell_warmup : int;
+  cell_seed : int;
+  cell_reps : int;
+}
+
+let cell_term ?(commits_default = 2000) () =
   let algo =
     Arg.(
       value
@@ -84,7 +98,7 @@ let run_cmd =
   in
   let commits =
     Arg.(
-      value & opt int 2000
+      value & opt int commits_default
       & info [ "commits" ] ~docv:"N" ~doc:"Measured committed transactions.")
   in
   let warmup =
@@ -94,32 +108,65 @@ let run_cmd =
   let reps =
     Arg.(value & opt int 1 & info [ "reps" ] ~docv:"N" ~doc:"Replications to average.")
   in
-  let run algo clients loc pw platform large interactive commits warmup seed reps
-      jobs =
-    if clients <= 0 then begin
-      Printf.eprintf "ccsim: --clients must be positive\n";
-      exit 1
-    end;
-    if loc < 0.0 || loc > 1.0 || pw < 0.0 || pw > 1.0 then begin
-      Printf.eprintf "ccsim: --loc and --pw must lie in [0, 1]\n";
-      exit 1
-    end;
-    let cfg =
-      match platform with
-      | "fast-server" -> Core.Sys_params.fast_server ~n_clients:clients ()
-      | "fast-net" -> Core.Sys_params.fast_server_fast_net ~n_clients:clients ()
-      | _ -> Core.Sys_params.table5 ~n_clients:clients ()
-    in
-    let xp =
-      if interactive then Db.Xact_params.interactive ~prob_write:pw ~inter_xact_loc:loc ()
-      else if large then Db.Xact_params.large_batch ~prob_write:pw ~inter_xact_loc:loc ()
-      else Db.Xact_params.short_batch ~prob_write:pw ~inter_xact_loc:loc ()
-    in
-    let spec =
-      Core.Simulator.default_spec ~seed ~warmup_commits:warmup
-        ~measured_commits:commits ~cfg ~xact_params:xp algo
-    in
-    let r = Core.Simulator.run_replicated ~jobs spec ~reps in
+  let make cell_algo cell_clients cell_loc cell_pw cell_platform cell_large
+      cell_interactive cell_commits cell_warmup cell_seed cell_reps =
+    {
+      cell_algo;
+      cell_clients;
+      cell_loc;
+      cell_pw;
+      cell_platform;
+      cell_large;
+      cell_interactive;
+      cell_commits;
+      cell_warmup;
+      cell_seed;
+      cell_reps;
+    }
+  in
+  Term.(
+    const make $ algo $ clients $ loc $ pw $ platform $ large $ interactive
+    $ commits $ warmup $ seed $ reps)
+
+let cell_spec ?(obs = Obs.Config.off) c =
+  if c.cell_clients <= 0 then begin
+    Printf.eprintf "ccsim: --clients must be positive\n";
+    exit 1
+  end;
+  if c.cell_loc < 0.0 || c.cell_loc > 1.0 || c.cell_pw < 0.0 || c.cell_pw > 1.0
+  then begin
+    Printf.eprintf "ccsim: --loc and --pw must lie in [0, 1]\n";
+    exit 1
+  end;
+  let cfg =
+    match c.cell_platform with
+    | "fast-server" -> Core.Sys_params.fast_server ~n_clients:c.cell_clients ()
+    | "fast-net" ->
+        Core.Sys_params.fast_server_fast_net ~n_clients:c.cell_clients ()
+    | _ -> Core.Sys_params.table5 ~n_clients:c.cell_clients ()
+  in
+  let xp =
+    if c.cell_interactive then
+      Db.Xact_params.interactive ~prob_write:c.cell_pw
+        ~inter_xact_loc:c.cell_loc ()
+    else if c.cell_large then
+      Db.Xact_params.large_batch ~prob_write:c.cell_pw
+        ~inter_xact_loc:c.cell_loc ()
+    else
+      Db.Xact_params.short_batch ~prob_write:c.cell_pw
+        ~inter_xact_loc:c.cell_loc ()
+  in
+  Core.Simulator.default_spec ~seed:c.cell_seed ~warmup_commits:c.cell_warmup
+    ~measured_commits:c.cell_commits ~obs ~cfg ~xact_params:xp c.cell_algo
+
+(* ------------------------------------------------------------------ *)
+(* ccsim run                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run cell jobs =
+    let spec = cell_spec cell in
+    let r = Core.Simulator.run_replicated ~jobs spec ~reps:cell.cell_reps in
     Format.printf "%a@." Core.Simulator.pp_result r;
     Format.printf
       "  responses: mean %.3fs p50 %.3fs p95 %.3fs stddev %.3fs | window \
@@ -133,9 +180,237 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one simulation and print its metrics.")
+    Term.(const run $ cell_term () $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccsim trace                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let perfetto_file =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome/Perfetto trace_event JSON here (open at \
+             ui.perfetto.dev or chrome://tracing).")
+  in
+  let text_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "text" ] ~docv:"FILE"
+          ~doc:"Also write the merged trace as plain text.")
+  in
+  let events =
+    Arg.(
+      value & opt int 25
+      & info [ "events" ] ~docv:"N" ~doc:"Print the first N merged events.")
+  in
+  let limit =
+    Arg.(
+      value & opt int Obs.Recorder.default_limit
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "Ring capacity per replication; past it the oldest events are \
+             dropped.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-validate artifacts: the merged trace must be non-empty \
+             and the emitted JSON must parse.")
+  in
+  let run cell perfetto_file text_file events limit check jobs =
+    let obs = Obs.Config.make ~trace:true ~trace_limit:limit () in
+    let spec = cell_spec ~obs cell in
+    let r = Core.Simulator.run_replicated ~jobs spec ~reps:cell.cell_reps in
+    match r.Core.Simulator.obs with
+    | None ->
+        Printf.eprintf "ccsim: run returned no observability payload\n";
+        exit 1
+    | Some o ->
+        let merged = Obs.Run.merged_trace o in
+        Format.printf "%a@." Core.Simulator.pp_result r;
+        Format.printf "@.%a@." Obs.Analysis.pp_summary
+          (Obs.Analysis.summarize_tagged merged);
+        let n = min events (Array.length merged) in
+        if n > 0 then begin
+          Format.printf "@.first %d of %d merged events:@." n
+            (Array.length merged);
+          Array.iter
+            (fun (rep, e) ->
+              Format.printf "  rep%d %12.6f  %s@." rep e.Obs.Recorder.time
+                (Obs.Event.to_string e.Obs.Recorder.ev))
+            (Array.sub merged 0 n)
+        end;
+        let dropped =
+          List.fold_left
+            (fun a rp -> a + rp.Obs.Run.trace_dropped)
+            0 o.Obs.Run.reps
+        in
+        if dropped > 0 then
+          Format.printf
+            "(%d early events dropped by the ring limit; raise --limit)@."
+            dropped;
+        let json = Obs.Export.perfetto merged in
+        Obs.Export.write_file perfetto_file json;
+        Format.printf "@.perfetto trace (%d events) written to %s@."
+          (Array.length merged) perfetto_file;
+        (match text_file with
+        | Some f ->
+            Obs.Export.write_file f (Obs.Export.trace_text merged);
+            Format.printf "text trace written to %s@." f
+        | None -> ());
+        if check then begin
+          if Array.length merged = 0 then begin
+            Printf.eprintf "ccsim: check failed: merged trace is empty\n";
+            exit 1
+          end;
+          match Obs.Export.validate_json json with
+          | Ok () -> Format.printf "check: perfetto JSON parses ok@."
+          | Error e ->
+              Printf.eprintf "ccsim: check failed: invalid JSON: %s\n" e;
+              exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced simulation and report per-protocol breakdowns \
+          (messages per commit by kind, lock-wait histogram, notification \
+          fan-out, abort timeline); export the merged trace as \
+          Chrome/Perfetto JSON.  Tracing works at any $(b,-j): each \
+          replication records in its own domain and the merged trace is \
+          identical for every job count.")
     Term.(
-      const run $ algo $ clients $ loc $ pw $ platform $ large $ interactive
-      $ commits $ warmup $ seed $ reps $ jobs_arg)
+      const run $ cell_term ~commits_default:500 () $ perfetto_file
+      $ text_file $ events $ limit $ check $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccsim stats                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let series_file =
+    Arg.(
+      value & opt string "series.csv"
+      & info [ "series" ] ~docv:"FILE"
+          ~doc:
+            "Write the sampled time series as CSV (replication k > 0 goes \
+             to FILE.repk).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 5.0
+      & info [ "interval" ] ~docv:"S"
+          ~doc:"Sampling interval in simulated seconds.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Self-validate: every emitted CSV must round-trip exactly.")
+  in
+  let run cell series_file interval check jobs =
+    if interval <= 0.0 then begin
+      Printf.eprintf "ccsim: --interval must be positive\n";
+      exit 1
+    end;
+    let obs =
+      Obs.Config.make ~series:true ~sample_interval:interval ~profile:true ()
+    in
+    let spec = cell_spec ~obs cell in
+    let r = Core.Simulator.run_replicated ~jobs spec ~reps:cell.cell_reps in
+    Format.printf "%a@." Core.Simulator.pp_result r;
+    match r.Core.Simulator.obs with
+    | None ->
+        Printf.eprintf "ccsim: run returned no observability payload\n";
+        exit 1
+    | Some o ->
+        let first = List.hd o.Obs.Run.reps in
+        Format.printf "@.facilities (seed %d):@." first.Obs.Run.rep_seed;
+        List.iter
+          (fun f -> Format.printf "  %a@." Obs.Run.pp_fac_snapshot f)
+          first.Obs.Run.facilities;
+        (match first.Obs.Run.profile with
+        | Some p ->
+            Format.printf
+              "@.engine: %d events, %d processes, %d holds, %d wakes, \
+               event-heap high-water %d@."
+              p.Sim.Engine.pr_events p.Sim.Engine.pr_spawned
+              p.Sim.Engine.pr_holds p.Sim.Engine.pr_wakes
+              p.Sim.Engine.pr_heap_hwm;
+            let top = 12 in
+            Format.printf "  %-24s %10s %10s %14s@." "process" "events"
+              "holds" "hold-time (s)";
+            List.iteri
+              (fun i pp ->
+                if i < top then
+                  Format.printf "  %-24s %10d %10d %14.3f@."
+                    pp.Sim.Engine.pp_name pp.Sim.Engine.pp_runs
+                    pp.Sim.Engine.pp_holds pp.Sim.Engine.pp_hold_time)
+              p.Sim.Engine.pr_per_process
+        | None -> ());
+        (match first.Obs.Run.series with
+        | Some s when Obs.Series.length s > 0 ->
+            let names = Obs.Series.names s in
+            let rows = Obs.Series.rows s in
+            Format.printf "@.series (%d samples every %gs):@."
+              (Obs.Series.length s) (Obs.Series.interval s);
+            Format.printf "  %-18s %12s %12s %12s@." "column" "min" "mean"
+              "max";
+            Array.iteri
+              (fun j name ->
+                let lo = ref infinity and hi = ref neg_infinity in
+                let sum = ref 0.0 in
+                Array.iter
+                  (fun row ->
+                    let v = row.(j) in
+                    if v < !lo then lo := v;
+                    if v > !hi then hi := v;
+                    sum := !sum +. v)
+                  rows;
+                Format.printf "  %-18s %12.4f %12.4f %12.4f@." name !lo
+                  (!sum /. float_of_int (Array.length rows))
+                  !hi)
+              names
+        | _ -> ());
+        List.iteri
+          (fun i rp ->
+            match rp.Obs.Run.series with
+            | None -> ()
+            | Some s ->
+                let file =
+                  if i = 0 then series_file
+                  else Printf.sprintf "%s.rep%d" series_file i
+                in
+                let csv = Obs.Export.series_csv s in
+                Obs.Export.write_file file csv;
+                Format.printf "series csv written to %s@." file;
+                if check then begin
+                  let s' = Obs.Export.series_of_csv csv in
+                  if not (Obs.Series.equal s s') then begin
+                    Printf.eprintf
+                      "ccsim: check failed: %s does not round-trip\n" file;
+                    exit 1
+                  end
+                end)
+          o.Obs.Run.reps;
+        if check then Format.printf "check: all series CSVs round-trip ok@."
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a sampled simulation and report facility statistics \
+          (utilization, queue high-water marks, busy time), the engine \
+          profile (per-process event counts), and fixed-interval time \
+          series of utilizations, lock-table occupancy, blocked clients, \
+          and commit/abort rates, exported as CSV.")
+    Term.(
+      const run $ cell_term ~commits_default:500 () $ series_file $ interval
+      $ check $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim exp                                                           *)
@@ -298,11 +573,22 @@ let chaos_cmd =
           (List.length fs) (List.length specs);
         let sp, v = List.hd fs in
         let minimal = Experiments.Chaos.shrink sp in
+        let repro_file =
+          Printf.sprintf "chaos-repro-%s-seed%d.trace"
+            (Core.Proto.algorithm_name v.Experiments.Chaos.v_algo)
+            minimal.Fault.Plan.seed
+        in
+        let n_events =
+          Experiments.Chaos.write_repro_trace ~file:repro_file
+            { sp with Core.Simulator.fault = minimal }
+        in
         Format.printf
           "minimal reproducer: algo=%s plan={%s}@.rerun with: ccsim chaos \
-           --seeds 1 ... (seed %d)@."
+           --seeds 1 ... (seed %d)@.reproducer trace (%d events) written to \
+           %s@."
           (Core.Proto.algorithm_name v.Experiments.Chaos.v_algo)
-          (Fault.Plan.to_string minimal) minimal.Fault.Plan.seed;
+          (Fault.Plan.to_string minimal) minimal.Fault.Plan.seed n_events
+          repro_file;
         exit 1
   in
   Cmd.v
@@ -335,4 +621,7 @@ let () =
         "Client/server DBMS cache-consistency simulator (Wang & Rowe, \
          UCB/ERL M90/120)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; exp_cmd; chaos_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; trace_cmd; stats_cmd; exp_cmd; chaos_cmd; list_cmd ]))

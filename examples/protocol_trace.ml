@@ -5,6 +5,11 @@
    commits, aborts, and update notifications with their simulated
    timestamps — the fastest way to understand (or debug) an algorithm.
 
+   The trace comes from the typed recorder ([spec.obs] with [trace] on):
+   the simulator installs a per-domain buffer, the run fills it, and the
+   entries come back inside [result.obs] — the same machinery `ccsim
+   trace` uses, and it works identically under [Sim.Pool] workers.
+
    Run with:
      dune exec examples/protocol_trace.exe
      dune exec examples/protocol_trace.exe -- no-wait-notify 120 *)
@@ -29,17 +34,11 @@ let () =
   in
   Format.printf "Protocol trace: %s, 2 clients, tiny hot database@.@."
     (Core.Proto.algorithm_name algo);
-  let shown = ref 0 in
-  Core.Trace.set_sink (fun time ev ->
-      if !shown < max_events then begin
-        incr shown;
-        Format.printf "%10.4fs  %s@." time (Core.Trace.event_to_string ev)
-      end);
   let cfg = Core.Sys_params.table5 ~n_clients:2 () in
   let spec =
     {
       (Core.Simulator.default_spec ~seed:12 ~warmup_commits:0
-         ~measured_commits:6 ~cfg
+         ~measured_commits:6 ~obs:Obs.Config.trace_only ~cfg
          ~xact_params:
            (Db.Xact_params.short_batch ~prob_write:0.5 ~inter_xact_loc:0.6 ())
          algo)
@@ -49,6 +48,18 @@ let () =
     }
   in
   let r = Core.Simulator.run spec in
-  Core.Trace.clear_sink ();
-  Format.printf "@.(%d events shown; %d transactions committed, %d aborted)@."
-    !shown r.Core.Simulator.commits r.Core.Simulator.aborts
+  let entries =
+    match r.Core.Simulator.obs with
+    | Some o -> (List.hd o.Obs.Run.reps).Obs.Run.trace
+    | None -> [||]
+  in
+  let shown = min max_events (Array.length entries) in
+  Array.iter
+    (fun e ->
+      Format.printf "%10.4fs  %s@." e.Obs.Recorder.time
+        (Obs.Event.to_string e.Obs.Recorder.ev))
+    (Array.sub entries 0 shown);
+  Format.printf "@.(%d of %d events shown; %d transactions committed, %d \
+                 aborted)@."
+    shown (Array.length entries) r.Core.Simulator.commits
+    r.Core.Simulator.aborts

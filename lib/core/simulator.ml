@@ -9,11 +9,12 @@ type spec = {
   measured_commits : int;
   max_sim_time : float;
   fault : Fault.Plan.t;
+  obs : Obs.Config.t;
 }
 
 let default_spec ?(seed = 1) ?(warmup_commits = 300) ?(measured_commits = 2000)
-    ?(max_sim_time = 50_000.0) ?(fault = Fault.Plan.none) ~cfg ~xact_params
-    algo =
+    ?(max_sim_time = 50_000.0) ?(fault = Fault.Plan.none)
+    ?(obs = Obs.Config.off) ~cfg ~xact_params algo =
   {
     cfg;
     db_params = Db.Db_params.uniform ~n_classes:40 ~pages_per_class:50 ();
@@ -25,6 +26,7 @@ let default_spec ?(seed = 1) ?(warmup_commits = 300) ?(measured_commits = 2000)
     measured_commits;
     max_sim_time;
     fault;
+    obs;
   }
 
 type result = {
@@ -66,6 +68,7 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;
+  obs : Obs.Run.t option;
 }
 
 (* Per-replication measurement state that the scalar [result] cannot
@@ -176,7 +179,97 @@ let run_with_stats ?audit ?inspect spec =
   Server.register_clients server links;
   Server.start server;
   Array.iter (function Some c -> Client.start c | None -> ()) clients;
-  let sim_time = Sim.Engine.run eng ~until:spec.max_sim_time () in
+  (* Observability, all opt-in ([Obs.Config.off] installs nothing).  The
+     recorder goes into THIS domain's sink slot — which is the pool
+     worker's slot when the run was dispatched by [Sim.Pool] — and the
+     filled buffer returns by value in [result.obs], so tracing works at
+     any [-j].  Sampler sources only read statistics (no hold, no RNG),
+     so sampled runs compute exactly the results of unsampled ones. *)
+  let ocfg = spec.obs in
+  let recorder =
+    if ocfg.Obs.Config.trace then
+      Some (Obs.Recorder.create ~limit:ocfg.Obs.Config.trace_limit ())
+    else None
+  in
+  if ocfg.Obs.Config.profile then Sim.Engine.enable_profiling eng;
+  let server_cpu = (Server.port server).Proto.cpu in
+  let series =
+    if not ocfg.Obs.Config.series then None
+    else begin
+      let interval = ocfg.Obs.Config.sample_interval in
+      (* Per-interval rate from a cumulative counter.  [Metrics.reset] at
+         the warmup boundary rewinds the counters, so the first
+         post-warmup delta can be negative: clamp to 0. *)
+      let rate_of read =
+        let last = ref (read ()) in
+        fun () ->
+          let v = read () in
+          let d = v -. !last in
+          last := v;
+          Float.max 0.0 d
+      in
+      let util_of fac =
+        let cap = float_of_int (Sim.Facility.capacity fac) in
+        let busy = rate_of (fun () -> Sim.Facility.busy_time fac) in
+        fun () -> Float.min 1.0 (busy () /. (interval *. cap))
+      in
+      let disks = Server.data_disks server in
+      let disk_busy =
+        rate_of (fun () ->
+            Array.fold_left (fun a d -> a +. Storage.Disk.busy_time d) 0.0 disks)
+      in
+      let net_busy = rate_of (fun () -> Net.Network.busy_time net) in
+      let commit_rate =
+        rate_of (fun () -> float_of_int (Metrics.total_commits metrics))
+      in
+      let abort_rate =
+        rate_of (fun () -> float_of_int (Metrics.aborts metrics))
+      in
+      let locks = Server.locks server in
+      let sources =
+        [
+          ("server_cpu_util", util_of server_cpu);
+          ( "disk_util",
+            fun () ->
+              if Array.length disks = 0 then 0.0
+              else
+                Float.min 1.0
+                  (disk_busy ()
+                  /. (interval *. float_of_int (Array.length disks))) );
+          ("net_util", fun () -> Float.min 1.0 (net_busy () /. interval));
+          ("locks_held", fun () -> float_of_int (Cc.Lock_table.locks_held locks));
+          ( "lock_waiters",
+            fun () ->
+              float_of_int (List.length (Cc.Lock_table.all_waiting locks)) );
+          ("active_xacts", fun () -> float_of_int (Server.active_count server));
+          ( "ready_queue",
+            fun () -> float_of_int (Server.ready_queue_length server) );
+          ("commit_rate", fun () -> commit_rate () /. interval);
+          ("abort_rate", fun () -> abort_rate () /. interval);
+          ( "clients_down",
+            fun () ->
+              Array.fold_left
+                (fun a c ->
+                  match c with
+                  | Some c when Client.crashed c -> a + 1
+                  | _ -> a)
+                0 clients
+              |> float_of_int );
+        ]
+      in
+      Some (Obs.Series.sample eng ~interval ~sources)
+    end
+  in
+  let sim_time =
+    match recorder with
+    | None -> Sim.Engine.run eng ~until:spec.max_sim_time ()
+    | Some r ->
+        let saved = Obs.Recorder.save () in
+        Obs.Recorder.install r;
+        Fun.protect
+          ~finally:(fun () -> Obs.Recorder.restore saved)
+          (fun () -> Sim.Engine.run eng ~until:spec.max_sim_time ())
+  in
   (match inspect with
   | Some f ->
       f server
@@ -194,6 +287,62 @@ let run_with_stats ?audit ?inspect spec =
     match l with
     | [] -> 0.0
     | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let obs_payload =
+    if not (Obs.Config.enabled ocfg) then None
+    else begin
+      let disk_snap d =
+        {
+          Obs.Run.fac_name = Storage.Disk.name d;
+          fac_capacity = 1;
+          fac_utilization = Storage.Disk.utilization d;
+          fac_mean_queue = Storage.Disk.mean_queue_length d;
+          fac_max_queue = Storage.Disk.max_queue_length d;
+          fac_busy_time = Storage.Disk.busy_time d;
+          fac_completions = Storage.Disk.accesses d;
+        }
+      in
+      let facilities =
+        (Obs.Run.snapshot_facility server_cpu
+        :: (Array.to_list (Server.data_disks server) |> List.map disk_snap))
+        @ (match Server.log_disk server with
+          | Some d -> [ disk_snap d ]
+          | None -> [])
+        @ [
+            {
+              Obs.Run.fac_name = "network";
+              fac_capacity = 1;
+              fac_utilization = Net.Network.utilization net;
+              fac_mean_queue = Net.Network.mean_queue_length net;
+              fac_max_queue = Net.Network.max_queue_length net;
+              fac_busy_time = Net.Network.busy_time net;
+              fac_completions = Net.Network.packets_sent net;
+            };
+          ]
+      in
+      let trace, trace_dropped =
+        match recorder with
+        | Some r -> (Obs.Recorder.entries r, Obs.Recorder.dropped r)
+        | None -> ([||], 0)
+      in
+      Some
+        {
+          Obs.Run.reps =
+            [
+              {
+                Obs.Run.rep_seed = spec.seed;
+                trace;
+                trace_dropped;
+                series;
+                facilities;
+                profile =
+                  (if ocfg.Obs.Config.profile then
+                     Some (Sim.Engine.profile eng)
+                   else None);
+              };
+            ];
+        }
+    end
   in
   let result =
   {
@@ -241,6 +390,7 @@ let run_with_stats ?audit ?inspect spec =
     msgs_delayed = Metrics.msgs_delayed metrics;
     msgs_duplicated = Metrics.msgs_duplicated metrics;
     mean_recovery = Metrics.mean_recovery metrics;
+    obs = obs_payload;
   }
   in
   ( result,
@@ -336,6 +486,17 @@ let run_replicated ?(jobs = 1) spec ~reps =
              (fun a r -> a +. (r.mean_recovery *. float_of_int r.recoveries))
              0.0 results
            /. float_of_int recs);
+      obs =
+        (* [Pool.map] preserves submission order, so replication payloads
+           concatenate in seed order at any [jobs] — the merged trace is
+           byte-identical whether run at -j 1 or -j N. *)
+        (let reps =
+           List.concat_map
+             (fun r ->
+               match r.obs with Some o -> o.Obs.Run.reps | None -> [])
+             results
+         in
+         if reps = [] then None else Some { Obs.Run.reps });
     }
   end
 

@@ -24,6 +24,14 @@ type spec = {
       (** deterministic fault-injection plan; [Fault.Plan.none] (the
           default) leaves every run bit-identical to the fault-free
           simulator *)
+  obs : Obs.Config.t;
+      (** observability switches; {!Obs.Config.off} (the default) installs
+          no recorder, sampler, or profiling and leaves the run
+          bit-identical.  With [series] on, a run that would otherwise
+          drain its event queue early instead ends exactly at
+          [max_sim_time], because the sampler process keeps the clock
+          alive; runs that reach their commit target are unaffected
+          ([Engine.stop] fires first). *)
 }
 
 (** A convenient spec: Table 5 system, short-batch workload, 300 warmup +
@@ -34,6 +42,7 @@ val default_spec :
   ?measured_commits:int ->
   ?max_sim_time:float ->
   ?fault:Fault.Plan.t ->
+  ?obs:Obs.Config.t ->
   cfg:Sys_params.t ->
   xact_params:Db.Xact_params.t ->
   Proto.algorithm ->
@@ -77,6 +86,9 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;  (** mean crash-to-recovery downtime, seconds *)
+  obs : Obs.Run.t option;
+      (** observability payload — one {!Obs.Run.rep} per replication, in
+          seed order — when [spec.obs] enabled anything; [None] otherwise *)
 }
 
 (** Run one simulation to completion.  [?audit] collects every committed

@@ -1,4 +1,4 @@
-type event =
+type event = Obs.Event.t =
   | Client_send of { client : int; xid : int; what : string }
   | Server_reply of { client : int; xid : int; what : string }
   | Lock_wait of { client : int; page : int; mode : string }
@@ -16,54 +16,8 @@ type event =
   | Lock_reclaimed of { client : int; pages : int list }
   | Retransmit of { client : int; xid : int }
 
-let event_to_string = function
-  | Client_send { client; xid; what } ->
-      Printf.sprintf "client %d -> server: %s (xid %d)" client what xid
-  | Server_reply { client; xid; what } ->
-      Printf.sprintf "server -> client %d: %s (xid %d)" client what xid
-  | Lock_wait { client; page; mode } ->
-      Printf.sprintf "client %d blocks for %s lock on page %d" client mode page
-  | Lock_grant { client; page; mode } ->
-      Printf.sprintf "client %d granted %s lock on page %d" client mode page
-  | Deadlock { victim_client; cycle } ->
-      Printf.sprintf "deadlock [%s]: victim is client %d"
-        (String.concat " -> " (List.map string_of_int cycle))
-        victim_client
-  | Abort { client; xid; reason } ->
-      Printf.sprintf "abort client %d xid %d (%s)" client xid reason
-  | Callback { holder; page } ->
-      Printf.sprintf "callback request to client %d for page %d" holder page
-  | Notify { client; page; push } ->
-      Printf.sprintf "%s to client %d for page %d"
-        (if push then "update push" else "invalidation")
-        client page
-  | Commit { client; xid; n_updates } ->
-      Printf.sprintf "commit client %d xid %d (%d updated pages)" client xid
-        n_updates
-  | Disk_read { page } -> Printf.sprintf "disk read page %d" page
-  | Msg_dropped { bytes } -> Printf.sprintf "message dropped (%d bytes)" bytes
-  | Msg_delayed { bytes; by } ->
-      Printf.sprintf "message delayed %.4fs (%d bytes)" by bytes
-  | Client_crash { client } -> Printf.sprintf "client %d crashed" client
-  | Client_recover { client; downtime } ->
-      Printf.sprintf "client %d recovered after %.4fs" client downtime
-  | Lock_reclaimed { client; pages } ->
-      Printf.sprintf "lease expired: reclaimed %d lock(s) of client %d [%s]"
-        (List.length pages) client
-        (String.concat " " (List.map string_of_int pages))
-  | Retransmit { client; xid } ->
-      Printf.sprintf "client %d retransmits request (xid %d)" client xid
-
-(* Domain-local so simulations running on pool workers (Sim.Pool) neither
-   race on the hook nor leak their events into a sink installed by the
-   calling domain. *)
-let sink : (float -> event -> unit) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
-
-let set_sink f = Domain.DLS.set sink (Some f)
-let clear_sink () = Domain.DLS.set sink None
-
-let emit time ev =
-  match Domain.DLS.get sink with Some f -> f time ev | None -> ()
-
-let active () = Option.is_some (Domain.DLS.get sink)
+let event_to_string = Obs.Event.to_string
+let set_sink = Obs.Recorder.set_sink
+let clear_sink = Obs.Recorder.clear_sink
+let emit = Obs.Recorder.emit
+let active = Obs.Recorder.active

@@ -1,17 +1,20 @@
-(** Protocol event tracing.
+(** Protocol event tracing (compatibility shim over {!Obs.Recorder}).
 
-    A hook that, when set, receives every interesting protocol event with
-    its simulated timestamp: client requests, server grants and replies,
-    aborts, callbacks, notifications, commits.  Used by the
-    [protocol_trace] example and handy when debugging a protocol change;
-    costs nothing when unset.
+    Emit sites in the server, client, and simulator report every
+    interesting protocol event with its simulated timestamp: client
+    requests, server grants and replies, aborts, callbacks,
+    notifications, commits.  Costs nothing when no sink or recorder is
+    installed.
 
-    The sink is domain-local: each domain sees only the sink it installed
-    itself, so simulations dispatched to {!Sim.Pool} workers run untraced
-    and never race on the hook.  To trace a simulation, run it in the
-    domain that called {!set_sink} (e.g. with [-j 1]). *)
+    The sink slot is domain-local and shared with {!Obs.Recorder}:
+    {!Core.Simulator} installs a typed recorder in whatever domain runs a
+    simulation — including {!Sim.Pool} workers — so traced runs work at
+    any [-j]; the filled buffer travels back by value inside the run's
+    result and merges deterministically (see {!Obs.Run.merged_trace}).
+    The callback sink below is the legacy interface, kept for simple
+    stream-to-stdout uses such as the [protocol_trace] example. *)
 
-type event =
+type event = Obs.Event.t =
   | Client_send of { client : int; xid : int; what : string }
   | Server_reply of { client : int; xid : int; what : string }
   | Lock_wait of { client : int; page : int; mode : string }
@@ -31,10 +34,11 @@ type event =
 
 val event_to_string : event -> string
 
-(** Install a sink receiving [(simulated_time, event)]. *)
+(** Install a callback sink receiving [(simulated_time, event)] in this
+    domain.  Replaces any recorder installed here. *)
 val set_sink : (float -> event -> unit) -> unit
 
-(** Remove the sink. *)
+(** Remove this domain's sink. *)
 val clear_sink : unit -> unit
 
 (** Emit an event (no-op when no sink is installed). *)

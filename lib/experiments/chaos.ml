@@ -47,6 +47,7 @@ let spec ?(n_clients = 8) ?(measured_commits = 400)
     measured_commits;
     max_sim_time;
     fault;
+    obs = Obs.Config.off;
   }
 
 let audit_run (sp : Core.Simulator.spec) =
@@ -125,6 +126,20 @@ let shrink ?(max_steps = 32) (sp : Core.Simulator.spec) =
       | None -> plan
   in
   go max_steps sp.Core.Simulator.fault
+
+(* Re-run a failing spec with a recorder installed in this domain and dump
+   the merged trace.  The recorder is installed directly (not via the
+   spec's [obs] config) so a run that raises mid-flight still yields its
+   partial trace; the ring keeps the LAST [limit] events — the tail that
+   actually led up to the failure. *)
+let write_repro_trace ?(limit = 200_000) ~file (sp : Core.Simulator.spec) =
+  let (), rec_ =
+    Obs.Recorder.with_recorder ~limit (fun () ->
+        try ignore (Core.Simulator.run sp) with _ -> ())
+  in
+  let tagged = Array.map (fun e -> (0, e)) (Obs.Recorder.entries rec_) in
+  Obs.Export.write_file file (Obs.Export.trace_text tagged);
+  Array.length tagged
 
 let sweep ?(jobs = 1) specs =
   if jobs > 1 then Sim.Pool.map ~jobs audit_run specs

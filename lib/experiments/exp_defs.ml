@@ -113,6 +113,7 @@ let placeholder_result (s : Core.Simulator.spec) : Core.Simulator.result =
     msgs_delayed = 0;
     msgs_duplicated = 0;
     mean_recovery = 0.0;
+    obs = None;
   }
 
 let execute t spec =

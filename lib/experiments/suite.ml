@@ -23,6 +23,7 @@ let spec ~cfg ~db ~xp algo =
     measured_commits = 0;
     max_sim_time = 0.0;
     fault = Fault.Plan.none;
+    obs = Obs.Config.off;
   }
 (* seed/warmup/measured are overridden by the runner's options *)
 

@@ -70,6 +70,8 @@ let messages_sent t = t.msgs
 let packets_sent t = t.pkts
 let utilization t = Sim.Facility.utilization t.wire
 let mean_queue_length t = Sim.Facility.mean_queue_length t.wire
+let max_queue_length t = Sim.Facility.max_queue_length t.wire
+let busy_time t = Sim.Facility.busy_time t.wire
 
 let reset_stats t =
   t.msgs <- 0;

@@ -59,4 +59,10 @@ val utilization : t -> float
 (** Time-average number of packets queued for the wire. *)
 val mean_queue_length : t -> float
 
+(** Longest wire queue observed in the window. *)
+val max_queue_length : t -> int
+
+(** Cumulative wire busy seconds in the window. *)
+val busy_time : t -> float
+
 val reset_stats : t -> unit

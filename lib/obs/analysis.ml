@@ -1,0 +1,213 @@
+(* Per-protocol breakdowns computed from a recorded trace: the numbers
+   the paper's Sections 4-5 reason with when explaining *why* an
+   algorithm wins — messages per commit by kind, lock-wait time
+   distribution, abort causes over time, notification fan-out.
+
+   All outputs are deterministic functions of the (rep, time, seq)-ordered
+   entry array: association lists are explicitly sorted, and histogram
+   buckets are fixed, so summaries diff cleanly across job counts. *)
+
+type hist_bucket = { lo : float; hi : float; count : int }
+
+type summary = {
+  n_events : int;
+  t_first : float;
+  t_last : float;
+  n_commits : int;
+  n_aborts : int;
+  aborts_by_reason : (string * int) list;
+  messages_by_kind : (string * int) list;
+  msgs_per_commit_by_kind : (string * float) list;
+  n_lock_waits : int;
+  lock_wait_mean : float;
+  lock_wait_max : float;
+  lock_wait_hist : hist_bucket list;
+  fanout_hist : (int * int) list;
+  abort_timeline : (float * int) list;
+  timeline_bucket : float;
+}
+
+let timeline_buckets = 20
+
+(* Lock-wait histogram: powers-of-ten buckets from 100 us up. *)
+let wait_edges = [| 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let summarize_tagged (entries : (int * Recorder.entry) array) =
+  let n = Array.length entries in
+  let t_first = if n = 0 then 0.0 else (snd entries.(0)).Recorder.time in
+  let t_last = ref t_first in
+  Array.iter
+    (fun (_, e) -> if e.Recorder.time > !t_last then t_last := e.Recorder.time)
+    entries;
+  let commits = ref 0 in
+  let aborts = ref 0 in
+  let by_reason : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let by_msg : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl k =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl k (ref 1)
+  in
+  (* lock-wait pairing: (rep, client, page) -> wait start *)
+  let waiting : (int * int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let wait_n = ref 0 in
+  let wait_sum = ref 0.0 in
+  let wait_max = ref 0.0 in
+  let wait_counts = Array.make (Array.length wait_edges + 1) 0 in
+  (* notification fan-out: async messages seen since the rep's previous
+     commit, flushed into the histogram at each commit *)
+  let pending_fanout : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let fanout : (int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  (* abort timeline *)
+  let span = !t_last -. t_first in
+  let bucket_w =
+    if span <= 0.0 then 1.0 else span /. float_of_int timeline_buckets
+  in
+  let timeline = Array.make timeline_buckets 0 in
+  let record_abort time =
+    incr aborts;
+    let b =
+      min (timeline_buckets - 1)
+        (max 0 (int_of_float ((time -. t_first) /. bucket_w)))
+    in
+    timeline.(b) <- timeline.(b) + 1
+  in
+  Array.iter
+    (fun (rep, { Recorder.time; ev; _ }) ->
+      (match Event.message_label ev with Some l -> bump by_msg l | None -> ());
+      match ev with
+      | Event.Commit _ ->
+          incr commits;
+          let k =
+            match Hashtbl.find_opt pending_fanout rep with
+            | Some r ->
+                let v = !r in
+                r := 0;
+                v
+            | None -> 0
+          in
+          bump fanout k
+      | Event.Abort { reason; _ } ->
+          record_abort time;
+          bump by_reason (Event.strip_args reason)
+      | Event.Lock_wait { client; page; _ } ->
+          Hashtbl.replace waiting (rep, client, page) time
+      | Event.Lock_grant { client; page; _ } -> (
+          match Hashtbl.find_opt waiting (rep, client, page) with
+          | Some t0 ->
+              Hashtbl.remove waiting (rep, client, page);
+              let d = time -. t0 in
+              incr wait_n;
+              wait_sum := !wait_sum +. d;
+              if d > !wait_max then wait_max := d;
+              let rec slot i =
+                if i >= Array.length wait_edges || d < wait_edges.(i) then i
+                else slot (i + 1)
+              in
+              let s = slot 0 in
+              wait_counts.(s) <- wait_counts.(s) + 1
+          | None -> ())
+      | Event.Callback _ | Event.Notify _ -> (
+          match Hashtbl.find_opt pending_fanout rep with
+          | Some r -> incr r
+          | None -> Hashtbl.add pending_fanout rep (ref 1))
+      | _ -> ())
+    entries;
+  let sorted_assoc tbl =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+    |> List.sort (fun (ka, ca) (kb, cb) ->
+           let c = Int.compare cb ca in
+           if c <> 0 then c else String.compare ka kb)
+  in
+  let messages_by_kind = sorted_assoc by_msg in
+  let msgs_per_commit_by_kind =
+    if !commits = 0 then []
+    else
+      List.map
+        (fun (k, c) -> (k, float_of_int c /. float_of_int !commits))
+        messages_by_kind
+  in
+  let lock_wait_hist =
+    List.filter_map
+      (fun i ->
+        if wait_counts.(i) = 0 then None
+        else
+          let lo = if i = 0 then 0.0 else wait_edges.(i - 1) in
+          let hi =
+            if i >= Array.length wait_edges then infinity else wait_edges.(i)
+          in
+          Some { lo; hi; count = wait_counts.(i) })
+      (List.init (Array.length wait_counts) Fun.id)
+  in
+  {
+    n_events = n;
+    t_first;
+    t_last = !t_last;
+    n_commits = !commits;
+    n_aborts = !aborts;
+    aborts_by_reason = sorted_assoc by_reason;
+    messages_by_kind;
+    msgs_per_commit_by_kind;
+    n_lock_waits = !wait_n;
+    lock_wait_mean = (if !wait_n = 0 then 0.0 else !wait_sum /. float_of_int !wait_n);
+    lock_wait_max = !wait_max;
+    lock_wait_hist;
+    fanout_hist =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) fanout []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    abort_timeline =
+      (if !aborts = 0 then []
+       else
+         List.init timeline_buckets (fun i ->
+             (t_first +. (float_of_int i *. bucket_w), timeline.(i))));
+    timeline_bucket = bucket_w;
+  }
+
+let summarize entries =
+  summarize_tagged (Array.map (fun e -> (0, e)) entries)
+
+let time_string d =
+  if d < 1e-3 then Printf.sprintf "%.0fus" (d *. 1e6)
+  else if d < 1.0 then Printf.sprintf "%.1fms" (d *. 1e3)
+  else Printf.sprintf "%.3fs" d
+
+let pp_summary fmt s =
+  Format.fprintf fmt "trace: %d events over %.1fs..%.1fs | %d commits, %d aborts@."
+    s.n_events s.t_first s.t_last s.n_commits s.n_aborts;
+  if s.aborts_by_reason <> [] then begin
+    Format.fprintf fmt "  abort causes:";
+    List.iter (fun (k, c) -> Format.fprintf fmt " %s=%d" k c) s.aborts_by_reason;
+    Format.fprintf fmt "@."
+  end;
+  if s.msgs_per_commit_by_kind <> [] then begin
+    Format.fprintf fmt "  messages per commit by kind:@.";
+    List.iter2
+      (fun (k, per) (_, total) ->
+        Format.fprintf fmt "    %-24s %8.2f  (%d total)@." k per total)
+      s.msgs_per_commit_by_kind s.messages_by_kind
+  end;
+  if s.n_lock_waits > 0 then begin
+    Format.fprintf fmt "  lock waits: %d, mean %s, max %s@." s.n_lock_waits
+      (time_string s.lock_wait_mean)
+      (time_string s.lock_wait_max);
+    List.iter
+      (fun { lo; hi; count } ->
+        let range =
+          if hi = infinity then Printf.sprintf ">= %s" (time_string lo)
+          else Printf.sprintf "%s .. %s" (time_string lo) (time_string hi)
+        in
+        Format.fprintf fmt "    %-20s %6d@." range count)
+      s.lock_wait_hist
+  end;
+  (match s.fanout_hist with
+  | [] | [ (0, _) ] -> ()
+  | h ->
+      Format.fprintf fmt "  callbacks+notifications per commit:";
+      List.iter (fun (k, c) -> Format.fprintf fmt " %dx%d" k c) h;
+      Format.fprintf fmt "@.");
+  match s.abort_timeline with
+  | [] -> ()
+  | tl ->
+      Format.fprintf fmt "  abort timeline (bucket %.1fs):" s.timeline_bucket;
+      List.iter (fun (_, c) -> Format.fprintf fmt " %d" c) tl;
+      Format.fprintf fmt "@."

@@ -1,0 +1,43 @@
+(** Per-protocol breakdowns computed from a recorded trace — the numbers
+    that explain {e why} a consistency algorithm behaves as it does:
+    messages per commit by kind, the lock-wait time distribution,
+    notification fan-out, and the abort-cause timeline.
+
+    All fields are deterministic functions of the ordered entry array:
+    association lists are sorted (count-descending, then name), histogram
+    buckets are fixed, so two summaries of the same trace diff cleanly. *)
+
+type hist_bucket = { lo : float; hi : float; count : int }
+
+type summary = {
+  n_events : int;
+  t_first : float;
+  t_last : float;
+  n_commits : int;
+  n_aborts : int;
+  aborts_by_reason : (string * int) list;
+  messages_by_kind : (string * int) list;
+      (** message-event counts grouped by {!Event.message_label} *)
+  msgs_per_commit_by_kind : (string * float) list;
+      (** empty when the trace holds no commit *)
+  n_lock_waits : int;  (** Lock_wait events paired with a later grant *)
+  lock_wait_mean : float;
+  lock_wait_max : float;
+  lock_wait_hist : hist_bucket list;  (** powers-of-ten buckets, non-empty only *)
+  fanout_hist : (int * int) list;
+      (** (k, commits): commits preceded by exactly [k] callback/notify
+          events since the same replication's previous commit *)
+  abort_timeline : (float * int) list;
+      (** (bucket start, aborts in bucket); empty when no aborts *)
+  timeline_bucket : float;  (** timeline bucket width, seconds *)
+}
+
+(** Summarize one replication's trace. *)
+val summarize : Recorder.entry array -> summary
+
+(** Summarize a merged multi-replication trace (see
+    {!Run.merged_trace}); lock-wait pairing and fan-out windows are kept
+    per replication. *)
+val summarize_tagged : (int * Recorder.entry) array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

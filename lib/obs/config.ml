@@ -1,0 +1,30 @@
+type t = {
+  trace : bool;
+  trace_limit : int;
+  series : bool;
+  sample_interval : float;
+  profile : bool;
+}
+
+let default_interval = 10.0
+
+let off =
+  {
+    trace = false;
+    trace_limit = Recorder.default_limit;
+    series = false;
+    sample_interval = default_interval;
+    profile = false;
+  }
+
+let make ?(trace = false) ?(trace_limit = Recorder.default_limit)
+    ?(series = false) ?(sample_interval = default_interval) ?(profile = false)
+    () =
+  if trace_limit < 1 then invalid_arg "Obs.Config.make: trace_limit < 1";
+  if sample_interval <= 0.0 then
+    invalid_arg "Obs.Config.make: sample_interval <= 0";
+  { trace; trace_limit; series; sample_interval; profile }
+
+let trace_only = make ~trace:true ()
+let full = make ~trace:true ~series:true ~profile:true ()
+let enabled t = t.trace || t.series || t.profile

@@ -1,0 +1,37 @@
+(** Per-run observability switches, carried inside the simulator spec.
+
+    {!off} (the default everywhere) turns every layer off: no recorder is
+    installed, no sampler process is spawned, no profiling is enabled, and
+    the simulation is bit-identical to one run before this subsystem
+    existed. *)
+
+type t = {
+  trace : bool;  (** record typed events into a {!Recorder} buffer *)
+  trace_limit : int;  (** ring capacity; oldest entries drop past it *)
+  series : bool;  (** spawn the fixed-interval facility/lock sampler *)
+  sample_interval : float;  (** sampler period, simulated seconds *)
+  profile : bool;  (** enable per-process engine profiling *)
+}
+
+(** Everything disabled — the default. *)
+val off : t
+
+val default_interval : float
+
+val make :
+  ?trace:bool ->
+  ?trace_limit:int ->
+  ?series:bool ->
+  ?sample_interval:float ->
+  ?profile:bool ->
+  unit ->
+  t
+
+(** Trace recording only. *)
+val trace_only : t
+
+(** Trace + series + engine profile. *)
+val full : t
+
+(** Is any layer on? *)
+val enabled : t -> bool

@@ -1,0 +1,115 @@
+type t =
+  | Client_send of { client : int; xid : int; what : string }
+  | Server_reply of { client : int; xid : int; what : string }
+  | Lock_wait of { client : int; page : int; mode : string }
+  | Lock_grant of { client : int; page : int; mode : string }
+  | Deadlock of { victim_client : int; cycle : int list }
+  | Abort of { client : int; xid : int; reason : string }
+  | Callback of { holder : int; page : int }
+  | Notify of { client : int; page : int; push : bool }
+  | Commit of { client : int; xid : int; n_updates : int }
+  | Disk_read of { page : int }
+  | Msg_dropped of { bytes : int }
+  | Msg_delayed of { bytes : int; by : float }
+  | Client_crash of { client : int }
+  | Client_recover of { client : int; downtime : float }
+  | Lock_reclaimed of { client : int; pages : int list }
+  | Retransmit of { client : int; xid : int }
+
+let to_string = function
+  | Client_send { client; xid; what } ->
+      Printf.sprintf "client %d -> server: %s (xid %d)" client what xid
+  | Server_reply { client; xid; what } ->
+      Printf.sprintf "server -> client %d: %s (xid %d)" client what xid
+  | Lock_wait { client; page; mode } ->
+      Printf.sprintf "client %d blocks for %s lock on page %d" client mode page
+  | Lock_grant { client; page; mode } ->
+      Printf.sprintf "client %d granted %s lock on page %d" client mode page
+  | Deadlock { victim_client; cycle } ->
+      Printf.sprintf "deadlock [%s]: victim is client %d"
+        (String.concat " -> " (List.map string_of_int cycle))
+        victim_client
+  | Abort { client; xid; reason } ->
+      Printf.sprintf "abort client %d xid %d (%s)" client xid reason
+  | Callback { holder; page } ->
+      Printf.sprintf "callback request to client %d for page %d" holder page
+  | Notify { client; page; push } ->
+      Printf.sprintf "%s to client %d for page %d"
+        (if push then "update push" else "invalidation")
+        client page
+  | Commit { client; xid; n_updates } ->
+      Printf.sprintf "commit client %d xid %d (%d updated pages)" client xid
+        n_updates
+  | Disk_read { page } -> Printf.sprintf "disk read page %d" page
+  | Msg_dropped { bytes } -> Printf.sprintf "message dropped (%d bytes)" bytes
+  | Msg_delayed { bytes; by } ->
+      Printf.sprintf "message delayed %.4fs (%d bytes)" by bytes
+  | Client_crash { client } -> Printf.sprintf "client %d crashed" client
+  | Client_recover { client; downtime } ->
+      Printf.sprintf "client %d recovered after %.4fs" client downtime
+  | Lock_reclaimed { client; pages } ->
+      Printf.sprintf "lease expired: reclaimed %d lock(s) of client %d [%s]"
+        (List.length pages) client
+        (String.concat " " (List.map string_of_int pages))
+  | Retransmit { client; xid } ->
+      Printf.sprintf "client %d retransmits request (xid %d)" client xid
+
+let kind = function
+  | Client_send _ -> "client_send"
+  | Server_reply _ -> "server_reply"
+  | Lock_wait _ -> "lock_wait"
+  | Lock_grant _ -> "lock_grant"
+  | Deadlock _ -> "deadlock"
+  | Abort _ -> "abort"
+  | Callback _ -> "callback"
+  | Notify _ -> "notify"
+  | Commit _ -> "commit"
+  | Disk_read _ -> "disk_read"
+  | Msg_dropped _ -> "msg_dropped"
+  | Msg_delayed _ -> "msg_delayed"
+  | Client_crash _ -> "client_crash"
+  | Client_recover _ -> "client_recover"
+  | Lock_reclaimed _ -> "lock_reclaimed"
+  | Retransmit _ -> "retransmit"
+
+let actor = function
+  | Client_send { client; _ }
+  | Server_reply { client; _ }
+  | Lock_wait { client; _ }
+  | Lock_grant { client; _ }
+  | Abort { client; _ }
+  | Notify { client; _ }
+  | Commit { client; _ }
+  | Client_crash { client }
+  | Client_recover { client; _ }
+  | Lock_reclaimed { client; _ }
+  | Retransmit { client; _ } ->
+      Some client
+  | Callback { holder; _ } -> Some holder
+  | Deadlock { victim_client; _ } -> Some victim_client
+  | Disk_read _ | Msg_dropped _ | Msg_delayed _ -> None
+
+(* Free-text message descriptions carry arguments ("fetch reply (2 data
+   pages)", "S lock request [1346]"); the grouping label is the text up to
+   the argument list. *)
+let strip_args s =
+  let cut_at c s =
+    match String.index_opt s c with
+    | Some i when i > 0 && s.[i - 1] = ' ' -> String.sub s 0 (i - 1)
+    | _ -> s
+  in
+  cut_at '(' (cut_at '[' s)
+
+(* Label of a network message event for per-kind message accounting;
+   [None] for events that are not messages. *)
+let message_label = function
+  | Client_send { what; _ } -> Some ("c2s " ^ strip_args what)
+  | Retransmit _ -> Some "c2s retransmit"
+  | Server_reply { what; _ } -> Some ("s2c " ^ strip_args what)
+  | Callback _ -> Some "s2c callback request"
+  | Notify { push = true; _ } -> Some "s2c update push"
+  | Notify { push = false; _ } -> Some "s2c invalidation"
+  | Lock_wait _ | Lock_grant _ | Deadlock _ | Abort _ | Commit _ | Disk_read _
+  | Msg_dropped _ | Msg_delayed _ | Client_crash _ | Client_recover _
+  | Lock_reclaimed _ ->
+      None

@@ -1,0 +1,45 @@
+(** The typed protocol-event vocabulary of the simulator.
+
+    One constructor per observable protocol action: client requests,
+    server replies, lock waits and grants, deadlocks, aborts, callbacks,
+    notifications, commits, disk reads, and the fault-injection events.
+    {!Core.Trace} re-exports this type, so call sites emit events through
+    the compatibility shim while every analysis and export layer consumes
+    them from here. *)
+
+type t =
+  | Client_send of { client : int; xid : int; what : string }
+  | Server_reply of { client : int; xid : int; what : string }
+  | Lock_wait of { client : int; page : int; mode : string }
+  | Lock_grant of { client : int; page : int; mode : string }
+  | Deadlock of { victim_client : int; cycle : int list }
+  | Abort of { client : int; xid : int; reason : string }
+  | Callback of { holder : int; page : int }
+  | Notify of { client : int; page : int; push : bool }
+  | Commit of { client : int; xid : int; n_updates : int }
+  | Disk_read of { page : int }
+  | Msg_dropped of { bytes : int }
+  | Msg_delayed of { bytes : int; by : float }
+  | Client_crash of { client : int }
+  | Client_recover of { client : int; downtime : float }
+  | Lock_reclaimed of { client : int; pages : int list }
+  | Retransmit of { client : int; xid : int }
+
+(** Human-readable one-liner. *)
+val to_string : t -> string
+
+(** Stable lower-case tag of the constructor ("lock_wait", "commit", ...). *)
+val kind : t -> string
+
+(** The client the event is about, if any ([None] for disk and wire
+    events). *)
+val actor : t -> int option
+
+(** Grouping label when the event is a network message ("c2s fetch req",
+    "s2c callback request", ...); [None] otherwise. *)
+val message_label : t -> string option
+
+(** Drop a trailing parenthesized or bracketed argument list from a
+    free-text description ("fetch reply (2 data pages)" -> "fetch reply",
+    "S lock request [1346]" -> "S lock request"). *)
+val strip_args : string -> string

@@ -1,0 +1,319 @@
+(* Artifact exporters: Chrome/Perfetto trace_event JSON for the merged
+   trace, and CSV for sampled series.  Both formats are written by hand
+   (no JSON/CSV dependency in the tree) and both come with a reader —
+   [validate_json] parses the JSON we emit, [series_of_csv] round-trips
+   the CSV — so the CI smoke job can verify artifacts without external
+   tooling. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON building blocks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto / Chrome trace_event format                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON object per trace entry, in the "i" (instant) phase, plus an
+   "X" (complete) event per paired lock wait so Perfetto renders waits as
+   bars.  pid = replication index, tid = client id + 1 (0 is the
+   server/system track).  Timestamps are microseconds of simulated time. *)
+
+let us t = t *. 1e6
+
+let tid_of ev = match Event.actor ev with Some c -> c + 1 | None -> 0
+
+let perfetto (entries : (int * Recorder.entry) array) =
+  let b = Buffer.create (4096 + (Array.length entries * 96)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let obj s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b s
+  in
+  (* name the rep processes and client threads once per (pid, tid) *)
+  let seen_pid = Hashtbl.create 8 and seen_tid = Hashtbl.create 64 in
+  let metadata pid tid =
+    if not (Hashtbl.mem seen_pid pid) then begin
+      Hashtbl.add seen_pid pid ();
+      obj
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\
+            \"args\":{\"name\":\"rep %d\"}}"
+           pid pid)
+    end;
+    if not (Hashtbl.mem seen_tid (pid, tid)) then begin
+      Hashtbl.add seen_tid (pid, tid) ();
+      let label = if tid = 0 then "server/system" else Printf.sprintf "client %d" (tid - 1) in
+      obj
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\
+            \"args\":{\"name\":\"%s\"}}"
+           pid tid label)
+    end
+  in
+  (* lock-wait pairing for duration events, per (rep, client, page) *)
+  let waiting = Hashtbl.create 64 in
+  Array.iter
+    (fun (rep, { Recorder.time; ev; seq }) ->
+      let tid = tid_of ev in
+      metadata rep tid;
+      obj
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\
+            \"tid\":%d,\"args\":{\"seq\":%d,\"detail\":\"%s\"}}"
+           (json_escape (Event.kind ev))
+           (us time) rep tid seq
+           (json_escape (Event.to_string ev)));
+      match ev with
+      | Event.Lock_wait { client; page; _ } ->
+          Hashtbl.replace waiting (rep, client, page) time
+      | Event.Lock_grant { client; page; mode } -> (
+          match Hashtbl.find_opt waiting (rep, client, page) with
+          | Some t0 ->
+              Hashtbl.remove waiting (rep, client, page);
+              obj
+                (Printf.sprintf
+                   "{\"name\":\"lock-wait p%d (%s)\",\"ph\":\"X\",\"ts\":%.3f,\
+                    \"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{}}"
+                   page (json_escape mode) (us t0)
+                   (us (time -. t0))
+                   rep (client + 1))
+          | None -> ())
+      | _ -> ())
+    entries;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Series CSV                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Floats are printed with %.17g so parsing them back yields the exact
+   same double — the round-trip the CI smoke job checks. *)
+
+let series_csv s =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "# interval=%.17g start=%.17g\n" (Series.interval s)
+       (Series.start s));
+  Buffer.add_string b "time";
+  Array.iter
+    (fun n ->
+      Buffer.add_char b ',';
+      Buffer.add_string b n)
+    (Series.names s);
+  Buffer.add_char b '\n';
+  let times = Series.times s in
+  Array.iteri
+    (fun i row ->
+      Buffer.add_string b (Printf.sprintf "%.17g" times.(i));
+      Array.iter (fun v -> Buffer.add_string b (Printf.sprintf ",%.17g" v)) row;
+      Buffer.add_char b '\n')
+    (Series.rows s);
+  Buffer.contents b
+
+let series_of_csv text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | meta :: header :: rows ->
+      let interval, start =
+        try
+          Scanf.sscanf meta "# interval=%g start=%g" (fun a b -> (a, b))
+        with _ -> failwith "series_of_csv: bad metadata line"
+      in
+      let names =
+        match String.split_on_char ',' header with
+        | "time" :: ns -> Array.of_list ns
+        | _ -> failwith "series_of_csv: bad header"
+      in
+      let s = Series.create ~interval ~start ~names in
+      List.iter
+        (fun line ->
+          match String.split_on_char ',' line with
+          | _time :: vals ->
+              let row =
+                Array.of_list (List.map float_of_string vals)
+              in
+              Series.record s row
+          | [] -> ())
+        rows;
+      s
+  | _ -> failwith "series_of_csv: too few lines"
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON validator                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A recursive-descent checker for RFC 8259 JSON.  It builds no values —
+   it only verifies the text parses — which is all the smoke job needs to
+   trust that Perfetto will load the file. *)
+
+exception Bad of string * int
+
+let validate_json text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let had = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            had := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !had then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let literal s =
+    let l = String.length s in
+    if !pos + l <= n && String.sub text !pos l = s then pos := !pos + l
+    else fail ("expected " ^ s)
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          elements ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected value");
+    skip_ws ()
+  in
+  try
+    value ();
+    if !pos <> n then Error (Printf.sprintf "trailing bytes at %d" !pos)
+    else Ok ()
+  with Bad (msg, p) -> Error (Printf.sprintf "%s at byte %d" msg p)
+
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let trace_text (entries : (int * Recorder.entry) array) =
+  let b = Buffer.create (Array.length entries * 64) in
+  Array.iter
+    (fun (rep, { Recorder.time; seq; ev }) ->
+      Buffer.add_string b
+        (Printf.sprintf "rep%d %12.6f #%-7d %s\n" rep time seq
+           (Event.to_string ev)))
+    entries;
+  Buffer.contents b

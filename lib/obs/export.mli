@@ -1,0 +1,35 @@
+(** Artifact exporters for traces and series.
+
+    The Perfetto exporter emits Chrome [trace_event] JSON (load it at
+    [https://ui.perfetto.dev] or [chrome://tracing]): every entry becomes
+    an instant event on the track of its client (pid = replication index,
+    tid = client id + 1, tid 0 = server/system), and each paired
+    lock-wait/grant becomes a duration bar.
+
+    Both formats come with a reader so artifacts can be verified without
+    external tools: {!validate_json} parses the emitted JSON,
+    {!series_of_csv} round-trips the CSV exactly ([%.17g] floats). *)
+
+(** Chrome/Perfetto trace_event JSON of a merged trace
+    (see {!Run.merged_trace}). *)
+val perfetto : (int * Recorder.entry) array -> string
+
+(** Plain-text dump, one line per event ("repN  time  #seq  description"). *)
+val trace_text : (int * Recorder.entry) array -> string
+
+(** CSV of one series: a metadata comment line, a [time,<names>] header,
+    one row per sample. *)
+val series_csv : Series.t -> string
+
+(** Parse {!series_csv} output back; round-trips exactly.
+    Raises [Failure] on malformed input. *)
+val series_of_csv : string -> Series.t
+
+(** Validate that [text] is well-formed JSON (RFC 8259 subset sufficient
+    for what {!perfetto} emits). *)
+val validate_json : string -> (unit, string) result
+
+(** Escape a string for inclusion inside JSON double quotes. *)
+val json_escape : string -> string
+
+val write_file : string -> string -> unit

@@ -1,0 +1,49 @@
+type fac_snapshot = {
+  fac_name : string;
+  fac_capacity : int;
+  fac_utilization : float;
+  fac_mean_queue : float;
+  fac_max_queue : int;
+  fac_busy_time : float;
+  fac_completions : int;
+}
+
+let snapshot_facility f =
+  {
+    fac_name = Sim.Facility.name f;
+    fac_capacity = Sim.Facility.capacity f;
+    fac_utilization = Sim.Facility.utilization f;
+    fac_mean_queue = Sim.Facility.mean_queue_length f;
+    fac_max_queue = Sim.Facility.max_queue_length f;
+    fac_busy_time = Sim.Facility.busy_time f;
+    fac_completions = Sim.Facility.completions f;
+  }
+
+type rep = {
+  rep_seed : int;
+  trace : Recorder.entry array;
+  trace_dropped : int;
+  series : Series.t option;
+  facilities : fac_snapshot list;
+  profile : Sim.Engine.profile option;
+}
+
+type t = { reps : rep list }
+
+let merge runs = { reps = List.concat_map (fun r -> r.reps) runs }
+
+(* Replications are concatenated in seed order and each rep's entries are
+   already sorted by (time, seq), so the merged trace is a deterministic
+   function of the spec — identical at any [-j]. *)
+let merged_trace t =
+  let parts = List.mapi (fun i r -> Array.map (fun e -> (i, e)) r.trace) t.reps in
+  Array.concat parts
+
+let total_events t =
+  List.fold_left (fun a r -> a + Array.length r.trace) 0 t.reps
+
+let pp_fac_snapshot fmt f =
+  Format.fprintf fmt
+    "%-14s cap=%-2d util=%.3f mean-q=%.3f max-q=%-4d busy=%.1fs done=%d"
+    f.fac_name f.fac_capacity f.fac_utilization f.fac_mean_queue f.fac_max_queue
+    f.fac_busy_time f.fac_completions

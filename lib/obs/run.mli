@@ -1,0 +1,42 @@
+(** Observability payload of one simulation run (or of every replication
+    of a replicated run), attached to [Core.Simulator.result].
+
+    Each replication contributes one {!rep}: its recorded trace, sampled
+    series, end-of-run facility snapshots, and engine profile.  Everything
+    is plain data computed inside whatever domain ran the simulation, so
+    payloads cross {!Sim.Pool} boundaries by value and merge
+    deterministically in seed order. *)
+
+(** End-of-run statistics of one service facility (CPU, disk, wire). *)
+type fac_snapshot = {
+  fac_name : string;
+  fac_capacity : int;
+  fac_utilization : float;
+  fac_mean_queue : float;
+  fac_max_queue : int;  (** longest queue observed in the window *)
+  fac_busy_time : float;  (** cumulative busy unit-seconds *)
+  fac_completions : int;
+}
+
+val snapshot_facility : Sim.Facility.t -> fac_snapshot
+val pp_fac_snapshot : Format.formatter -> fac_snapshot -> unit
+
+type rep = {
+  rep_seed : int;
+  trace : Recorder.entry array;  (** emission order; empty if tracing off *)
+  trace_dropped : int;  (** entries lost to the ring limit *)
+  series : Series.t option;
+  facilities : fac_snapshot list;
+  profile : Sim.Engine.profile option;
+}
+
+type t = { reps : rep list }
+
+(** Concatenate payloads in argument order (replication order). *)
+val merge : t list -> t
+
+(** All replications' entries tagged with their replication index, in
+    (rep, time, seq) order — the deterministic merged trace. *)
+val merged_trace : t -> (int * Recorder.entry) array
+
+val total_events : t -> int

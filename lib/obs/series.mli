@@ -1,0 +1,47 @@
+(** Fixed-interval time series over simulated time.
+
+    A series holds one row of float values per sampling tick, one column
+    per named source.  {!sample} spawns the sampler as a simulation
+    process, so series are recorded inside every run — including runs
+    dispatched to {!Sim.Pool} workers — and travel back to the caller by
+    value.
+
+    Sampling is observation-only: sources must read statistics without
+    holding, blocking, or consuming randomness, so a sampled run computes
+    exactly the results of an unsampled one. *)
+
+type t
+
+(** [create ~interval ~start ~names] is an empty series; [interval] is in
+    simulated seconds and must be positive. *)
+val create : interval:float -> start:float -> names:string array -> t
+
+val interval : t -> float
+val start : t -> float
+val names : t -> string array
+
+(** Rows recorded so far. *)
+val length : t -> int
+
+(** Append one row (width must match [names]). *)
+val record : t -> float array -> unit
+
+(** Rows in recording order. *)
+val rows : t -> float array array
+
+(** Simulated timestamp of each row: row [i] was sampled at
+    [start + (i+1) * interval]. *)
+val times : t -> float array
+
+(** Structural equality (names, window, and every sample). *)
+val equal : t -> t -> bool
+
+(** [sample eng ~interval ~sources] spawns a sampler process on [eng]
+    that, every [interval] simulated seconds, reads every source callback
+    once and records the row.  Returns the (still-filling) series; it is
+    complete when the engine finishes running. *)
+val sample :
+  Sim.Engine.t ->
+  interval:float ->
+  sources:(string * (unit -> float)) list ->
+  t

@@ -6,7 +6,34 @@ type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
 exception Process_exit
 
-type event = { time : float; seq : int; run : unit -> unit }
+(* [owner] attributes the event to the process (by spawn name) whose
+   execution scheduled it: continuations keep their process's name, plain
+   [schedule] callbacks and anonymous spawns inherit the scheduler's.
+   Costs one immediate field per event; the per-name table below is only
+   touched when profiling is on. *)
+type event = { time : float; seq : int; owner : string; run : unit -> unit }
+
+type pstat = {
+  mutable p_runs : int;
+  mutable p_holds : int;
+  mutable p_hold_time : float;
+}
+
+type process_profile = {
+  pp_name : string;
+  pp_runs : int;
+  pp_holds : int;
+  pp_hold_time : float;
+}
+
+type profile = {
+  pr_events : int;
+  pr_spawned : int;
+  pr_holds : int;
+  pr_wakes : int;
+  pr_heap_hwm : int;
+  pr_per_process : process_profile list;
+}
 
 type t = {
   heap : event Heap.t;
@@ -15,6 +42,12 @@ type t = {
   mutable executed : int;
   mutable spawned : int;
   mutable stopping : bool;
+  mutable holds : int;
+  mutable wakes : int;
+  mutable heap_hwm : int;
+  mutable profiling : bool;
+  mutable current : string;  (* owner of the event being executed *)
+  pstats : (string, pstat) Hashtbl.t;
 }
 
 let compare_event a b =
@@ -29,26 +62,73 @@ let create () =
     executed = 0;
     spawned = 0;
     stopping = false;
+    holds = 0;
+    wakes = 0;
+    heap_hwm = 0;
+    profiling = false;
+    current = "";
+    pstats = Hashtbl.create 32;
   }
 
 let now t = t.clock
 let events_executed t = t.executed
 let processes_spawned t = t.spawned
 
-let schedule t ~at fn =
+let enable_profiling t = t.profiling <- true
+
+let pstat t name =
+  match Hashtbl.find_opt t.pstats name with
+  | Some p -> p
+  | None ->
+      let p = { p_runs = 0; p_holds = 0; p_hold_time = 0.0 } in
+      Hashtbl.add t.pstats name p;
+      p
+
+let profile t =
+  let per =
+    Hashtbl.fold
+      (fun name p acc ->
+        {
+          pp_name = (if name = "" then "(anonymous)" else name);
+          pp_runs = p.p_runs;
+          pp_holds = p.p_holds;
+          pp_hold_time = p.p_hold_time;
+        }
+        :: acc)
+      t.pstats []
+    |> List.sort (fun a b ->
+           let c = Int.compare b.pp_runs a.pp_runs in
+           if c <> 0 then c else String.compare a.pp_name b.pp_name)
+  in
+  {
+    pr_events = t.executed;
+    pr_spawned = t.spawned;
+    pr_holds = t.holds;
+    pr_wakes = t.wakes;
+    pr_heap_hwm = t.heap_hwm;
+    pr_per_process = per;
+  }
+
+let schedule_owned t ~owner ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock);
   t.seq <- t.seq + 1;
-  Heap.add t.heap { time = at; seq = t.seq; run = fn }
+  Heap.add t.heap { time = at; seq = t.seq; owner; run = fn };
+  let s = Heap.size t.heap in
+  if s > t.heap_hwm then t.heap_hwm <- s
+
+let schedule t ~at fn = schedule_owned t ~owner:t.current ~at fn
 
 (* The handler is deep, so it stays installed across every resumption of the
    process: [Hold] reschedules the continuation later in time and [Suspend]
-   hands a one-shot resumer to user code (conditions, mailboxes, ...). *)
+   hands a one-shot resumer to user code (conditions, mailboxes, ...).
+   Both effects are handled synchronously during the process's event, so
+   [t.current] is the performing process and names its continuations. *)
 let spawn t ?at ?name body =
-  ignore name;
   let at = Option.value at ~default:t.clock in
   t.spawned <- t.spawned + 1;
+  let owner = match name with Some n -> n | None -> t.current in
   let handler =
     {
       retc = (fun () -> ());
@@ -61,22 +141,35 @@ let spawn t ?at ?name body =
                 (fun (k : (a, unit) continuation) ->
                   if d < 0.0 then
                     discontinue k (Invalid_argument "Engine.hold: negative")
-                  else schedule t ~at:(t.clock +. d) (fun () -> continue k ()))
+                  else begin
+                    t.holds <- t.holds + 1;
+                    let me = t.current in
+                    if t.profiling then begin
+                      let p = pstat t me in
+                      p.p_holds <- p.p_holds + 1;
+                      p.p_hold_time <- p.p_hold_time +. d
+                    end;
+                    schedule_owned t ~owner:me ~at:(t.clock +. d) (fun () ->
+                        continue k ())
+                  end)
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   let resumed = ref false in
+                  let me = t.current in
                   let resume () =
                     if !resumed then
                       invalid_arg "Engine: process resumed twice";
                     resumed := true;
-                    schedule t ~at:t.clock (fun () -> continue k ())
+                    t.wakes <- t.wakes + 1;
+                    schedule_owned t ~owner:me ~at:t.clock (fun () ->
+                        continue k ())
                   in
                   register resume)
           | _ -> None);
     }
   in
-  schedule t ~at (fun () -> match_with body () handler)
+  schedule_owned t ~owner ~at (fun () -> match_with body () handler)
 
 let run t ?until () =
   let limit = Option.value until ~default:Float.infinity in
@@ -93,10 +186,16 @@ let run t ?until () =
           | Some ev ->
               t.clock <- ev.time;
               t.executed <- t.executed + 1;
+              t.current <- ev.owner;
+              if t.profiling then begin
+                let p = pstat t ev.owner in
+                p.p_runs <- p.p_runs + 1
+              end;
               ev.run ();
               loop ())
   in
   loop ();
+  t.current <- "";
   t.clock
 
 let stop t = t.stopping <- true

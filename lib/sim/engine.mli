@@ -24,6 +24,40 @@ val events_executed : t -> int
 (** Number of processes spawned so far (diagnostics). *)
 val processes_spawned : t -> int
 
+(** {1 Profiling}
+
+    The engine always keeps its cheap global counters (events, spawns,
+    holds, wakes, event-heap high-water mark).  {!enable_profiling}
+    additionally attributes every executed event to the process that
+    scheduled it — by the [?name] given at {!spawn}; unnamed processes
+    inherit the name of the process whose execution spawned them — which
+    is how the simulator's hot paths are located before optimizing them.
+    Profiling never changes scheduling order; it only fills a counter
+    table. *)
+
+type process_profile = {
+  pp_name : string;
+  pp_runs : int;  (** events executed on behalf of this process name *)
+  pp_holds : int;
+  pp_hold_time : float;  (** total simulated seconds held *)
+}
+
+type profile = {
+  pr_events : int;
+  pr_spawned : int;
+  pr_holds : int;
+  pr_wakes : int;  (** suspend-resume completions *)
+  pr_heap_hwm : int;  (** event-heap high-water mark *)
+  pr_per_process : process_profile list;
+      (** sorted by [pp_runs] descending then name; empty unless
+          {!enable_profiling} was called before the run *)
+}
+
+(** Turn on per-process attribution (call before {!run}). *)
+val enable_profiling : t -> unit
+
+val profile : t -> profile
+
 (** [spawn t ?at ?name body] creates a process executing [body] starting at
     time [at] (default: now).  Exceptions escaping [body] abort the whole
     simulation run: they propagate out of {!run}. *)

@@ -6,6 +6,7 @@ type t = {
   waiting : (unit -> unit) Queue.t;
   mutable busy_area : float;
   mutable queue_area : float;
+  mutable max_q : int;
   mutable last_stat : float;
   mutable window_start : float;
   mutable done_count : int;
@@ -22,6 +23,7 @@ let create eng ~name ?(capacity = 1) () =
     waiting = Queue.create ();
     busy_area = 0.0;
     queue_area = 0.0;
+    max_q = 0;
     last_stat = Engine.now eng;
     window_start = Engine.now eng;
     done_count = 0;
@@ -45,7 +47,11 @@ let account f =
 let request f =
   account f;
   if f.busy < f.cap then f.busy <- f.busy + 1
-  else Engine.suspend (fun resume -> Queue.add resume f.waiting)
+  else
+    Engine.suspend (fun resume ->
+        Queue.add resume f.waiting;
+        let q = Queue.length f.waiting in
+        if q > f.max_q then f.max_q <- q)
 
 let release f =
   account f;
@@ -77,12 +83,19 @@ let mean_queue_length f =
   let e = elapsed f in
   if e <= 0.0 then 0.0 else f.queue_area /. e
 
+let max_queue_length f = f.max_q
+
+let busy_time f =
+  account f;
+  f.busy_area
+
 let completions f = f.done_count
 let total_service_time f = f.service_total
 
 let reset_stats f =
   f.busy_area <- 0.0;
   f.queue_area <- 0.0;
+  f.max_q <- Queue.length f.waiting;
   f.last_stat <- Engine.now f.eng;
   f.window_start <- Engine.now f.eng;
   f.done_count <- 0;

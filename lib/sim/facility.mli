@@ -44,6 +44,14 @@ val utilization : t -> float
 (** Time-average number of processes waiting (not in service). *)
 val mean_queue_length : t -> float
 
+(** Longest queue observed in the window (convoy high-water mark). *)
+val max_queue_length : t -> int
+
+(** Cumulative busy unit-seconds in the window, accounted up to now.
+    Successive deltas divided by [interval * capacity] give per-interval
+    utilization — what the observability sampler records. *)
+val busy_time : t -> float
+
 (** Completed services. *)
 val completions : t -> int
 

@@ -8,8 +8,11 @@
     embarrassingly parallel.
 
     Jobs must not share mutable state.  The one process-wide hook the
-    simulator has — the {!Core.Trace} sink — is domain-local, so a sink
-    installed in the calling domain never observes worker-domain events. *)
+    simulator has — the trace sink of [Obs.Recorder] — is domain-local,
+    so a sink installed in the calling domain never observes
+    worker-domain events; traced simulations instead install a recorder
+    inside the worker and return the filled buffer by value in their
+    result, which is how tracing works at any job count. *)
 
 (** [default_jobs ()] is [Domain.recommended_domain_count () - 1], at
     least 1: one worker per available core, keeping a core free for the

@@ -42,6 +42,8 @@ let accesses t = t.n_access
 let pages_transferred t = t.n_pages
 let utilization t = Sim.Facility.utilization t.fac
 let mean_queue_length t = Sim.Facility.mean_queue_length t.fac
+let max_queue_length t = Sim.Facility.max_queue_length t.fac
+let busy_time t = Sim.Facility.busy_time t.fac
 
 let reset_stats t =
   t.n_access <- 0;

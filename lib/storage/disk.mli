@@ -34,4 +34,11 @@ val pages_transferred : t -> int
 
 val utilization : t -> float
 val mean_queue_length : t -> float
+
+(** Longest request queue observed in the window. *)
+val max_queue_length : t -> int
+
+(** Cumulative busy seconds in the window (see {!Sim.Facility.busy_time}). *)
+val busy_time : t -> float
+
 val reset_stats : t -> unit

@@ -23,6 +23,7 @@ let tiny_spec ?(algo = Core.Proto.Two_phase Core.Proto.Inter) ?(n_clients = 4) (
     measured_commits = 0;
     max_sim_time = 0.0;
     fault = Fault.Plan.none;
+    obs = Obs.Config.off;
   }
 
 let test_runner_memoizes () =

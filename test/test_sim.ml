@@ -654,6 +654,89 @@ let test_hold_negative_rejected () =
     (fun () -> ignore (Engine.run eng ()))
 
 (* ------------------------------------------------------------------ *)
+(* Profiling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_global_counters () =
+  let eng = Engine.create () in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Engine.hold 1.0;
+        Engine.hold 1.0)
+  done;
+  ignore (Engine.run eng ());
+  let p = Engine.profile eng in
+  Alcotest.(check int) "events" (Engine.events_executed eng)
+    p.Engine.pr_events;
+  Alcotest.(check int) "spawned" 4 p.Engine.pr_spawned;
+  Alcotest.(check int) "holds" 8 p.Engine.pr_holds;
+  (* all four spawn events sit in the heap before any runs *)
+  Alcotest.(check int) "heap high-water" 4 p.Engine.pr_heap_hwm;
+  (* per-process attribution is off unless enabled *)
+  Alcotest.(check int) "no per-process rows" 0
+    (List.length p.Engine.pr_per_process)
+
+let test_profile_per_process () =
+  let eng = Engine.create () in
+  Engine.enable_profiling eng;
+  Engine.spawn eng ~name:"busy" (fun () ->
+      for _ = 1 to 5 do
+        Engine.hold 2.0
+      done);
+  Engine.spawn eng ~name:"idle" (fun () -> Engine.hold 1.0);
+  ignore (Engine.run eng ());
+  let p = Engine.profile eng in
+  let find n =
+    List.find (fun pp -> pp.Engine.pp_name = n) p.Engine.pr_per_process
+  in
+  let busy = find "busy" and idle = find "idle" in
+  (* sorted by runs descending: busy first *)
+  Alcotest.(check string) "hottest first" "busy"
+    (List.hd p.Engine.pr_per_process).Engine.pp_name;
+  Alcotest.(check int) "busy holds" 5 busy.Engine.pp_holds;
+  check_float "busy hold time" 10.0 busy.Engine.pp_hold_time;
+  Alcotest.(check int) "idle holds" 1 idle.Engine.pp_holds;
+  Alcotest.(check int) "busy events" 6 busy.Engine.pp_runs
+
+let test_profile_name_inherited () =
+  (* a process spawned without a name is attributed to its spawner *)
+  let eng = Engine.create () in
+  Engine.enable_profiling eng;
+  Engine.spawn eng ~name:"parent" (fun () ->
+      Engine.spawn eng (fun () -> Engine.hold 1.0);
+      Engine.hold 3.0);
+  ignore (Engine.run eng ());
+  let p = Engine.profile eng in
+  Alcotest.(check int) "one name" 1 (List.length p.Engine.pr_per_process);
+  let pp = List.hd p.Engine.pr_per_process in
+  Alcotest.(check string) "parent owns all" "parent" pp.Engine.pp_name;
+  Alcotest.(check int) "both holds counted" 2 pp.Engine.pp_holds
+
+let test_facility_high_water_and_busy () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"cpu" () in
+  for _ = 1 to 5 do
+    Engine.spawn eng (fun () -> Facility.use fac 2.0)
+  done;
+  ignore (Engine.run eng ());
+  (* first process serves immediately; the other four queue behind it *)
+  Alcotest.(check int) "max queue" 4 (Facility.max_queue_length fac);
+  check_float "busy time" 10.0 (Facility.busy_time fac);
+  Facility.reset_stats fac;
+  Alcotest.(check int) "max queue reset" 0 (Facility.max_queue_length fac);
+  check_float "busy reset" 0.0 (Facility.busy_time fac)
+
+let test_facility_busy_time_accrues_mid_service () =
+  let eng = Engine.create () in
+  let fac = Facility.create eng ~name:"cpu" () in
+  Engine.spawn eng (fun () -> Facility.use fac 10.0);
+  Engine.spawn eng (fun () ->
+      Engine.hold 4.0;
+      (* half-way through the service, busy time is already accounted *)
+      check_float "mid-service busy" 4.0 (Facility.busy_time fac));
+  ignore (Engine.run eng ())
+
+(* ------------------------------------------------------------------ *)
 (* Samples.merge                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -800,6 +883,9 @@ let suites =
         case "exception propagates" test_engine_exception_propagates;
         case "event and process counts" test_engine_counts;
         case "negative hold rejected" test_hold_negative_rejected;
+        case "profile global counters" test_profile_global_counters;
+        case "profile per process" test_profile_per_process;
+        case "profile name inherited" test_profile_name_inherited;
       ] );
     ( "condition",
       [
@@ -824,6 +910,8 @@ let suites =
         case "utilization" test_facility_utilization;
         case "queue stats" test_facility_queue_stats;
         case "reset stats" test_facility_reset_stats;
+        case "high-water and busy time" test_facility_high_water_and_busy;
+        case "busy time mid-service" test_facility_busy_time_accrues_mid_service;
       ] );
     qsuite "facility-props" [ prop_facility_fcfs ];
     ( "ivar",
