@@ -1,92 +1,104 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
-   evaluation (Sections 4-5).
+   evaluation (Sections 4-5), and — with --json — writes a benchmark
+   telemetry snapshot for `ccsim bench-diff`.
 
    Usage:
      dune exec bench/main.exe                 # all experiments, default depth
      dune exec bench/main.exe -- -e fig9      # one experiment (repeatable)
      dune exec bench/main.exe -- --quick      # faster, noisier
+     dune exec bench/main.exe -- --reps 5     # replications + CI columns
      dune exec bench/main.exe -- --detail     # abort/hit/message columns
      dune exec bench/main.exe -- --csv f.csv  # machine-readable copy
      dune exec bench/main.exe -- --micro      # bechamel engine microbenches
+     dune exec bench/main.exe -- --json b.json # telemetry snapshot
      dune exec bench/main.exe -- --list       # experiment ids *)
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks of the simulation substrate                *)
+(* Microbenchmarks of the simulation substrate                         *)
 (* ------------------------------------------------------------------ *)
+
+(* Kept as plain (name, thunk) pairs so the same workloads feed both the
+   bechamel tables (--micro) and the telemetry snapshot (--json), which
+   times them directly and attaches replication confidence intervals. *)
+
+let micro_defs : (string * (unit -> unit)) list =
+  [
+    ( "engine: 10k hold events",
+      fun () ->
+        let eng = Sim.Engine.create () in
+        Sim.Engine.spawn eng (fun () ->
+            for _ = 1 to 10_000 do
+              Sim.Engine.hold 1.0
+            done);
+        ignore (Sim.Engine.run eng ()) );
+    ( "facility: 100 procs x 100 uses",
+      fun () ->
+        let eng = Sim.Engine.create () in
+        let fac = Sim.Facility.create eng ~name:"f" () in
+        for _ = 1 to 100 do
+          Sim.Engine.spawn eng (fun () ->
+              for _ = 1 to 100 do
+                Sim.Facility.use fac 1.0
+              done)
+        done;
+        ignore (Sim.Engine.run eng ()) );
+    ( "lock table: 10k request/release",
+      fun () ->
+        let lt = Cc.Lock_table.create () in
+        for i = 1 to 10_000 do
+          ignore
+            (Cc.Lock_table.request lt ~page:(i mod 97) (i mod 7)
+               (if i mod 3 = 0 then Cc.Lock_table.X else Cc.Lock_table.S)
+               ~wake:(fun () -> ()));
+          Cc.Lock_table.release lt ~page:(i mod 97) (i mod 7)
+        done );
+    ( "lru pool: 100k inserts cap 400",
+      fun () ->
+        let c = Storage.Lru_pool.create ~capacity:400 in
+        for i = 1 to 100_000 do
+          ignore (Storage.Lru_pool.insert c (i mod 2000) ~dirty:(i mod 5 = 0))
+        done );
+    ( "end-to-end: 10-client 2PL sim, 300 commits",
+      fun () ->
+        let cfg = Core.Sys_params.table5 ~n_clients:10 () in
+        let xp =
+          Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+        in
+        let spec =
+          Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+            ~measured_commits:250 ~cfg ~xact_params:xp
+            (Core.Proto.Two_phase Core.Proto.Inter)
+        in
+        ignore (Core.Simulator.run spec) );
+    (* same cell with the trace recorder on: the delta against the run
+       above is the whole observability overhead *)
+    ( "end-to-end: same sim, trace recorder on",
+      fun () ->
+        let cfg = Core.Sys_params.table5 ~n_clients:10 () in
+        let xp =
+          Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+        in
+        let spec =
+          Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+            ~measured_commits:250 ~obs:Obs.Config.trace_only ~cfg
+            ~xact_params:xp
+            (Core.Proto.Two_phase Core.Proto.Inter)
+        in
+        ignore (Core.Simulator.run spec) );
+    ( "recorder: 1M typed events",
+      fun () ->
+        let r = Obs.Recorder.create () in
+        for i = 1 to 1_000_000 do
+          Obs.Recorder.add r ~time:(float_of_int i)
+            (Obs.Event.Disk_read { page = i land 0xfff })
+        done );
+  ]
 
 let micro_tests =
   let open Bechamel in
-  [
-    Test.make ~name:"engine: 10k hold events"
-      (Staged.stage (fun () ->
-           let eng = Sim.Engine.create () in
-           Sim.Engine.spawn eng (fun () ->
-               for _ = 1 to 10_000 do
-                 Sim.Engine.hold 1.0
-               done);
-           ignore (Sim.Engine.run eng ())));
-    Test.make ~name:"facility: 100 procs x 100 uses"
-      (Staged.stage (fun () ->
-           let eng = Sim.Engine.create () in
-           let fac = Sim.Facility.create eng ~name:"f" () in
-           for _ = 1 to 100 do
-             Sim.Engine.spawn eng (fun () ->
-                 for _ = 1 to 100 do
-                   Sim.Facility.use fac 1.0
-                 done)
-           done;
-           ignore (Sim.Engine.run eng ())));
-    Test.make ~name:"lock table: 10k request/release"
-      (Staged.stage (fun () ->
-           let lt = Cc.Lock_table.create () in
-           for i = 1 to 10_000 do
-             ignore
-               (Cc.Lock_table.request lt ~page:(i mod 97) (i mod 7)
-                  (if i mod 3 = 0 then Cc.Lock_table.X else Cc.Lock_table.S)
-                  ~wake:(fun () -> ()));
-             Cc.Lock_table.release lt ~page:(i mod 97) (i mod 7)
-           done));
-    Test.make ~name:"lru pool: 100k inserts cap 400"
-      (Staged.stage (fun () ->
-           let c = Storage.Lru_pool.create ~capacity:400 in
-           for i = 1 to 100_000 do
-             ignore (Storage.Lru_pool.insert c (i mod 2000) ~dirty:(i mod 5 = 0))
-           done));
-    Test.make ~name:"end-to-end: 10-client 2PL sim, 300 commits"
-      (Staged.stage (fun () ->
-           let cfg = Core.Sys_params.table5 ~n_clients:10 () in
-           let xp =
-             Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
-           in
-           let spec =
-             Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
-               ~measured_commits:250 ~cfg ~xact_params:xp
-               (Core.Proto.Two_phase Core.Proto.Inter)
-           in
-           ignore (Core.Simulator.run spec)));
-    (* same cell with the trace recorder on: the delta against the run
-       above is the whole observability overhead *)
-    Test.make ~name:"end-to-end: same sim, trace recorder on"
-      (Staged.stage (fun () ->
-           let cfg = Core.Sys_params.table5 ~n_clients:10 () in
-           let xp =
-             Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
-           in
-           let spec =
-             Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
-               ~measured_commits:250 ~obs:Obs.Config.trace_only ~cfg
-               ~xact_params:xp
-               (Core.Proto.Two_phase Core.Proto.Inter)
-           in
-           ignore (Core.Simulator.run spec)));
-    Test.make ~name:"recorder: 1M typed events"
-      (Staged.stage (fun () ->
-           let r = Obs.Recorder.create () in
-           for i = 1 to 1_000_000 do
-             Obs.Recorder.add r ~time:(float_of_int i)
-               (Obs.Event.Disk_read { page = i land 0xfff })
-           done));
-  ]
+  List.map
+    (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+    micro_defs
 
 let micro_benchmarks () =
   let open Bechamel in
@@ -108,6 +120,65 @@ let micro_benchmarks () =
         results)
     micro_tests
 
+(* Direct timing for the telemetry snapshot: one warmup run, then [runs]
+   timed runs; the median goes into the snapshot and the Student-t CI of
+   the mean gives bench-diff its noise band. *)
+let micro_runs = 5
+
+let time_micro (name, fn) =
+  fn ();
+  let samples =
+    Array.init micro_runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        fn ();
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let median = sorted.(Array.length sorted / 2) in
+  let ci = Obs.Run_stats.mean_ci samples in
+  let lo, hi =
+    if Obs.Run_stats.available ci then
+      (Obs.Run_stats.ci_lo ci, Obs.Run_stats.ci_hi ci)
+    else (median, median)
+  in
+  {
+    Experiments.Telemetry.m_name = name;
+    m_runs = micro_runs;
+    m_median_ns = median;
+    m_ci_lo_ns = lo;
+    m_ci_hi_ns = hi;
+  }
+
+(* A fixed profiled cell measuring raw engine speed and event-heap
+   high-water mark, independent of which experiments were selected. *)
+let engine_probe () =
+  let cfg = Core.Sys_params.table5 ~n_clients:10 () in
+  let xp = Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 () in
+  let spec =
+    Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+      ~measured_commits:250
+      ~obs:(Obs.Config.make ~profile:true ())
+      ~cfg ~xact_params:xp
+      (Core.Proto.Two_phase Core.Proto.Inter)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Core.Simulator.run spec in
+  let wall = Unix.gettimeofday () -. t0 in
+  let heap_hwm =
+    match r.Core.Simulator.obs with
+    | Some { Obs.Run.reps = rep :: _ } -> (
+        match rep.Obs.Run.profile with
+        | Some p -> p.Sim.Engine.pr_heap_hwm
+        | None -> 0)
+    | _ -> 0
+  in
+  {
+    Experiments.Telemetry.p_wall_s = wall;
+    p_events = r.Core.Simulator.events;
+    p_heap_hwm = heap_hwm;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Experiment driver                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -119,6 +190,8 @@ let () =
   let micro = ref false in
   let csv = ref None in
   let plots = ref None in
+  let json = ref None in
+  let reps = ref None in
   let list_only = ref false in
   let jobs = ref (Sim.Pool.default_jobs ()) in
   let speclist =
@@ -131,6 +204,10 @@ let () =
         "N worker domains for independent simulations (default: cores - 1); \
          results are identical for every value" );
       ("--quick", Arg.Set quick, " fewer commits per run (smoke-test depth)");
+      ( "--reps",
+        Arg.Int (fun n -> reps := Some n),
+        "N replications per cell (default 1); at N >= 2 every figure cell \
+         gains a 95% confidence interval" );
       ("--detail", Arg.Set detail, " print abort/hit/message columns");
       ("--micro", Arg.Set micro, " also run bechamel engine microbenchmarks");
       ( "--csv",
@@ -139,6 +216,10 @@ let () =
       ( "--plots",
         Arg.String (fun s -> plots := Some s),
         "DIR also write gnuplot .dat/.gp files per figure" );
+      ( "--json",
+        Arg.String (fun s -> json := Some s),
+        "FILE write a benchmark telemetry snapshot (wall-clock, engine \
+         throughput, microbench medians, provenance) for ccsim bench-diff" );
       ("--list", Arg.Set list_only, " list experiment ids and exit");
     ]
   in
@@ -151,10 +232,25 @@ let () =
       Experiments.Suite.all;
     exit 0
   end;
-  let opts = if !quick then Experiments.Exp_defs.quick_opts else Experiments.Exp_defs.default_opts in
+  let opts =
+    let base =
+      if !quick then Experiments.Exp_defs.quick_opts
+      else Experiments.Exp_defs.default_opts
+    in
+    match !reps with
+    | Some n when n >= 1 -> { base with Experiments.Exp_defs.reps = n }
+    | Some n ->
+        Printf.eprintf "bench: --reps must be >= 1 (got %d)\n" n;
+        exit 1
+    | None -> base
+  in
   Printf.printf "%s\n%!"
     (Experiments.Report.repro_line ~seed:opts.Experiments.Exp_defs.seed
        ~jobs:!jobs);
+  if opts.Experiments.Exp_defs.reps < 2 then
+    Printf.printf
+      "# note: reps=1 — replication confidence intervals unavailable (± \
+       columns read n/a); rerun with --reps N>=2 for intervals\n%!";
   let runner = Experiments.Exp_defs.make_runner ~jobs:!jobs opts in
   let selected =
     match !experiments with
@@ -170,16 +266,27 @@ let () =
           ids
   in
   let csv_buf = Buffer.create 4096 in
+  let telemetry = ref [] in
   let t0 = Sys.time () in
   List.iter
     (fun (id, descr, build) ->
       Format.printf "@.###### %s — %s@." id descr;
+      let sims_before = Experiments.Exp_defs.runs_executed runner in
+      let wall0 = Unix.gettimeofday () in
       let out = Experiments.Exp_defs.run_build runner build in
+      let wall = Unix.gettimeofday () -. wall0 in
       Experiments.Report.print_output ~detail:!detail Format.std_formatter out;
+      let events = ref 0 in
       (match out with
       | Experiments.Suite.Figures figs ->
           List.iter
             (fun f ->
+              List.iter
+                (fun s ->
+                  List.iter
+                    (fun (_, r) -> events := !events + r.Core.Simulator.events)
+                    s.Experiments.Exp_defs.points)
+                f.Experiments.Exp_defs.series;
               List.iter
                 (fun line ->
                   Buffer.add_string csv_buf line;
@@ -190,6 +297,14 @@ let () =
               | None -> ())
             figs
       | Experiments.Suite.Map _ -> ());
+      telemetry :=
+        {
+          Experiments.Telemetry.e_id = id;
+          e_wall_s = wall;
+          e_sims = Experiments.Exp_defs.runs_executed runner - sims_before;
+          e_events = !events;
+        }
+        :: !telemetry;
       Format.printf "@?")
     selected;
   (match !csv with
@@ -202,6 +317,39 @@ let () =
   Printf.printf "\n%d simulations executed in %.1fs cpu time\n"
     (Experiments.Exp_defs.runs_executed runner)
     (Sys.time () -. t0);
+  (match !json with
+  | Some file ->
+      Printf.printf "\ntiming %d microbenches (%d runs each) for %s...\n%!"
+        (List.length micro_defs) micro_runs file;
+      let snapshot =
+        {
+          Experiments.Telemetry.s_schema =
+            Experiments.Telemetry.schema_version;
+          s_repro =
+            Experiments.Report.repro_line
+              ~seed:opts.Experiments.Exp_defs.seed ~jobs:!jobs;
+          s_git = Experiments.Report.git_describe ();
+          s_ocaml = Sys.ocaml_version;
+          s_host = Experiments.Report.hostname ();
+          s_seed = opts.Experiments.Exp_defs.seed;
+          s_jobs = !jobs;
+          s_reps = opts.Experiments.Exp_defs.reps;
+          s_quick = !quick;
+          s_experiments = List.rev !telemetry;
+          s_micro = List.map time_micro micro_defs;
+          s_engine = Some (engine_probe ());
+        }
+      in
+      let text = Experiments.Telemetry.to_json snapshot in
+      (* every snapshot must satisfy the in-repo RFC 8259 validator *)
+      (match Obs.Export.validate_json text with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "bench: emitted snapshot is invalid JSON: %s\n" e;
+          exit 1);
+      Obs.Export.write_file file text;
+      Printf.printf "telemetry snapshot written to %s\n" file
+  | None -> ());
   if !micro then begin
     Printf.printf "\n###### bechamel microbenchmarks\n%!";
     micro_benchmarks ()

@@ -176,11 +176,42 @@ let run_cmd =
       r.Core.Simulator.response_p95 r.Core.Simulator.response_stddev
       r.Core.Simulator.window r.Core.Simulator.events
       r.Core.Simulator.pushes_sent r.Core.Simulator.callbacks_sent
-      r.Core.Simulator.log_disk_util r.Core.Simulator.client_cpu_util
+      r.Core.Simulator.log_disk_util r.Core.Simulator.client_cpu_util;
+    let ci_r = Obs.Run_stats.mean_ci r.Core.Simulator.rep_mean_responses in
+    let ci_t = Obs.Run_stats.mean_ci r.Core.Simulator.rep_throughputs in
+    if Obs.Run_stats.available ci_r then
+      Format.printf
+        "  95%% CI over %d replications: response ±%ss, throughput ±%s/s@."
+        ci_r.Obs.Run_stats.ci_n
+        (Obs.Run_stats.half_string ci_r)
+        (Obs.Run_stats.half_string ~digits:2 ci_t)
+    else
+      Format.printf
+        "  95%% CI: ±n/a — single replication has no dispersion; rerun with \
+         --reps N>=2@."
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one simulation and print its metrics.")
     Term.(const run $ cell_term () $ jobs_arg)
+
+(* The recorder ring drops its oldest entries past the limit; if that
+   happened the trace the user is looking at is TRUNCATED, which must be
+   shouted, not buried in a struct field.  Printed to both streams so it
+   is visible in piped and interactive use alike. *)
+let warn_if_ring_wrapped (o : Obs.Run.t) =
+  let dropped =
+    List.fold_left (fun a rp -> a + rp.Obs.Run.trace_dropped) 0 o.Obs.Run.reps
+  in
+  if dropped > 0 then begin
+    Format.printf
+      "WARNING: trace ring wrapped — %d oldest events were dropped; only \
+       the tail survives (raise --limit)@."
+      dropped;
+    Printf.eprintf
+      "ccsim: WARNING: trace ring wrapped — %d oldest events dropped (raise \
+       --limit)\n%!"
+      dropped
+  end
 
 (* ------------------------------------------------------------------ *)
 (* ccsim trace                                                         *)
@@ -245,15 +276,7 @@ let trace_cmd =
                 (Obs.Event.to_string e.Obs.Recorder.ev))
             (Array.sub merged 0 n)
         end;
-        let dropped =
-          List.fold_left
-            (fun a rp -> a + rp.Obs.Run.trace_dropped)
-            0 o.Obs.Run.reps
-        in
-        if dropped > 0 then
-          Format.printf
-            "(%d early events dropped by the ring limit; raise --limit)@."
-            dropped;
+        warn_if_ring_wrapped o;
         let json = Obs.Export.perfetto merged in
         Obs.Export.write_file perfetto_file json;
         Format.printf "@.perfetto trace (%d events) written to %s@."
@@ -353,14 +376,22 @@ let stats_cmd =
                     pp.Sim.Engine.pp_holds pp.Sim.Engine.pp_hold_time)
               p.Sim.Engine.pr_per_process
         | None -> ());
+        warn_if_ring_wrapped o;
         (match first.Obs.Run.series with
         | Some s when Obs.Series.length s > 0 ->
             let names = Obs.Series.names s in
             let rows = Obs.Series.rows s in
+            let times = Obs.Series.times s in
+            (* the measurement window is the last [window] simulated
+               seconds; everything before it is warmup *)
+            let warmup_end =
+              Float.max 0.0
+                (r.Core.Simulator.sim_time -. r.Core.Simulator.window)
+            in
             Format.printf "@.series (%d samples every %gs):@."
               (Obs.Series.length s) (Obs.Series.interval s);
-            Format.printf "  %-18s %12s %12s %12s@." "column" "min" "mean"
-              "max";
+            Format.printf "  %-18s %12s %12s %12s %22s@." "column" "min"
+              "mean" "max" "batch-means 95% CI";
             Array.iteri
               (fun j name ->
                 let lo = ref infinity and hi = ref neg_infinity in
@@ -372,9 +403,74 @@ let stats_cmd =
                     if v > !hi then hi := v;
                     sum := !sum +. v)
                   rows;
-                Format.printf "  %-18s %12.4f %12.4f %12.4f@." name !lo
+                (* batch-means interval from the post-warmup samples of
+                   this single long run: the per-column analogue of a
+                   replication CI when there is only one replication *)
+                let post =
+                  let acc = ref [] in
+                  Array.iteri
+                    (fun i row ->
+                      if times.(i) >= warmup_end then acc := row.(j) :: !acc)
+                    rows;
+                  Array.of_list (List.rev !acc)
+                in
+                let bm =
+                  match Obs.Run_stats.batch_means post with
+                  | Some ci when Obs.Run_stats.available ci ->
+                      Printf.sprintf "%.4f ±%s" ci.Obs.Run_stats.ci_mean
+                        (Obs.Run_stats.half_string ~digits:4 ci)
+                  | _ -> "±n/a"
+                in
+                Format.printf "  %-18s %12.4f %12.4f %12.4f %22s@." name !lo
                   (!sum /. float_of_int (Array.length rows))
-                  !hi)
+                  !hi bm)
+              names;
+            (* Welch warmup adequacy: average each column across the
+               replications (classic Welch smoothing input), smooth, and
+               ask whether the curve had settled into its steady-state
+               band before the measurement window opened *)
+            let rep_series =
+              List.filter_map (fun rp -> rp.Obs.Run.series) o.Obs.Run.reps
+            in
+            Format.printf
+              "@.warmup adequacy (Welch, 5%% band; measurement opened at \
+               t=%.1fs):@."
+              warmup_end;
+            Format.printf "  %-18s %14s %s@." "column" "settles at" "verdict";
+            Array.iteri
+              (fun j name ->
+                let arrays =
+                  List.map
+                    (fun sr ->
+                      Array.map (fun row -> row.(j)) (Obs.Series.rows sr))
+                    rep_series
+                in
+                let len =
+                  List.fold_left
+                    (fun m a -> min m (Array.length a))
+                    (Array.length rows) arrays
+                in
+                let avg =
+                  Array.init len (fun i ->
+                      List.fold_left (fun acc a -> acc +. a.(i)) 0.0 arrays
+                      /. float_of_int (List.length arrays))
+                in
+                let wu =
+                  Obs.Run_stats.warmup_diagnostic ~warmup_end
+                    ~times:(Array.sub times 0 len) avg
+                in
+                let settle, verdict =
+                  match wu.Obs.Run_stats.wu_settle with
+                  | _ when wu.Obs.Run_stats.wu_samples < 4 ->
+                      ("-", "n/a (too few samples)")
+                  | Some t when wu.Obs.Run_stats.wu_adequate ->
+                      (Printf.sprintf "%.1fs" t, "ok")
+                  | Some t ->
+                      ( Printf.sprintf "%.1fs" t,
+                        "LATE — curve still drifting; extend --warmup" )
+                  | None -> ("-", "never settles in this run")
+                in
+                Format.printf "  %-18s %14s %s@." name settle verdict)
               names
         | _ -> ());
         List.iteri
@@ -431,10 +527,26 @@ let exp_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write figures as CSV.")
   in
-  let run ids quick detail csv jobs =
+  let reps =
+    Arg.(
+      value & opt int 1
+      & info [ "reps" ] ~docv:"N"
+          ~doc:
+            "Replications per cell (default 1).  At N >= 2 every figure \
+             cell gains a 95% confidence interval (the ± columns); at 1 \
+             they read ±n/a.")
+  in
+  let run ids quick detail csv reps jobs =
+    if reps < 1 then begin
+      Printf.eprintf "ccsim: --reps must be >= 1\n";
+      exit 1
+    end;
     let opts =
-      if quick then Experiments.Exp_defs.quick_opts
-      else Experiments.Exp_defs.default_opts
+      let base =
+        if quick then Experiments.Exp_defs.quick_opts
+        else Experiments.Exp_defs.default_opts
+      in
+      { base with Experiments.Exp_defs.reps }
     in
     Format.printf "%s@."
       (Experiments.Report.repro_line ~seed:opts.Experiments.Exp_defs.seed ~jobs);
@@ -480,7 +592,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ quick $ detail $ csv $ jobs_arg)
+    Term.(const run $ ids $ quick $ detail $ csv $ reps $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim chaos                                                         *)
@@ -603,6 +715,66 @@ let chaos_cmd =
       $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ccsim bench-diff                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline snapshot (bench --json).")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current snapshot to compare.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"R"
+          ~doc:
+            "Relative slowdown tolerated before a metric counts as a \
+             regression (0.25 = 25%).  Microbench deltas whose confidence \
+             intervals overlap never regress, whatever the ratio.")
+  in
+  let run baseline current threshold =
+    if threshold <= 0.0 then begin
+      Printf.eprintf "ccsim: --threshold must be positive\n";
+      exit 2
+    end;
+    let load path =
+      match Experiments.Telemetry.of_json (read_file path) with
+      | Ok s -> s
+      | Error e ->
+          Printf.eprintf "ccsim: %s: %s\n" path e;
+          exit 2
+    in
+    let b = load baseline in
+    let c = load current in
+    Format.printf "# baseline: %s@.# current:  %s@." b.Experiments.Telemetry.s_repro
+      c.Experiments.Telemetry.s_repro;
+    let v = Experiments.Telemetry.diff ~threshold ~baseline:b ~current:c () in
+    Format.printf "%a" Experiments.Telemetry.pp_verdict v;
+    exit (if Experiments.Telemetry.ok v then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two benchmark telemetry snapshots (bench --json) with \
+          noise awareness and exit non-zero when the current one regressed \
+          beyond the threshold.")
+    Term.(const run $ baseline $ current $ threshold)
+
+(* ------------------------------------------------------------------ *)
 (* ccsim list                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -624,4 +796,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; stats_cmd; exp_cmd; chaos_cmd; list_cmd ]))
+          [ run_cmd; trace_cmd; stats_cmd; exp_cmd; chaos_cmd; bench_diff_cmd; list_cmd ]))

@@ -68,6 +68,12 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;
+  (* per-replication point estimates, in seed order (singletons for a
+     single run): the raw material for replication confidence intervals.
+     Purely additive — every pooled scalar above is computed exactly as
+     before. *)
+  rep_mean_responses : float array;
+  rep_throughputs : float array;
   obs : Obs.Run.t option;
 }
 
@@ -390,6 +396,8 @@ let run_with_stats ?audit ?inspect spec =
     msgs_delayed = Metrics.msgs_delayed metrics;
     msgs_duplicated = Metrics.msgs_duplicated metrics;
     mean_recovery = Metrics.mean_recovery metrics;
+    rep_mean_responses = [| Metrics.mean_response metrics |];
+    rep_throughputs = [| Metrics.throughput metrics ~now |];
     obs = obs_payload;
   }
   in
@@ -486,6 +494,10 @@ let run_replicated ?(jobs = 1) spec ~reps =
              (fun a r -> a +. (r.mean_recovery *. float_of_int r.recoveries))
              0.0 results
            /. float_of_int recs);
+      rep_mean_responses =
+        Array.of_list (List.map (fun r -> r.mean_response) results);
+      rep_throughputs =
+        Array.of_list (List.map (fun r -> r.throughput) results);
       obs =
         (* [Pool.map] preserves submission order, so replication payloads
            concatenate in seed order at any [jobs] — the merged trace is

@@ -86,6 +86,11 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;  (** mean crash-to-recovery downtime, seconds *)
+  rep_mean_responses : float array;
+      (** each replication's mean response time, in seed order (a
+          singleton for a single run) — the raw material for
+          {!Obs.Run_stats.mean_ci} replication confidence intervals *)
+  rep_throughputs : float array;  (** likewise for throughput *)
   obs : Obs.Run.t option;
       (** observability payload — one {!Obs.Run.rep} per replication, in
           seed order — when [spec.obs] enabled anything; [None] otherwise *)

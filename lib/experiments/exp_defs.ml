@@ -29,6 +29,14 @@ let metric_value m (r : Core.Simulator.result) =
   | Response_time -> r.Core.Simulator.mean_response
   | Throughput -> r.Core.Simulator.throughput
 
+let metric_reps m (r : Core.Simulator.result) =
+  match m with
+  | Response_time -> r.Core.Simulator.rep_mean_responses
+  | Throughput -> r.Core.Simulator.rep_throughputs
+
+let metric_ci ?confidence m r =
+  Obs.Run_stats.mean_ci ?confidence (metric_reps m r)
+
 type runner = {
   opts : run_opts;
   jobs : int;
@@ -113,6 +121,8 @@ let placeholder_result (s : Core.Simulator.spec) : Core.Simulator.result =
     msgs_delayed = 0;
     msgs_duplicated = 0;
     mean_recovery = 0.0;
+    rep_mean_responses = [||];
+    rep_throughputs = [||];
     obs = None;
   }
 

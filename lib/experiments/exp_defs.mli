@@ -34,6 +34,16 @@ type figure = {
 
 val metric_value : metric -> Core.Simulator.result -> float
 
+(** Per-replication values of the metric, in seed order (a singleton for
+    an unreplicated run, [[||]] for a placeholder). *)
+val metric_reps : metric -> Core.Simulator.result -> float array
+
+(** Student-t confidence interval (default 95 %) across the metric's
+    replications; unavailable ({!Obs.Run_stats.available} false) below
+    two replications. *)
+val metric_ci :
+  ?confidence:float -> metric -> Core.Simulator.result -> Obs.Run_stats.ci
+
 (** A memoizing simulation runner, optionally backed by a pool of worker
     domains ({!Sim.Pool}). *)
 type runner

@@ -4,12 +4,24 @@ let metric_name = function
   | Response_time -> "response time (s)"
   | Throughput -> "throughput (commits/s)"
 
+(* Every cell prints its value with a 95 % replication confidence
+   half-width: "3.912 ±0.135" at reps >= 2, "3.912 ±n/a" at reps = 1
+   (a single replication carries no dispersion information). *)
+let cell_string m r =
+  Printf.sprintf "%.3f ±%s" (metric_value m r)
+    (Obs.Run_stats.half_string (metric_ci m r))
+
+let figure_cis (fig : figure) =
+  List.concat_map
+    (fun s -> List.map (fun (_, r) -> metric_ci fig.metric r) s.points)
+    fig.series
+
 let print_figure ?(detail = false) fmt (fig : figure) =
   Format.fprintf fmt "@.== %s: %s ==@." fig.fig_id fig.title;
   Format.fprintf fmt "   metric: %s@." (metric_name fig.metric);
   let labels = List.map (fun s -> s.label) fig.series in
   Format.fprintf fmt "   %-8s" fig.xlabel;
-  List.iter (Format.fprintf fmt " %14s") labels;
+  List.iter (Format.fprintf fmt " %16s") labels;
   Format.fprintf fmt "@.";
   let xs =
     match fig.series with [] -> [] | s :: _ -> List.map fst s.points
@@ -20,12 +32,17 @@ let print_figure ?(detail = false) fmt (fig : figure) =
       List.iter
         (fun s ->
           match List.assoc_opt x s.points with
-          | Some r ->
-              Format.fprintf fmt " %14.3f" (metric_value fig.metric r)
-          | None -> Format.fprintf fmt " %14s" "-")
+          | Some r -> Format.fprintf fmt " %16s" (cell_string fig.metric r)
+          | None -> Format.fprintf fmt " %16s" "-")
         fig.series;
       Format.fprintf fmt "@.")
     xs;
+  (match Obs.Run_stats.pooled_rel_half_width (figure_cis fig) with
+  | Some rel ->
+      Format.fprintf fmt
+        "   pooled 95%% CI half-width: ±%.1f%% of the cell means@."
+        (100.0 *. rel)
+  | None -> ());
   if detail then begin
     Format.fprintf fmt "   -- per-cell detail (aborts | hit ratio | msgs/commit)@.";
     List.iter
@@ -80,20 +97,31 @@ let csv_field s =
     Buffer.contents b
 
 let figure_csv (fig : figure) =
-  let header = "fig_id,metric,x,algorithm,value,aborts,hit_ratio,msgs_per_commit" in
+  let header =
+    "fig_id,metric,x,algorithm,value,ci_lo,ci_hi,aborts,hit_ratio,msgs_per_commit"
+  in
   let rows =
     List.concat_map
       (fun s ->
         List.map
           (fun (x, r) ->
-            Printf.sprintf "%s,%s,%g,%s,%.4f,%d,%.3f,%.2f"
+            let ci = metric_ci fig.metric r in
+            (* empty ci fields at reps = 1: the interval does not exist,
+               and an empty field is more honest than a fake 0-width one *)
+            let lo, hi =
+              if Obs.Run_stats.available ci then
+                ( Printf.sprintf "%.4f" (Obs.Run_stats.ci_lo ci),
+                  Printf.sprintf "%.4f" (Obs.Run_stats.ci_hi ci) )
+              else ("", "")
+            in
+            Printf.sprintf "%s,%s,%g,%s,%.4f,%s,%s,%d,%.3f,%.2f"
               (csv_field fig.fig_id)
               (match fig.metric with
               | Response_time -> "response"
               | Throughput -> "throughput")
               x (csv_field s.label)
               (metric_value fig.metric r)
-              r.Core.Simulator.aborts r.Core.Simulator.hit_ratio
+              lo hi r.Core.Simulator.aborts r.Core.Simulator.hit_ratio
               r.Core.Simulator.msgs_per_commit)
           s.points)
       fig.series
@@ -119,8 +147,28 @@ let git_describe () =
   (try Sys.remove tmp with Sys_error _ -> ());
   if out = "" then "unknown" else out
 
+(* Hostname without a unix dependency: the kernel's view first (Linux),
+   then the environment, so snapshots from different machines are
+   distinguishable. *)
+let hostname () =
+  let from_proc =
+    try
+      let ic = open_in "/proc/sys/kernel/hostname" in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      line
+    with Sys_error _ -> None
+  in
+  match from_proc with
+  | Some h when h <> "" -> h
+  | _ -> (
+      match Sys.getenv_opt "HOSTNAME" with
+      | Some h when h <> "" -> h
+      | _ -> "unknown")
+
 let repro_line ~seed ~jobs =
-  Printf.sprintf "# repro: seed=%d jobs=%d git=%s" seed jobs (git_describe ())
+  Printf.sprintf "# repro: seed=%d jobs=%d git=%s ocaml=%s host=%s" seed jobs
+    (git_describe ()) Sys.ocaml_version (hostname ())
 
 let sanitize id =
   String.map
@@ -135,9 +183,22 @@ let write_gnuplot ~dir (fig : figure) =
   let base = sanitize fig.fig_id in
   let dat = Filename.concat dir (base ^ ".dat") in
   let gp = Filename.concat dir (base ^ ".gp") in
+  (* two columns per series — value and 95 % CI half-width (0 when the
+     interval is unavailable, i.e. reps = 1) — so the script can draw
+     error bars *)
+  let has_ci =
+    List.exists
+      (fun s ->
+        List.exists
+          (fun (_, r) -> Obs.Run_stats.available (metric_ci fig.metric r))
+          s.points)
+      fig.series
+  in
   let oc = open_out dat in
   Printf.fprintf oc "# %s — %s\n# %s" fig.fig_id fig.title fig.xlabel;
-  List.iter (fun s -> Printf.fprintf oc "\t%S" s.label) fig.series;
+  List.iter
+    (fun s -> Printf.fprintf oc "\t%S\t%S" s.label (s.label ^ " ±"))
+    fig.series;
   output_char oc '\n';
   let xs = match fig.series with [] -> [] | s :: _ -> List.map fst s.points in
   List.iter
@@ -146,8 +207,16 @@ let write_gnuplot ~dir (fig : figure) =
       List.iter
         (fun s ->
           match List.assoc_opt x s.points with
-          | Some r -> Printf.fprintf oc "\t%.6f" (metric_value fig.metric r)
-          | None -> output_string oc "\t-")
+          | Some r ->
+              let ci = metric_ci fig.metric r in
+              let half =
+                if Obs.Run_stats.available ci then ci.Obs.Run_stats.ci_half
+                else 0.0
+              in
+              Printf.fprintf oc "\t%.6f\t%.6f"
+                (metric_value fig.metric r)
+                half
+          | None -> output_string oc "\t-\t-")
         fig.series;
       output_char oc '\n')
     xs;
@@ -159,9 +228,15 @@ let write_gnuplot ~dir (fig : figure) =
     (base ^ ".png") fig.title fig.xlabel (metric_name fig.metric);
   List.iteri
     (fun i s ->
-      Printf.fprintf oc "  %S using 1:%d with linespoints title %S%s\n"
-        (base ^ ".dat") (i + 2) s.label
-        (if i = List.length fig.series - 1 then "" else ", \\"))
+      let vcol = 2 + (2 * i) in
+      if has_ci then
+        Printf.fprintf oc "  %S using 1:%d:%d with yerrorlines title %S%s\n"
+          (base ^ ".dat") vcol (vcol + 1) s.label
+          (if i = List.length fig.series - 1 then "" else ", \\")
+      else
+        Printf.fprintf oc "  %S using 1:%d with linespoints title %S%s\n"
+          (base ^ ".dat") vcol s.label
+          (if i = List.length fig.series - 1 then "" else ", \\"))
     fig.series;
   close_out oc;
   gp

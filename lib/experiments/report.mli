@@ -2,8 +2,15 @@
     harness prints, plus CSV for external plotting. *)
 
 (** Print one figure as a table: one row per x value, one column per
-    algorithm.  [detail] adds abort/hit/message columns. *)
+    algorithm.  Every cell carries its 95 % replication confidence
+    half-width ("3.912 ±0.135"; "±n/a" at [reps = 1], where no interval
+    exists), and a figure whose cells have intervals gets a pooled
+    relative-half-width footer.  [detail] adds abort/hit/message
+    columns. *)
 val print_figure : ?detail:bool -> Format.formatter -> Exp_defs.figure -> unit
+
+(** The 95 % CI of every cell of the figure, in series-then-point order. *)
+val figure_cis : Exp_defs.figure -> Obs.Run_stats.ci list
 
 (** Print the Figure 13 winner grid. *)
 val print_decision_map : Format.formatter -> Suite.decision_map -> unit
@@ -16,14 +23,25 @@ val print_output : ?detail:bool -> Format.formatter -> Suite.output -> unit
 val csv_field : string -> string
 
 (** CSV lines for a figure: header then
-    [fig_id,metric,x,label,value,aborts,hit_ratio,msgs_per_commit].
-    Free-text fields are escaped with {!csv_field}. *)
+    [fig_id,metric,x,label,value,ci_lo,ci_hi,aborts,hit_ratio,msgs_per_commit].
+    [ci_lo]/[ci_hi] are the 95 % replication interval endpoints, empty
+    when no interval exists ([reps = 1]).  Free-text fields are escaped
+    with {!csv_field}. *)
 val figure_csv : Exp_defs.figure -> string list
 
-(** [repro_line ~seed ~jobs] is a ["# repro: seed=… jobs=… git=…"]
-    provenance comment ([git describe --always --dirty], or "unknown"
-    outside a git checkout). *)
+(** [repro_line ~seed ~jobs] is a
+    ["# repro: seed=… jobs=… git=… ocaml=… host=…"] provenance comment
+    ([git describe --always --dirty], or "unknown" outside a git
+    checkout; hostname from the kernel or [$HOSTNAME]).  Also the
+    provenance header of benchmark telemetry snapshots
+    ({!Telemetry}). *)
 val repro_line : seed:int -> jobs:int -> string
+
+(** The hostname {!repro_line} reports ("unknown" when undiscoverable). *)
+val hostname : unit -> string
+
+(** [git describe --always --dirty], or "unknown" outside a checkout. *)
+val git_describe : unit -> string
 
 (** [write_gnuplot ~dir fig] writes [<id>.dat] (x column plus one column
     per series) and a ready-to-run [<id>.gp] script into [dir] (created if

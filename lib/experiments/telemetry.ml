@@ -1,0 +1,332 @@
+(* Benchmark telemetry snapshots: the JSON the bench harness writes with
+   --json, and the comparison behind `ccsim bench-diff`.
+
+   A snapshot records how fast the simulator itself ran — per-experiment
+   wall-clock and engine event throughput, microbenchmark medians with
+   replication confidence intervals, an engine probe (events/sec and
+   event-heap high-water mark) — plus full provenance (Report.repro_line:
+   seed, jobs, git, OCaml version, host), so two snapshots can be
+   compared across PRs with noise awareness.  Serialization is
+   hand-rolled JSON (reusing Obs.Export's escaper and parser): no
+   dependency enters the tree, and every emitted snapshot parses with the
+   in-repo RFC 8259 validator. *)
+
+let schema_version = "ccsim-bench/1"
+
+type experiment = {
+  e_id : string;
+  e_wall_s : float;  (* wall-clock seconds to run + render the experiment *)
+  e_sims : int;  (* simulations newly executed (cache misses) *)
+  e_events : int;  (* engine events summed over the figure cells *)
+}
+
+let events_per_sec ~events ~wall_s =
+  if wall_s <= 0.0 then 0.0 else float_of_int events /. wall_s
+
+type micro = {
+  m_name : string;
+  m_runs : int;
+  m_median_ns : float;
+  m_ci_lo_ns : float;  (* 95 % CI of the mean run time; = median at runs < 2 *)
+  m_ci_hi_ns : float;
+}
+
+type probe = {
+  p_wall_s : float;
+  p_events : int;
+  p_heap_hwm : int;  (* event-heap high-water mark of the probe run *)
+}
+
+type snapshot = {
+  s_schema : string;
+  s_repro : string;  (* Report.repro_line verbatim — the provenance header *)
+  s_git : string;
+  s_ocaml : string;
+  s_host : string;
+  s_seed : int;
+  s_jobs : int;
+  s_reps : int;
+  s_quick : bool;
+  s_experiments : experiment list;
+  s_micro : micro list;
+  s_engine : probe option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let q s = "\"" ^ Obs.Export.json_escape s ^ "\""
+let f v = Printf.sprintf "%.17g" v
+
+let to_json s =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": %s,\n" (q s.s_schema);
+  add "  \"repro\": %s,\n" (q s.s_repro);
+  add "  \"git\": %s,\n" (q s.s_git);
+  add "  \"ocaml\": %s,\n" (q s.s_ocaml);
+  add "  \"host\": %s,\n" (q s.s_host);
+  add "  \"seed\": %d,\n" s.s_seed;
+  add "  \"jobs\": %d,\n" s.s_jobs;
+  add "  \"reps\": %d,\n" s.s_reps;
+  add "  \"quick\": %b,\n" s.s_quick;
+  add "  \"experiments\": [";
+  List.iteri
+    (fun i e ->
+      add "%s\n    {\"id\": %s, \"wall_s\": %s, \"sims\": %d, \"events\": %d, \
+           \"events_per_sec\": %s}"
+        (if i = 0 then "" else ",")
+        (q e.e_id) (f e.e_wall_s) e.e_sims e.e_events
+        (f (events_per_sec ~events:e.e_events ~wall_s:e.e_wall_s)))
+    s.s_experiments;
+  add "%s],\n" (if s.s_experiments = [] then "" else "\n  ");
+  add "  \"micro\": [";
+  List.iteri
+    (fun i m ->
+      add "%s\n    {\"name\": %s, \"runs\": %d, \"median_ns\": %s, \
+           \"ci_lo_ns\": %s, \"ci_hi_ns\": %s}"
+        (if i = 0 then "" else ",")
+        (q m.m_name) m.m_runs (f m.m_median_ns) (f m.m_ci_lo_ns)
+        (f m.m_ci_hi_ns))
+    s.s_micro;
+  add "%s],\n" (if s.s_micro = [] then "" else "\n  ");
+  (match s.s_engine with
+  | None -> add "  \"engine\": null\n"
+  | Some p ->
+      add
+        "  \"engine\": {\"wall_s\": %s, \"events\": %d, \"events_per_sec\": \
+         %s, \"heap_hwm\": %d}\n"
+        (f p.p_wall_s) p.p_events
+        (f (events_per_sec ~events:p.p_events ~wall_s:p.p_wall_s))
+        p.p_heap_hwm);
+  add "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON reading                                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Shape of string
+
+let get k j =
+  match Obs.Export.member k j with
+  | Some v -> v
+  | None -> raise (Shape (Printf.sprintf "missing field %S" k))
+
+let str = function
+  | Obs.Export.Str s -> s
+  | _ -> raise (Shape "expected string")
+
+let num = function
+  | Obs.Export.Num v -> v
+  | _ -> raise (Shape "expected number")
+
+let int j = int_of_float (num j)
+
+let bool = function
+  | Obs.Export.Bool v -> v
+  | _ -> raise (Shape "expected bool")
+
+let arr = function
+  | Obs.Export.Arr l -> l
+  | _ -> raise (Shape "expected array")
+
+let of_json text =
+  match Obs.Export.parse_json text with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok j -> (
+      try
+        let schema = str (get "schema" j) in
+        if schema <> schema_version then
+          raise
+            (Shape
+               (Printf.sprintf "schema %S, expected %S" schema schema_version));
+        Ok
+          {
+            s_schema = schema;
+            s_repro = str (get "repro" j);
+            s_git = str (get "git" j);
+            s_ocaml = str (get "ocaml" j);
+            s_host = str (get "host" j);
+            s_seed = int (get "seed" j);
+            s_jobs = int (get "jobs" j);
+            s_reps = int (get "reps" j);
+            s_quick = bool (get "quick" j);
+            s_experiments =
+              List.map
+                (fun e ->
+                  {
+                    e_id = str (get "id" e);
+                    e_wall_s = num (get "wall_s" e);
+                    e_sims = int (get "sims" e);
+                    e_events = int (get "events" e);
+                  })
+                (arr (get "experiments" j));
+            s_micro =
+              List.map
+                (fun m ->
+                  {
+                    m_name = str (get "name" m);
+                    m_runs = int (get "runs" m);
+                    m_median_ns = num (get "median_ns" m);
+                    m_ci_lo_ns = num (get "ci_lo_ns" m);
+                    m_ci_hi_ns = num (get "ci_hi_ns" m);
+                  })
+                (arr (get "micro" j));
+            s_engine =
+              (match get "engine" j with
+              | Obs.Export.Null -> None
+              | p ->
+                  Some
+                    {
+                      p_wall_s = num (get "wall_s" p);
+                      p_events = int (get "events" p);
+                      p_heap_hwm = int (get "heap_hwm" p);
+                    });
+          }
+      with Shape msg -> Error ("bad snapshot: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type finding = {
+  f_metric : string;
+  f_base : float;
+  f_cur : float;
+  f_slowdown : float;  (* > 1 means the current snapshot is slower *)
+}
+
+type verdict = {
+  v_threshold : float;
+  v_regressions : finding list;
+  v_improvements : finding list;
+  v_notes : string list;
+}
+
+let ok v = v.v_regressions = []
+
+(* Wall-clock measurements below this are timer jitter, not signal. *)
+let min_wall_s = 0.05
+
+let overlap (alo, ahi) (blo, bhi) = alo <= bhi && blo <= ahi
+
+let diff ?(threshold = 0.25) ~baseline ~current () =
+  if threshold <= 0.0 then invalid_arg "Telemetry.diff: threshold must be > 0";
+  let regressions = ref [] and improvements = ref [] and notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  if baseline.s_host <> current.s_host then
+    note
+      "snapshots come from different hosts (%s vs %s): wall-clock deltas \
+       include machine noise"
+      baseline.s_host current.s_host;
+  if baseline.s_ocaml <> current.s_ocaml then
+    note "OCaml versions differ (%s vs %s)" baseline.s_ocaml current.s_ocaml;
+  if baseline.s_quick <> current.s_quick then
+    note "depth differs (quick=%b vs quick=%b): not comparable cell by cell"
+      baseline.s_quick current.s_quick;
+  let classify ~metric ~base ~cur ~slowdown ~noisy =
+    if Float.is_nan slowdown then ()
+    else if slowdown > 1.0 +. threshold && not noisy then
+      regressions :=
+        { f_metric = metric; f_base = base; f_cur = cur; f_slowdown = slowdown }
+        :: !regressions
+    else if slowdown < 1.0 /. (1.0 +. threshold) then
+      improvements :=
+        { f_metric = metric; f_base = base; f_cur = cur; f_slowdown = slowdown }
+        :: !improvements
+  in
+  (* experiments: match by id; wall-clock, higher = worse *)
+  List.iter
+    (fun (b : experiment) ->
+      match
+        List.find_opt (fun c -> c.e_id = b.e_id) current.s_experiments
+      with
+      | None -> note "experiment %s only in baseline" b.e_id
+      | Some c ->
+          let noisy = b.e_wall_s < min_wall_s && c.e_wall_s < min_wall_s in
+          classify
+            ~metric:(Printf.sprintf "experiment %s wall_s" b.e_id)
+            ~base:b.e_wall_s ~cur:c.e_wall_s
+            ~slowdown:(if b.e_wall_s <= 0.0 then Float.nan
+                       else c.e_wall_s /. b.e_wall_s)
+            ~noisy)
+    baseline.s_experiments;
+  List.iter
+    (fun (c : experiment) ->
+      if
+        not
+          (List.exists (fun b -> b.e_id = c.e_id) baseline.s_experiments)
+      then note "experiment %s only in current snapshot" c.e_id)
+    current.s_experiments;
+  (* microbenches: match by name; a regression needs both the medians to
+     move past the threshold AND the replication CIs to not overlap —
+     overlapping intervals mean the difference is within measurement
+     noise *)
+  List.iter
+    (fun (b : micro) ->
+      match List.find_opt (fun c -> c.m_name = b.m_name) current.s_micro with
+      | None -> note "microbench %S only in baseline" b.m_name
+      | Some c ->
+          let noisy =
+            overlap (b.m_ci_lo_ns, b.m_ci_hi_ns) (c.m_ci_lo_ns, c.m_ci_hi_ns)
+          in
+          classify
+            ~metric:(Printf.sprintf "micro %S median_ns" b.m_name)
+            ~base:b.m_median_ns ~cur:c.m_median_ns
+            ~slowdown:(if b.m_median_ns <= 0.0 then Float.nan
+                       else c.m_median_ns /. b.m_median_ns)
+            ~noisy)
+    baseline.s_micro;
+  List.iter
+    (fun (c : micro) ->
+      if not (List.exists (fun b -> b.m_name = c.m_name) baseline.s_micro)
+      then note "microbench %S only in current snapshot" c.m_name)
+    current.s_micro;
+  (* engine probe: events/sec, lower = worse; heap high-water, higher =
+     worse (a space regression) *)
+  (match (baseline.s_engine, current.s_engine) with
+  | Some b, Some c ->
+      let b_eps = events_per_sec ~events:b.p_events ~wall_s:b.p_wall_s in
+      let c_eps = events_per_sec ~events:c.p_events ~wall_s:c.p_wall_s in
+      classify ~metric:"engine events_per_sec" ~base:b_eps ~cur:c_eps
+        ~slowdown:(if c_eps <= 0.0 then Float.nan else b_eps /. c_eps)
+        ~noisy:false;
+      classify ~metric:"engine heap_hwm" ~base:(float_of_int b.p_heap_hwm)
+        ~cur:(float_of_int c.p_heap_hwm)
+        ~slowdown:
+          (if b.p_heap_hwm <= 0 then Float.nan
+           else float_of_int c.p_heap_hwm /. float_of_int b.p_heap_hwm)
+        ~noisy:false
+  | Some _, None -> note "engine probe only in baseline"
+  | None, Some _ -> note "engine probe only in current snapshot"
+  | None, None -> ());
+  {
+    v_threshold = threshold;
+    v_regressions = List.rev !regressions;
+    v_improvements = List.rev !improvements;
+    v_notes = List.rev !notes;
+  }
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%-40s %14.1f -> %14.1f  (%.2fx)" f.f_metric f.f_base
+    f.f_cur f.f_slowdown
+
+let pp_verdict fmt v =
+  List.iter (fun n -> Format.fprintf fmt "note: %s@." n) v.v_notes;
+  List.iter
+    (fun f -> Format.fprintf fmt "improvement: %a@." pp_finding f)
+    v.v_improvements;
+  List.iter
+    (fun f -> Format.fprintf fmt "REGRESSION:  %a@." pp_finding f)
+    v.v_regressions;
+  if ok v then
+    Format.fprintf fmt "bench-diff: ok (no regression beyond %.0f%%)@."
+      (100.0 *. v.v_threshold)
+  else
+    Format.fprintf fmt
+      "bench-diff: %d regression(s) beyond the %.0f%% threshold@."
+      (List.length v.v_regressions)
+      (100.0 *. v.v_threshold)

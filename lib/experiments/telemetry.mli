@@ -1,0 +1,99 @@
+(** Benchmark telemetry snapshots — the longitudinal half of the
+    observability story.
+
+    [bench --json FILE] serialises one {!snapshot} per harness run:
+    per-experiment wall-clock and engine event counts, microbenchmark
+    medians with replication confidence intervals, an engine probe
+    (events/sec, event-heap high-water mark), and full provenance
+    ({!Report.repro_line}: seed, jobs, git describe, OCaml version,
+    host).  [ccsim bench-diff old.json new.json] reads two snapshots back
+    with {!of_json} and compares them with {!diff}, which is
+    noise-aware: microbench deltas whose confidence intervals overlap are
+    never regressions, sub-jitter wall-clock cells are ignored, and
+    host/compiler mismatches are reported as notes.
+
+    Serialization round-trips through the in-repo JSON parser
+    ({!Obs.Export.parse_json}); no external dependency is involved. *)
+
+val schema_version : string
+
+type experiment = {
+  e_id : string;
+  e_wall_s : float;  (** wall-clock seconds to run + render the experiment *)
+  e_sims : int;  (** simulations newly executed (cache misses) *)
+  e_events : int;  (** engine events summed over the figure cells *)
+}
+
+(** [events / wall_s], 0 when the wall time is not positive. *)
+val events_per_sec : events:int -> wall_s:float -> float
+
+type micro = {
+  m_name : string;
+  m_runs : int;
+  m_median_ns : float;
+  m_ci_lo_ns : float;
+      (** 95 % CI endpoints of the mean run time; both equal the median
+          when fewer than two runs were taken *)
+  m_ci_hi_ns : float;
+}
+
+type probe = {
+  p_wall_s : float;
+  p_events : int;
+  p_heap_hwm : int;  (** event-heap high-water mark of the probe run *)
+}
+
+type snapshot = {
+  s_schema : string;  (** {!schema_version} *)
+  s_repro : string;  (** {!Report.repro_line} verbatim *)
+  s_git : string;
+  s_ocaml : string;
+  s_host : string;
+  s_seed : int;
+  s_jobs : int;
+  s_reps : int;
+  s_quick : bool;
+  s_experiments : experiment list;
+  s_micro : micro list;
+  s_engine : probe option;
+}
+
+(** Emit the snapshot as JSON (parses with {!Obs.Export.validate_json};
+    floats are [%.17g] so {!of_json} round-trips exactly). *)
+val to_json : snapshot -> string
+
+(** Parse a snapshot back.  [Error] on malformed JSON, missing fields, or
+    a schema version mismatch. *)
+val of_json : string -> (snapshot, string) result
+
+(** {1 Comparison} *)
+
+type finding = {
+  f_metric : string;
+  f_base : float;
+  f_cur : float;
+  f_slowdown : float;  (** > 1 means the current snapshot is slower *)
+}
+
+type verdict = {
+  v_threshold : float;
+  v_regressions : finding list;
+  v_improvements : finding list;
+  v_notes : string list;  (** unmatched entries, host/compiler mismatches *)
+}
+
+(** [diff ?threshold ~baseline ~current ()] — a metric regresses when it
+    slows past [1 + threshold] (default 0.25) {e and} the change is not
+    explainable as noise: microbench CIs must not overlap, and wall-clock
+    cells below the jitter floor (50 ms) never regress.  Improvements
+    past the mirror-image ratio are reported too. *)
+val diff :
+  ?threshold:float -> baseline:snapshot -> current:snapshot -> unit -> verdict
+
+(** No regressions? *)
+val ok : verdict -> bool
+
+val pp_finding : Format.formatter -> finding -> unit
+
+(** Notes, then improvements, then regressions, then a one-line summary. *)
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -159,16 +159,26 @@ let series_of_csv text =
   | _ -> failwith "series_of_csv: too few lines"
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON validator                                              *)
+(* Minimal JSON parser                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* A recursive-descent checker for RFC 8259 JSON.  It builds no values —
-   it only verifies the text parses — which is all the smoke job needs to
-   trust that Perfetto will load the file. *)
+(* A recursive-descent parser for RFC 8259 JSON.  Originally a pure
+   validator for the Perfetto smoke job; it now builds a value so the
+   benchmark-telemetry pipeline (Experiments.Telemetry / ccsim
+   bench-diff) can read its own snapshots back without any external JSON
+   dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
 
 exception Bad of string * int
 
-let validate_json text =
+let parse_json text =
   let n = String.length text in
   let pos = ref 0 in
   let fail msg = raise (Bad (msg, !pos)) in
@@ -186,8 +196,23 @@ let validate_json text =
     | Some x when x = c -> advance ()
     | _ -> fail (Printf.sprintf "expected %c" c)
   in
+  (* decode a code point to UTF-8 bytes (enough for \u escapes; surrogate
+     pairs outside the BMP are not recombined — we never emit them) *)
+  let add_utf8 b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let string_lit () =
     expect '"';
+    let b = Buffer.create 16 in
     let rec go () =
       match peek () with
       | None -> fail "unterminated string"
@@ -195,26 +220,45 @@ let validate_json text =
       | Some '\\' -> (
           advance ();
           match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char b c;
               advance ();
               go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
           | Some 'u' ->
               advance ();
+              let cp = ref 0 in
               for _ = 1 to 4 do
                 match peek () with
-                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | Some ('0' .. '9' as c) ->
+                    cp := (!cp * 16) + (Char.code c - Char.code '0');
+                    advance ()
+                | Some ('a' .. 'f' as c) ->
+                    cp := (!cp * 16) + (Char.code c - Char.code 'a' + 10);
+                    advance ()
+                | Some ('A' .. 'F' as c) ->
+                    cp := (!cp * 16) + (Char.code c - Char.code 'A' + 10);
+                    advance ()
                 | _ -> fail "bad \\u escape"
               done;
+              add_utf8 b !cp;
               go ()
           | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control char in string"
-      | Some _ ->
+      | Some c ->
+          Buffer.add_char b c;
           advance ();
           go ()
     in
-    go ()
+    go ();
+    Buffer.contents b
   in
   let number () =
+    let start = !pos in
     let digits () =
       let had = ref false in
       let rec go () =
@@ -235,70 +279,93 @@ let validate_json text =
         advance ();
         digits ()
     | _ -> ());
-    match peek () with
+    (match peek () with
     | Some ('e' | 'E') ->
         advance ();
         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
         digits ()
-    | _ -> ()
+    | _ -> ());
+    float_of_string (String.sub text start (!pos - start))
   in
-  let literal s =
+  let literal s v =
     let l = String.length s in
-    if !pos + l <= n && String.sub text !pos l = s then pos := !pos + l
+    if !pos + l <= n && String.sub text !pos l = s then begin
+      pos := !pos + l;
+      v
+    end
     else fail ("expected " ^ s)
   in
   let rec value () =
     skip_ws ();
-    (match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then advance ()
-        else
-          let rec members () =
-            skip_ws ();
-            string_lit ();
-            skip_ws ();
-            expect ':';
-            value ();
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ()
-            | Some '}' -> advance ()
-            | _ -> fail "expected , or }"
-          in
-          members ()
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then advance ()
-        else
-          let rec elements () =
-            value ();
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements ()
-            | Some ']' -> advance ()
-            | _ -> fail "expected , or ]"
-          in
-          elements ()
-    | Some '"' -> string_lit ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> number ()
-    | _ -> fail "expected value");
-    skip_ws ()
+    let v =
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or }"
+            in
+            Obj (members [])
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec elements acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ]"
+            in
+            Arr (elements [])
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> Num (number ())
+      | _ -> fail "expected value"
+    in
+    skip_ws ();
+    v
   in
   try
-    value ();
+    let v = value () in
     if !pos <> n then Error (Printf.sprintf "trailing bytes at %d" !pos)
-    else Ok ()
+    else Ok v
   with Bad (msg, p) -> Error (Printf.sprintf "%s at byte %d" msg p)
+
+let validate_json text =
+  match parse_json text with Ok _ -> Ok () | Error e -> Error e
+
+(* field accessors for readers of parsed snapshots *)
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 
 (* ------------------------------------------------------------------ *)
 

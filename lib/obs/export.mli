@@ -25,8 +25,25 @@ val series_csv : Series.t -> string
     Raises [Failure] on malformed input. *)
 val series_of_csv : string -> Series.t
 
-(** Validate that [text] is well-formed JSON (RFC 8259 subset sufficient
-    for what {!perfetto} emits). *)
+(** Parsed JSON value.  Object members are kept in document order. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(** Parse RFC 8259 JSON text (the subset {!perfetto} and the benchmark
+    telemetry pipeline emit; [\u] escapes are decoded to UTF-8). *)
+val parse_json : string -> (json, string) result
+
+(** [member k (Obj ...)] looks up a field; [None] on missing key or
+    non-object. *)
+val member : string -> json -> json option
+
+(** Validate that [text] is well-formed JSON ({!parse_json}, value
+    discarded). *)
 val validate_json : string -> (unit, string) result
 
 (** Escape a string for inclusion inside JSON double quotes. *)

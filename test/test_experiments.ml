@@ -2,6 +2,11 @@
 
 let case name f = Alcotest.test_case name `Quick f
 
+let astr_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 let tiny_opts =
   {
     Experiments.Exp_defs.warmup = 20;
@@ -163,10 +168,77 @@ let test_figure_csv_shape () =
   match Experiments.Report.figure_csv fig with
   | [ header; row ] ->
       Alcotest.(check string) "header"
-        "fig_id,metric,x,algorithm,value,aborts,hit_ratio,msgs_per_commit"
+        "fig_id,metric,x,algorithm,value,ci_lo,ci_hi,aborts,hit_ratio,msgs_per_commit"
         header;
       Alcotest.(check bool) "row prefix" true
         (String.length row > 10 && String.sub row 0 5 = "figX,")
+  | lines -> Alcotest.failf "expected 2 csv lines, got %d" (List.length lines)
+
+(* Golden check of the CI columns: a cell whose per-rep means are
+   1, 2, 3 has mean 2 and half-width t(0.975, 2)/sqrt(3) = 2.4841, so
+   the table cell reads "±2.484" and the CSV endpoints are -0.4841 and
+   4.4841.  A single-rep cell leaves both CSV fields empty and the
+   table shows "±n/a". *)
+let test_figure_ci_columns () =
+  let runner = Experiments.Exp_defs.make_runner tiny_opts in
+  let r0 = Experiments.Exp_defs.run runner (tiny_spec ()) in
+  let fig rep_means =
+    {
+      Experiments.Exp_defs.fig_id = "figX";
+      title = "test";
+      xlabel = "clients";
+      metric = Experiments.Exp_defs.Response_time;
+      series =
+        [
+          {
+            Experiments.Exp_defs.label = "2PL";
+            points =
+              [
+                ( 4.0,
+                  {
+                    r0 with
+                    Core.Simulator.mean_response = 2.0;
+                    rep_mean_responses = rep_means;
+                  } );
+              ];
+          };
+        ];
+    }
+  in
+  (match Experiments.Report.figure_cis (fig [| 1.0; 2.0; 3.0 |]) with
+  | [ ci ] ->
+      Alcotest.(check bool) "available" true (Obs.Run_stats.available ci);
+      Alcotest.(check string) "half" "2.484" (Obs.Run_stats.half_string ci);
+      Alcotest.(check (float 1e-3)) "lo" (-0.4841) (Obs.Run_stats.ci_lo ci);
+      Alcotest.(check (float 1e-3)) "hi" 4.4841 (Obs.Run_stats.ci_hi ci)
+  | cis -> Alcotest.failf "expected 1 ci, got %d" (List.length cis));
+  (match Experiments.Report.figure_csv (fig [| 1.0; 2.0; 3.0 |]) with
+  | [ _; row ] -> (
+      match String.split_on_char ',' row with
+      | _ :: _ :: _ :: _ :: _ :: lo :: hi :: _ ->
+          Alcotest.(check (float 1e-3)) "csv lo" (-0.4841) (float_of_string lo);
+          Alcotest.(check (float 1e-3)) "csv hi" 4.4841 (float_of_string hi)
+      | _ -> Alcotest.fail "csv row too short")
+  | lines -> Alcotest.failf "expected 2 csv lines, got %d" (List.length lines));
+  let table =
+    Format.asprintf "%a" (Experiments.Report.print_figure ?detail:None)
+      (fig [| 1.0; 2.0; 3.0 |])
+  in
+  Alcotest.(check bool) "table shows the half-width" true
+    (astr_contains table "2.000 \xc2\xb12.484");
+  (* reps = 1: no dispersion, "n/a" everywhere, empty CSV endpoints *)
+  (match Experiments.Report.figure_cis (fig [| 2.0 |]) with
+  | [ ci ] ->
+      Alcotest.(check bool) "unavailable" false (Obs.Run_stats.available ci);
+      Alcotest.(check string) "n/a" "n/a" (Obs.Run_stats.half_string ci)
+  | _ -> Alcotest.fail "expected 1 ci");
+  match Experiments.Report.figure_csv (fig [| 2.0 |]) with
+  | [ _; row ] -> (
+      match String.split_on_char ',' row with
+      | _ :: _ :: _ :: _ :: _ :: lo :: hi :: _ ->
+          Alcotest.(check string) "empty lo" "" lo;
+          Alcotest.(check string) "empty hi" "" hi
+      | _ -> Alcotest.fail "csv row too short")
   | lines -> Alcotest.failf "expected 2 csv lines, got %d" (List.length lines)
 
 let test_experiment_catalog () =
@@ -224,7 +296,10 @@ let suites =
         case "build exceptions propagate" test_run_build_propagates_build_exception;
       ] );
     ( "report",
-      [ case "figure csv shape" test_figure_csv_shape ] );
+      [
+        case "figure csv shape" test_figure_csv_shape;
+        case "ci columns golden" test_figure_ci_columns;
+      ] );
     ( "suite",
       [
         case "experiment catalog" test_experiment_catalog;

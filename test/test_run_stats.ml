@@ -1,0 +1,173 @@
+(* Tests for Obs.Run_stats: Student-t quantiles against table values,
+   confidence intervals, batch means, and the warmup diagnostic. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Standard two-sided 95 % critical values, as printed in any stats
+   table.  The quantile inversion is bisection over the incomplete-beta
+   CDF, so agreement here exercises the whole numeric stack. *)
+let test_t_quantile_table () =
+  List.iter
+    (fun (df, expect) ->
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "t(0.975, %g)" df)
+        expect
+        (Obs.Run_stats.t_quantile ~df 0.975))
+    [
+      (1.0, 12.7062);
+      (2.0, 4.30265);
+      (5.0, 2.57058);
+      (10.0, 2.22814);
+      (30.0, 2.04227);
+    ];
+  (* large df converges on the normal quantile *)
+  Alcotest.(check (float 5e-3)) "t -> z" 1.95996
+    (Obs.Run_stats.t_quantile ~df:10_000.0 0.975);
+  (* symmetry and median *)
+  Alcotest.(check (float 1e-6)) "median" 0.0
+    (Obs.Run_stats.t_quantile ~df:7.0 0.5);
+  Alcotest.(check (float 1e-4)) "symmetry"
+    (-.Obs.Run_stats.t_quantile ~df:4.0 0.975)
+    (Obs.Run_stats.t_quantile ~df:4.0 0.025)
+
+let test_t_cdf_roundtrip () =
+  List.iter
+    (fun df ->
+      List.iter
+        (fun p ->
+          Alcotest.(check (float 1e-5))
+            (Printf.sprintf "cdf(quantile(%g)) df=%g" p df)
+            p
+            (Obs.Run_stats.t_cdf ~df (Obs.Run_stats.t_quantile ~df p)))
+        [ 0.05; 0.5; 0.9; 0.975; 0.999 ])
+    [ 1.0; 3.0; 12.0; 100.0 ]
+
+let test_mean_ci_known_value () =
+  (* xs = 1, 2, 3: mean 2, s = 1, half = t(0.975, 2)/sqrt 3 = 2.48414 *)
+  let ci = Obs.Run_stats.mean_ci [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "available" true (Obs.Run_stats.available ci);
+  Alcotest.(check int) "n" 3 ci.Obs.Run_stats.ci_n;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 ci.Obs.Run_stats.ci_mean;
+  Alcotest.(check (float 1e-4)) "half" 2.48414 ci.Obs.Run_stats.ci_half;
+  Alcotest.(check (float 1e-4)) "lo" (-0.48414) (Obs.Run_stats.ci_lo ci);
+  Alcotest.(check (float 1e-4)) "hi" 4.48414 (Obs.Run_stats.ci_hi ci);
+  (match Obs.Run_stats.rel_half_width ci with
+  | Some r -> Alcotest.(check (float 1e-4)) "rel" 1.24207 r
+  | None -> Alcotest.fail "rel_half_width expected");
+  Alcotest.(check string) "formatted" "2.484" (Obs.Run_stats.half_string ci)
+
+let test_mean_ci_single_rep () =
+  let ci = Obs.Run_stats.mean_ci [| 7.25 |] in
+  Alcotest.(check bool) "unavailable" false (Obs.Run_stats.available ci);
+  Alcotest.(check (float 0.0)) "mean still reported" 7.25
+    ci.Obs.Run_stats.ci_mean;
+  Alcotest.(check bool) "half is nan, not a number" true
+    (Float.is_nan ci.Obs.Run_stats.ci_half);
+  Alcotest.(check string) "n/a not nan" "n/a" (Obs.Run_stats.half_string ci);
+  Alcotest.(check bool) "no rel width" true
+    (Obs.Run_stats.rel_half_width ci = None);
+  Alcotest.(check bool) "empty input too" false
+    (Obs.Run_stats.available (Obs.Run_stats.mean_ci [||]))
+
+let test_pooled_rel_half_width () =
+  let ci xs = Obs.Run_stats.mean_ci xs in
+  (* pooled over one available (rel 2.48414/2) and one unavailable *)
+  match
+    Obs.Run_stats.pooled_rel_half_width [ ci [| 1.0; 2.0; 3.0 |]; ci [| 5.0 |] ]
+  with
+  | Some r -> Alcotest.(check (float 1e-4)) "pooled" 1.24207 r
+  | None -> Alcotest.fail "pooled width expected"
+
+let test_batch_means_known_value () =
+  (* 8 observations in 4 batches of 2: batch means 2, 3, 4, 5, so mean
+     3.5, s = sqrt(5/3), half = t(0.975, 3) * s / 2 = 2.05426 *)
+  let xs = [| 1.0; 3.0; 2.0; 4.0; 3.0; 5.0; 4.0; 6.0 |] in
+  (match Obs.Run_stats.batch_means ~batches:4 xs with
+  | Some ci ->
+      Alcotest.(check int) "batches" 4 ci.Obs.Run_stats.ci_n;
+      Alcotest.(check (float 1e-9)) "mean" 3.5 ci.Obs.Run_stats.ci_mean;
+      Alcotest.(check (float 1e-4)) "half" 2.05426 ci.Obs.Run_stats.ci_half
+  | None -> Alcotest.fail "batch ci expected");
+  (* a 9th (oldest) observation that does not fit a batch is dropped *)
+  (match Obs.Run_stats.batch_means ~batches:4 (Array.append [| 99.0 |] xs) with
+  | Some ci ->
+      Alcotest.(check (float 1e-9)) "remainder dropped" 3.5
+        ci.Obs.Run_stats.ci_mean
+  | None -> Alcotest.fail "batch ci expected");
+  (* too short a stream has no interval at all *)
+  Alcotest.(check bool) "under 4 obs" true
+    (Obs.Run_stats.batch_means [| 1.0; 2.0; 3.0 |] = None)
+
+let test_batch_means_clamps_batch_count () =
+  (* default 20 batches clamps to n/2 when the stream is short *)
+  let xs = Array.init 10 (fun i -> float_of_int i) in
+  match Obs.Run_stats.batch_means xs with
+  | Some ci -> Alcotest.(check int) "clamped to n/2" 5 ci.Obs.Run_stats.ci_n
+  | None -> Alcotest.fail "batch ci expected"
+
+let test_moving_average () =
+  let sm = Obs.Run_stats.moving_average ~window:1 [| 0.0; 3.0; 0.0; 3.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "interior" 1.0 sm.(1);
+  Alcotest.(check (float 1e-9)) "interior" 2.0 sm.(2);
+  Alcotest.(check (float 1e-9)) "edge uses shorter window" 1.5 sm.(0)
+
+(* A curve that climbs for 20 samples and is flat afterwards: the
+   diagnostic must locate the settle near the knee, judge a warmup that
+   covers it adequate, and one that stops short of it inadequate. *)
+let test_warmup_diagnostic () =
+  let n = 100 in
+  let times = Array.init n (fun i -> float_of_int i) in
+  let values =
+    Array.init n (fun i -> if i < 20 then float_of_int i /. 20.0 else 1.0)
+  in
+  let late =
+    Obs.Run_stats.warmup_diagnostic ~warmup_end:40.0 ~times values
+  in
+  Alcotest.(check bool) "covering warmup adequate" true
+    late.Obs.Run_stats.wu_adequate;
+  Alcotest.(check (float 0.02)) "tail mean" 1.0 late.Obs.Run_stats.wu_tail_mean;
+  (match late.Obs.Run_stats.wu_settle with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "settle %.1f near the knee" t)
+        true
+        (t >= 10.0 && t <= 35.0)
+  | None -> Alcotest.fail "curve settles");
+  let early =
+    Obs.Run_stats.warmup_diagnostic ~warmup_end:5.0 ~times values
+  in
+  Alcotest.(check bool) "short warmup flagged" false
+    early.Obs.Run_stats.wu_adequate;
+  (* under 4 samples there is nothing to judge: vacuously adequate *)
+  let tiny =
+    Obs.Run_stats.warmup_diagnostic ~warmup_end:0.0
+      ~times:[| 0.0; 1.0 |] [| 5.0; 6.0 |]
+  in
+  Alcotest.(check bool) "tiny series vacuous" true
+    tiny.Obs.Run_stats.wu_adequate
+
+let () =
+  Alcotest.run "run_stats"
+    [
+      ( "student-t",
+        [
+          case "quantile table values" test_t_quantile_table;
+          case "cdf/quantile round-trip" test_t_cdf_roundtrip;
+        ] );
+      ( "mean ci",
+        [
+          case "known value" test_mean_ci_known_value;
+          case "single replication" test_mean_ci_single_rep;
+          case "pooled relative width" test_pooled_rel_half_width;
+        ] );
+      ( "batch means",
+        [
+          case "known value + remainder" test_batch_means_known_value;
+          case "batch-count clamp" test_batch_means_clamps_batch_count;
+        ] );
+      ( "warmup",
+        [
+          case "moving average" test_moving_average;
+          case "welch diagnostic" test_warmup_diagnostic;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Tests for Experiments.Telemetry: snapshot JSON round-trip through the
+   in-repo parser and the noise-aware bench-diff comparison. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+open Experiments.Telemetry
+
+let snap () =
+  {
+    s_schema = schema_version;
+    s_repro = "# repro: seed=42 jobs=2 git=abc-dirty ocaml=5.1.1 host=vm";
+    s_git = "abc-dirty";
+    s_ocaml = "5.1.1";
+    s_host = "vm";
+    s_seed = 42;
+    s_jobs = 2;
+    s_reps = 3;
+    s_quick = true;
+    s_experiments =
+      [
+        { e_id = "fig9"; e_wall_s = 1.5; e_sims = 10; e_events = 1_000_000 };
+        { e_id = "acl"; e_wall_s = 0.8; e_sims = 4; e_events = 400_000 };
+      ];
+    s_micro =
+      [
+        {
+          m_name = "lock \"table\": 10k req\\rel";
+          m_runs = 5;
+          m_median_ns = 1000.0;
+          m_ci_lo_ns = 900.0;
+          m_ci_hi_ns = 1100.0;
+        };
+      ];
+    s_engine = Some { p_wall_s = 0.5; p_events = 200_000; p_heap_hwm = 123 };
+  }
+
+let test_json_roundtrip () =
+  let s = snap () in
+  let json = to_json s in
+  (match Obs.Export.validate_json json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "snapshot json invalid: %s" e);
+  match of_json json with
+  | Ok s' -> Alcotest.(check bool) "round-trips exactly" true (s = s')
+  | Error e -> Alcotest.failf "parse back failed: %s" e
+
+let test_json_roundtrip_no_engine () =
+  let s = { (snap ()) with s_engine = None; s_micro = []; s_quick = false } in
+  match of_json (to_json s) with
+  | Ok s' -> Alcotest.(check bool) "engine=null round-trips" true (s = s')
+  | Error e -> Alcotest.failf "parse back failed: %s" e
+
+let test_of_json_rejects () =
+  (match of_json "{ not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  let wrong_schema =
+    { (snap ()) with s_schema = "ccsim-bench/999" } |> to_json
+  in
+  (match of_json wrong_schema with
+  | Error e ->
+      Alcotest.(check bool) "schema named in error" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "wrong schema accepted");
+  match of_json "{\"schema\": \"ccsim-bench/1\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing fields accepted"
+
+let test_diff_identical_ok () =
+  let s = snap () in
+  let v = diff ~baseline:s ~current:s () in
+  Alcotest.(check bool) "ok" true (ok v);
+  Alcotest.(check int) "no regressions" 0 (List.length v.v_regressions);
+  Alcotest.(check int) "no improvements" 0 (List.length v.v_improvements);
+  Alcotest.(check int) "no notes" 0 (List.length v.v_notes)
+
+(* The acceptance fixture: double every timing and the diff must flag
+   experiments, microbenches (CIs scaled along, so no overlap), and the
+   engine probe, and exit non-ok. *)
+let test_diff_flags_2x_slowdown () =
+  let s = snap () in
+  let slow =
+    {
+      s with
+      s_experiments =
+        List.map (fun e -> { e with e_wall_s = e.e_wall_s *. 2.0 }) s.s_experiments;
+      s_micro =
+        List.map
+          (fun m ->
+            {
+              m with
+              m_median_ns = m.m_median_ns *. 2.0;
+              m_ci_lo_ns = m.m_ci_lo_ns *. 2.0;
+              m_ci_hi_ns = m.m_ci_hi_ns *. 2.0;
+            })
+          s.s_micro;
+      s_engine =
+        Option.map (fun p -> { p with p_wall_s = p.p_wall_s *. 2.0 }) s.s_engine;
+    }
+  in
+  let v = diff ~baseline:s ~current:slow () in
+  Alcotest.(check bool) "regression detected" false (ok v);
+  (* 2 experiments + 1 micro + engine events/sec *)
+  Alcotest.(check int) "all four metrics flagged" 4
+    (List.length v.v_regressions);
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 1e-9))
+        (f.f_metric ^ " slowdown ratio")
+        2.0 f.f_slowdown)
+    v.v_regressions;
+  (* the mirror diff reports the same metrics as improvements and is ok *)
+  let v' = diff ~baseline:slow ~current:s () in
+  Alcotest.(check bool) "speedup is ok" true (ok v');
+  Alcotest.(check int) "improvements" 4 (List.length v'.v_improvements)
+
+let test_diff_ci_overlap_is_noise () =
+  let s = snap () in
+  (* median doubles but the intervals overlap: not a regression *)
+  let noisy =
+    {
+      s with
+      s_micro =
+        List.map
+          (fun m -> { m with m_median_ns = 2000.0; m_ci_hi_ns = 2500.0 })
+          s.s_micro;
+    }
+  in
+  let v = diff ~baseline:s ~current:noisy () in
+  Alcotest.(check bool) "overlapping CIs never regress" true (ok v)
+
+let test_diff_jitter_floor () =
+  let s = { (snap ()) with s_micro = []; s_engine = None } in
+  let tiny =
+    {
+      s with
+      s_experiments =
+        List.map (fun e -> { e with e_wall_s = 0.004 }) s.s_experiments;
+    }
+  in
+  let slower =
+    {
+      tiny with
+      s_experiments =
+        List.map (fun e -> { e with e_wall_s = 0.04 }) tiny.s_experiments;
+    }
+  in
+  (* 10x slower but both sides sit under the 50 ms jitter floor *)
+  let v = diff ~baseline:tiny ~current:slower () in
+  Alcotest.(check bool) "sub-jitter cells ignored" true (ok v)
+
+let test_diff_threshold_and_notes () =
+  let s = snap () in
+  let mild =
+    {
+      s with
+      s_host = "other-host";
+      s_ocaml = "5.2.0";
+      s_experiments =
+        List.map (fun e -> { e with e_wall_s = e.e_wall_s *. 1.2 }) s.s_experiments;
+      s_micro = [];
+      s_engine = None;
+    }
+  in
+  (* 20 % slowdown passes the default 25 % threshold... *)
+  let v = diff ~baseline:s ~current:mild () in
+  Alcotest.(check bool) "within threshold" true (ok v);
+  Alcotest.(check bool) "host/compiler mismatch noted" true
+    (List.length v.v_notes >= 2);
+  (* ...and fails a 10 % one *)
+  let v' = diff ~threshold:0.1 ~baseline:s ~current:mild () in
+  Alcotest.(check bool) "tighter threshold trips" false (ok v')
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json",
+        [
+          case "round-trip + validator" test_json_roundtrip;
+          case "engine=null round-trip" test_json_roundtrip_no_engine;
+          case "rejects malformed input" test_of_json_rejects;
+        ] );
+      ( "diff",
+        [
+          case "identical snapshots ok" test_diff_identical_ok;
+          case "2x slowdown flagged" test_diff_flags_2x_slowdown;
+          case "ci overlap is noise" test_diff_ci_overlap_is_noise;
+          case "jitter floor" test_diff_jitter_floor;
+          case "threshold + mismatch notes" test_diff_threshold_and_notes;
+        ] );
+    ]
