@@ -626,6 +626,16 @@ let chaos_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer commits per run.")
   in
+  let server_faults =
+    Arg.(
+      value & flag
+      & info [ "server-faults" ]
+          ~doc:
+            "Crash and recover the SERVER instead of the clients: plans \
+             from Fault.Plan.server_default (durable WAL, checkpoints, \
+             log replay), audited for durability — no acknowledged \
+             commit lost, no uncommitted update visible.")
+  in
   let unsafe =
     Arg.(
       value & flag
@@ -634,14 +644,17 @@ let chaos_cmd =
             "Deliberately disable commit validation to prove the audit \
              catches protocol violations (expected to FAIL).")
   in
-  let run seeds algos drop crash_mean quick unsafe jobs =
+  let run seeds algos drop crash_mean quick server_faults unsafe jobs =
     if seeds <= 0 then begin
       Printf.eprintf "ccsim: --seeds must be positive\n";
       exit 1
     end;
     let measured_commits = if quick then 150 else 400 in
     let plan seed =
-      let p = Fault.Plan.default ~seed in
+      let p =
+        if server_faults then Fault.Plan.server_default ~seed
+        else Fault.Plan.default ~seed
+      in
       let p =
         match drop with Some d -> { p with Fault.Plan.drop_prob = d } | None -> p
       in
@@ -709,10 +722,12 @@ let chaos_cmd =
          "Audit the consistency algorithms under seeded fault injection: \
           every run must stay serializable, reach its commit target, pass \
           the lock-table and cache-coherence sweeps, and recover every \
-          crashed client.")
+          crashed client.  With --server-faults the server itself crashes \
+          and recovers from its redo log, and every run must also pass \
+          the durability audit.")
     Term.(
-      const run $ seeds $ algos $ drop $ crash_mean $ quick $ unsafe
-      $ jobs_arg)
+      const run $ seeds $ algos $ drop $ crash_mean $ quick $ server_faults
+      $ unsafe $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim bench-diff                                                    *)

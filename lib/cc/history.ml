@@ -39,6 +39,7 @@ let add_commit t r =
   t.commits <- r :: t.commits
 
 let size t = List.length t.commits
+let commits t = List.rev t.commits
 
 type verdict = Serializable | Cycle of int list
 

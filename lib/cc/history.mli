@@ -31,6 +31,12 @@ val add_commit : t -> commit_record -> unit
 
 val size : t -> int
 
+(** Every committed transaction recorded so far, in commit order.  The
+    durability audit walks these against the server's redo log: each
+    acknowledged write must be durable, each version read must belong to
+    a durably committed writer. *)
+val commits : t -> commit_record list
+
 type verdict =
   | Serializable
   | Cycle of int list  (** xids on one cycle of the DSG *)

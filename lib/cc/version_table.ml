@@ -12,3 +12,8 @@ let bump t page =
 
 let is_current t ~page ~version = current t page = version
 let pages_updated t = Hashtbl.length t.versions
+let clear t = Hashtbl.reset t.versions
+let set t ~page ~version = Hashtbl.replace t.versions page version
+
+let snapshot t =
+  Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.versions [] |> List.sort compare

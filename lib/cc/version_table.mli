@@ -22,3 +22,13 @@ val is_current : t -> page:int -> version:int -> bool
 
 (** Number of pages ever updated. *)
 val pages_updated : t -> int
+
+(** Drop every version (server crash: the table is volatile). *)
+val clear : t -> unit
+
+(** [set t ~page ~version] installs a version directly — the recovery
+    path loading the committed-version map rebuilt from the redo log. *)
+val set : t -> page:int -> version:int -> unit
+
+(** Sorted [(page, version)] association list of every updated page. *)
+val snapshot : t -> (int * int) list

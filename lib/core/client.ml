@@ -43,6 +43,7 @@ type t = {
   mutable lease_deadline : float; (* retained state trusted until here *)
   mutable crash_requested : bool;
   mutable crashed : bool; (* down: the dispatcher drops every message *)
+  mutable srv_epoch : int; (* highest server epoch seen in a restart notice *)
   (* stats *)
   mutable n_commits : int;
   mutable n_restarts : int;
@@ -95,6 +96,7 @@ let create ?audit ?(fault = Fault.Plan.none) eng ~id ~cfg ~algo ~workload ~rng
     lease_deadline = infinity;
     crash_requested = false;
     crashed = false;
+    srv_epoch = 0;
     n_commits = 0;
     n_restarts = 0;
   }
@@ -183,8 +185,52 @@ let handle_async t = function
   | Proto.Update_push { page; version } -> handle_push t page version
   | Proto.Invalidate_page { page } -> handle_invalidate t page
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _
-  | Proto.Aborted _ ->
+  | Proto.Aborted _ | Proto.Server_restart _ ->
       assert false
+
+(* Per-protocol reconstruction on first sight of a new server epoch
+   (§ISSUE: server crash-recovery).  The server's lock table, callback
+   registrations and in-flight requests are gone:
+
+   - callback locking: every retained lock is void.  Dropping [retained]
+     is the re-registration step — the next access of each page misses
+     [local] and goes through the normal fetch path, which re-establishes
+     the server-side registration before the page is reused.
+   - locking protocols (2PL, callback, no-wait): a transaction that holds
+     (or believes it holds) locks aborts and re-acquires — unless it is
+     awaiting its commit verdict, which may already be durable; the
+     retransmission machinery gets the authoritative answer from the
+     recovered server's log.
+   - certification: nothing to do — commit-time validation against the
+     rebuilt version table is crash-proof by construction.
+
+   Runs on the dispatcher, so it must flag the main process rather than
+   raise.  The notice itself is best-effort (droppable): commit-time
+   read-set revalidation under server-crash plans is the backstop. *)
+let handle_server_restart t =
+  (match t.algo with
+  | Proto.Callback ->
+      Hashtbl.reset t.retained;
+      Hashtbl.reset t.pending_cb
+  | Proto.Two_phase _ | Proto.Certification _ | Proto.No_wait _ -> ());
+  let awaiting_commit =
+    match t.last_req with
+    | Some (Proto.Commit { xid; _ }) -> t.in_xact && xid = t.xid
+    | _ -> false
+  in
+  match t.algo with
+  | Proto.Certification _ -> ()
+  | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
+      if
+        t.in_xact
+        && (t.contacted || Hashtbl.length t.locked > 0)
+        && not awaiting_commit
+      then begin
+        t.abort_flag <- true;
+        (* wake the main process if it is blocked on a reply *)
+        Sim.Mailbox.send t.reply_box
+          (Proto.Aborted { xid = t.xid; stale_pages = [] })
+      end
 
 let dispatch t msg =
   if t.crashed then () (* a down workstation hears nothing *)
@@ -200,6 +246,11 @@ let dispatch t msg =
         t.abort_stale <- stale_pages @ t.abort_stale;
         (* wake the main process if it is blocked on a reply *)
         Sim.Mailbox.send t.reply_box msg
+      end
+  | Proto.Server_restart { epoch } ->
+      if epoch > t.srv_epoch then begin
+        t.srv_epoch <- epoch;
+        handle_server_restart t
       end
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _ ->
       Sim.Mailbox.send t.reply_box msg
@@ -231,7 +282,8 @@ let reply_xid = function
   | Proto.Commit_reply { xid; _ }
   | Proto.Aborted { xid; _ } ->
       xid
-  | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _ ->
+  | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _
+  | Proto.Server_restart _ ->
       -1
 
 let reply_req = function
@@ -240,7 +292,7 @@ let reply_req = function
   | Proto.Commit_reply { req; _ } ->
       req
   | Proto.Aborted _ | Proto.Callback_request _ | Proto.Update_push _
-  | Proto.Invalidate_page _ ->
+  | Proto.Invalidate_page _ | Proto.Server_restart _ ->
       -1
 
 (* [req] sequence numbers only advance under an active fault plan; without
@@ -666,6 +718,11 @@ let send_commit t ~read_set ~update_pages ~release_pages =
 
 let commit t =
   let updates = dirty_pages t in
+  (* Under server-crash plans every locking commit carries its read
+     snapshot: a crash may have voided the locks mid-transaction without
+     the (droppable) restart notice reaching us, so the server must
+     re-validate what we read.  Zero-server-fault plans never set this. *)
+  let srv_crashes = t.fault.Fault.Plan.server_crash_mean > 0.0 in
   match t.algo with
   | Proto.Two_phase _ | Proto.No_wait _ ->
       (* Under faults, no-wait's optimistic (fire-and-forget) reads are
@@ -675,6 +732,8 @@ let commit t =
       let read_set =
         match t.algo with
         | Proto.No_wait _ when t.faulty ->
+            Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.read_snap []
+        | Proto.Two_phase _ when srv_crashes ->
             Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.read_snap []
         | _ -> []
       in
@@ -698,11 +757,29 @@ let commit t =
       apply_new_versions t new_versions
   | Proto.Callback ->
       let release_pages = Hashtbl.fold (fun p () acc -> p :: acc) t.pending_cb [] in
-      if t.contacted || updates <> [] || release_pages <> [] then begin
-        let ok, new_versions, _ =
-          send_commit t ~read_set:[] ~update_pages:updates ~release_pages
+      (* a read-only commit served entirely from retained locks must still
+         contact the server when the server can crash: the retained locks
+         may be void (wiped by a crash whose restart notice was dropped),
+         and only server-side revalidation can tell *)
+      let must_validate = srv_crashes && Hashtbl.length t.read_snap > 0 in
+      if t.contacted || updates <> [] || release_pages <> [] || must_validate
+      then begin
+        let read_set =
+          if srv_crashes then
+            Hashtbl.fold (fun p v acc -> (p, v) :: acc) t.read_snap []
+          else []
         in
-        if not ok then raise Restart;
+        let ok, new_versions, stale =
+          send_commit t ~read_set ~update_pages:updates ~release_pages
+        in
+        if not ok then begin
+          (* failed revalidation: the server released every lock we held,
+             retained ones included — forget them and re-acquire *)
+          Hashtbl.reset t.retained;
+          Hashtbl.reset t.pending_cb;
+          List.iter (drop_page t) stale;
+          raise Restart
+        end;
         record_audit t ~new_versions;
         apply_new_versions t new_versions
       end

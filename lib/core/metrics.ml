@@ -26,6 +26,14 @@ type t = {
   mutable n_msgs_delayed : int;
   mutable n_msgs_duplicated : int;
   recovery : Sim.Stats.t;
+  (* server-fault availability counters (all zero unless the plan can
+     crash the server) *)
+  mutable n_server_crashes : int;
+  mutable n_server_recoveries : int;
+  mutable n_server_killed : int;
+  mutable n_checkpoints : int;
+  mutable server_downtime : float;
+  server_recovery : Sim.Stats.t;
 }
 
 let create eng =
@@ -54,6 +62,12 @@ let create eng =
     n_msgs_delayed = 0;
     n_msgs_duplicated = 0;
     recovery = Sim.Stats.create ();
+    n_server_crashes = 0;
+    n_server_recoveries = 0;
+    n_server_killed = 0;
+    n_checkpoints = 0;
+    server_downtime = 0.0;
+    server_recovery = Sim.Stats.create ();
   }
 
 let measure_start t = t.start
@@ -91,6 +105,17 @@ let record_lease_lapse t = t.n_lease_lapses <- t.n_lease_lapses + 1
 let record_msg_dropped t = t.n_msgs_dropped <- t.n_msgs_dropped + 1
 let record_msg_delayed t = t.n_msgs_delayed <- t.n_msgs_delayed + 1
 let record_msg_duplicated t = t.n_msgs_duplicated <- t.n_msgs_duplicated + 1
+
+let record_server_crash t ~killed =
+  t.n_server_crashes <- t.n_server_crashes + 1;
+  t.n_server_killed <- t.n_server_killed + killed
+
+let record_server_recovery t ~downtime ~recovery =
+  t.n_server_recoveries <- t.n_server_recoveries + 1;
+  t.server_downtime <- t.server_downtime +. downtime;
+  Sim.Stats.add t.server_recovery recovery
+
+let record_checkpoint t = t.n_checkpoints <- t.n_checkpoints + 1
 let total_commits t = t.n_total_commits
 let commits t = t.n_commits
 let aborts t = t.n_deadlock + t.n_stale + t.n_cert + t.n_lease
@@ -119,6 +144,12 @@ let msgs_dropped t = t.n_msgs_dropped
 let msgs_delayed t = t.n_msgs_delayed
 let msgs_duplicated t = t.n_msgs_duplicated
 let mean_recovery t = Sim.Stats.mean t.recovery
+let server_crashes t = t.n_server_crashes
+let server_recoveries t = t.n_server_recoveries
+let server_killed_xacts t = t.n_server_killed
+let checkpoints t = t.n_checkpoints
+let server_downtime t = t.server_downtime
+let mean_server_recovery t = Sim.Stats.mean t.server_recovery
 
 let throughput t ~now =
   let dt = now -. t.start in
@@ -146,4 +177,10 @@ let reset t =
   t.n_msgs_dropped <- 0;
   t.n_msgs_delayed <- 0;
   t.n_msgs_duplicated <- 0;
-  Sim.Stats.reset t.recovery
+  Sim.Stats.reset t.recovery;
+  t.n_server_crashes <- 0;
+  t.n_server_recoveries <- 0;
+  t.n_server_killed <- 0;
+  t.n_checkpoints <- 0;
+  t.server_downtime <- 0.0;
+  Sim.Stats.reset t.server_recovery

@@ -52,6 +52,20 @@ val record_msg_dropped : t -> unit
 val record_msg_delayed : t -> unit
 val record_msg_duplicated : t -> unit
 
+(** {1 Server-fault availability accounting}
+
+    All zero unless the plan can crash the server. *)
+
+(** The server crashed, killing [killed] in-flight transactions. *)
+val record_server_crash : t -> killed:int -> unit
+
+(** The server reopened after [downtime] total seconds of outage, of
+    which [recovery] seconds were spent replaying the log. *)
+val record_server_recovery : t -> downtime:float -> recovery:float -> unit
+
+(** The server forced a committed-version checkpoint to the log. *)
+val record_checkpoint : t -> unit
+
 (** Commits since the simulation (not the window) started — used for warmup
     and run-length control. *)
 val total_commits : t -> int
@@ -86,6 +100,20 @@ val msgs_duplicated : t -> int
 
 (** Mean client downtime over recorded recoveries (0 if none). *)
 val mean_recovery : t -> float
+
+val server_crashes : t -> int
+val server_recoveries : t -> int
+
+(** Transactions killed because the server lost them in a crash. *)
+val server_killed_xacts : t -> int
+
+val checkpoints : t -> int
+
+(** Total seconds the server was down in the window. *)
+val server_downtime : t -> float
+
+(** Mean log-replay time over recorded server recoveries (0 if none). *)
+val mean_server_recovery : t -> float
 
 (** Committed transactions per second of window time. *)
 val throughput : t -> now:float -> float

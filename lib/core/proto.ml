@@ -69,6 +69,7 @@ type s2c =
   | Callback_request of { page : int }
   | Update_push of { page : int; version : int }
   | Invalidate_page of { page : int }
+  | Server_restart of { epoch : int }
 
 (* 2^30 attempts per client is far beyond any simulation run *)
 let xid_stride = 1 lsl 30
@@ -95,7 +96,8 @@ let c2s_bytes ~control ~page_size = function
 let s2c_bytes ~control ~page_size = function
   | Fetch_reply { data; _ } | Cert_reply { data; _ } ->
       control + (page_size * List.length data)
-  | Commit_reply _ | Aborted _ | Callback_request _ | Invalidate_page _ ->
+  | Commit_reply _ | Aborted _ | Callback_request _ | Invalidate_page _
+  | Server_restart _ ->
       control
   | Update_push _ -> control + page_size
 

@@ -93,6 +93,10 @@ type s2c =
   | Update_push of { page : int; version : int }
       (** notification carrying the committed page image *)
   | Invalidate_page of { page : int }  (** notification without data *)
+  | Server_restart of { epoch : int }
+      (** the server crashed and recovered; its lock table, callback
+          registrations and buffer pool are gone.  Clients run their
+          per-protocol reconstruction on first sight of a new epoch *)
 
 (** [make_xid ~client ~seq] packs a client id and a per-client attempt
     counter into a globally unique transaction id. *)

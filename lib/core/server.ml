@@ -4,11 +4,29 @@ type client_link = {
   cache_view : Storage.Lru_pool.t;
 }
 
+exception
+  Server_invariant of { protocol : string; client : int; kind : string }
+
+let () =
+  Printexc.register_printer (function
+    | Server_invariant { protocol; client; kind } ->
+        Some
+          (Printf.sprintf
+             "Server_invariant { protocol = %s; client = %d; kind = %s }"
+             protocol client kind)
+    | _ -> None)
+
+(* Raised inside a handler when the server crashed under it: the request
+   dies silently, exactly like in-flight work lost in a real failure.
+   Never escapes [handle]. *)
+exception Server_down
+
 type grant = Lock_granted | Lock_aborted
 
 type xact = {
   x_xid : int;
   x_client : int;
+  x_epoch : int;  (* server epoch at admission; stale after a crash *)
   x_start : float;
   x_chain : Sim.Facility.t;  (* serializes this transaction's operations *)
   mutable x_aborted : bool;
@@ -31,7 +49,7 @@ type t = {
   log : Storage.Log_manager.t option;
   log_disk_dev : Storage.Disk.t option;
   buf : Storage.Lru_pool.t;
-  lock_table : Cc.Lock_table.t;
+  mutable lock_table : Cc.Lock_table.t;
   version_table : Cc.Version_table.t;
   mutable clients : client_link array;
   active : (int, xact) Hashtbl.t; (* by xid *)
@@ -47,10 +65,27 @@ type t = {
   faulty : bool; (* [Fault.Plan.active fault]: gates every recovery path *)
   completed : (int, Proto.s2c) Hashtbl.t; (* xid -> final commit reply *)
   last_heard : (int, float) Hashtbl.t; (* client -> last message arrival *)
+  (* server crash/recovery (inert unless the plan can crash the server) *)
+  srv_faulty : bool; (* [fault.server_crash_mean > 0]: typed logging on *)
+  mutable epoch : int; (* bumped at every crash; guards zombie handlers *)
+  mutable down : bool; (* down servers hear nothing *)
+  mutable down_since : float;
+  durable_commits : (int, unit) Hashtbl.t; (* rebuilt from the log *)
+  unforced_page : (int, int) Hashtbl.t;
+      (* page -> log index of the commit record behind its latest version,
+         while that record may still be in the buffered log tail (WAL read
+         rule: readers force the log before such a page is shipped) *)
 }
 
 let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
   Sys_params.validate cfg;
+  if
+    fault.Fault.Plan.server_crash_mean > 0.0
+    && cfg.Sys_params.n_log_disks <= 0
+  then
+    invalid_arg
+      "Server.create: a server-crash plan needs a log disk (n_log_disks > \
+       0), or committed state cannot survive the crash";
   let cpu =
     Sim.Facility.create eng ~name:"server-cpu" ~capacity:cfg.Sys_params.n_server_cpus ()
   in
@@ -100,6 +135,12 @@ let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
     faulty = Fault.Plan.active fault;
     completed = Hashtbl.create 1024;
     last_heard = Hashtbl.create 64;
+    srv_faulty = fault.Fault.Plan.server_crash_mean > 0.0;
+    epoch = 0;
+    down = false;
+    down_since = 0.0;
+    durable_commits = Hashtbl.create 64;
+    unforced_page = Hashtbl.create 64;
   }
 
 let register_clients t links = t.clients <- links
@@ -136,6 +177,8 @@ let describe_s2c = function
   | Proto.Callback_request { page } -> Printf.sprintf "callback request p%d" page
   | Proto.Update_push { page; _ } -> Printf.sprintf "update push p%d" page
   | Proto.Invalidate_page { page } -> Printf.sprintf "invalidate p%d" page
+  | Proto.Server_restart { epoch } ->
+      Printf.sprintf "server restarted (epoch %d)" epoch
 
 let send_to_client t cid msg =
   if Trace.active () then begin
@@ -167,6 +210,12 @@ let send_to_client t cid msg =
 
 let tombstoned t xid = Hashtbl.mem t.tombstones xid
 
+(* Epoch barrier for handler code resuming from a suspension point (a
+   disk access, a CPU charge, a facility queue): if the server crashed
+   meanwhile, this process is a zombie of a dead incarnation and must not
+   touch the rebuilt state. *)
+let barrier t (xs : xact) = if t.epoch <> xs.x_epoch then raise Server_down
+
 (* ------------------------------------------------------------------ *)
 (* MPL admission (ready queue of Figure 4)                             *)
 (* ------------------------------------------------------------------ *)
@@ -187,10 +236,14 @@ let admit t ~client ~xid =
             (* the slot was transferred by the closer: n_active unchanged *)
           end
           else t.n_active <- t.n_active + 1;
+          (match t.log with
+          | Some log when t.srv_faulty -> Storage.Log_manager.log_begin log ~xid
+          | Some _ | None -> ());
           let xs =
             {
               x_xid = xid;
               x_client = client;
+              x_epoch = t.epoch;
               x_start = Sim.Engine.now t.eng;
               x_chain =
                 Sim.Facility.create t.eng
@@ -237,11 +290,13 @@ let install_page t page ~dirty =
 (* Make [page] buffer-resident, joining any in-flight read for it (the
    paper's hot-spot argument: one I/O serves all concurrent readers). *)
 let rec ensure_resident t page =
+  let epoch0 = t.epoch in
   if Storage.Lru_pool.touch t.buf page then ()
   else
     match Hashtbl.find_opt t.in_flight page with
     | Some cond ->
         Sim.Condition.await cond;
+        if t.epoch <> epoch0 then raise Server_down;
         ensure_resident t page
     | None ->
         let cond = Sim.Condition.create t.eng in
@@ -250,7 +305,12 @@ let rec ensure_resident t page =
         if Trace.active () then
           Trace.emit (Sim.Engine.now t.eng) (Trace.Disk_read { page });
         Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1;
+        (* a crash while the I/O was in flight wiped [in_flight] and the
+           pool: the result must not pollute the new incarnation, and the
+           parked co-waiters of [cond] are zombies too — leave them *)
+        if t.epoch <> epoch0 then raise Server_down;
         install_page t page ~dirty:false;
+        if t.epoch <> epoch0 then raise Server_down;
         Hashtbl.remove t.in_flight page;
         ignore (Sim.Condition.broadcast cond)
 
@@ -262,6 +322,7 @@ let read_pages t pages =
   | [] -> ()
   | [ page ] -> ensure_resident t page
   | _ ->
+      let epoch0 = t.epoch in
       let misses =
         List.filter
           (fun p ->
@@ -289,8 +350,10 @@ let read_pages t pages =
           let seeks = Db.Database.seeks_for_pages t.db t.rng group in
           Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
           Storage.Disk.access t.disks.(d) ~seeks ~pages:(List.length group);
+          if t.epoch <> epoch0 then raise Server_down;
           List.iter (fun p -> install_page t p ~dirty:false) group)
         by_disk;
+      if t.epoch <> epoch0 then raise Server_down;
       List.iter
         (fun (p, c) ->
           Hashtbl.remove t.in_flight p;
@@ -308,20 +371,32 @@ let read_pages t pages =
 (* Undo any of the victim's updates that reached the buffer pool before
    commit; pages already forced to disk cost a read-modify-write. *)
 let undo_installed t xs =
+  (* every iteration crosses suspension points; if the server crashes
+     mid-undo the remaining work belongs to a dead incarnation *)
   List.iter
     (fun page ->
-      Comms.use_cpu t.sport t.cfg.Sys_params.server_proc_inst;
-      if Storage.Lru_pool.mem t.buf page then
-        ignore (Storage.Lru_pool.remove t.buf page)
-      else begin
-        Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
-        Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:2
+      if t.epoch = xs.x_epoch then begin
+        Comms.use_cpu t.sport t.cfg.Sys_params.server_proc_inst;
+        if t.epoch = xs.x_epoch then
+          if Storage.Lru_pool.mem t.buf page then
+            ignore (Storage.Lru_pool.remove t.buf page)
+          else begin
+            Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
+            Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:2
+          end
       end)
     xs.x_installed;
-  match t.log with
-  | Some log when xs.x_installed <> [] ->
-      Storage.Log_manager.force_abort log ~n_updates:(List.length xs.x_installed)
-  | Some _ | None -> ()
+  if t.epoch = xs.x_epoch then
+    match t.log with
+    | Some log when t.srv_faulty ->
+        (* crashable servers log every abort, even update-free ones, so
+           recovery can rebuild the tombstone set from durable records *)
+        Storage.Log_manager.force_abort ~xid:xs.x_xid log
+          ~n_updates:(List.length xs.x_installed)
+    | Some log when xs.x_installed <> [] ->
+        Storage.Log_manager.force_abort log
+          ~n_updates:(List.length xs.x_installed)
+    | Some _ | None -> ()
 
 let abort_xact t xs ~reason ~stale =
   if not xs.x_aborted then begin
@@ -393,7 +468,13 @@ let check_deadlock t ~requester =
         | None ->
             (* a retained-lock holder with no active transaction cannot be
                in a cycle (it has no outgoing wait edge) *)
-            assert false)
+            raise
+              (Server_invariant
+                 {
+                   protocol = Proto.algorithm_name t.algo;
+                   client = victim;
+                   kind = "deadlock-victim-without-active-transaction";
+                 }))
   in
   break ()
 
@@ -529,7 +610,10 @@ let acquire t xs ~page ~mode =
               Sim.Engine.spawn t.eng (fun () ->
                   let rec nag () =
                     Sim.Engine.hold t.fault.Fault.Plan.callback_retry;
-                    if (not (Sim.Ivar.is_filled cell)) && not xs.x_aborted
+                    if
+                      (not (Sim.Ivar.is_filled cell))
+                      && (not xs.x_aborted)
+                      && t.epoch = xs.x_epoch
                     then begin
                       List.iter
                         (fun (holder, _m) ->
@@ -552,6 +636,12 @@ let acquire t xs ~page ~mode =
         | Proto.No_wait _ ->
             if not xs.x_aborted then check_deadlock t ~requester:client);
         let r = Sim.Ivar.read cell in
+        if t.epoch <> xs.x_epoch then
+          (* the server crashed while we waited: the lock table that held
+             this request is gone, and [wait_since]/[x_waits] belong to
+             the new incarnation — touch nothing *)
+          Lock_aborted
+        else begin
         xs.x_waits <- List.filter (fun (_, c) -> not (c == cell)) xs.x_waits;
         if xs.x_waits = [] then Hashtbl.remove t.wait_since client;
         (match r with
@@ -572,14 +662,20 @@ let acquire t xs ~page ~mode =
               ~after:(Cc.Lock_table.held t.lock_table ~page client);
             Lock_granted
         | Lock_aborted -> Lock_aborted)
+        end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Handlers                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let with_chain xs f =
+let with_chain t xs f =
   Sim.Facility.request xs.x_chain;
+  (* the chain is a facility: queueing on it is a suspension point *)
+  if t.epoch <> xs.x_epoch then begin
+    Sim.Facility.release xs.x_chain;
+    raise Server_down
+  end;
   let finally () = Sim.Facility.release xs.x_chain in
   match f () with
   | v ->
@@ -607,18 +703,57 @@ let finished_reply t xid =
 
 (* In-chain guard: a duplicate that queued on the transaction's chain
    behind the handler that finished it would otherwise run against a
-   closed transaction's stale state. *)
-let still_open t xs = (not xs.x_aborted) && Hashtbl.mem t.active xs.x_xid
+   closed transaction's stale state.  The epoch test also fences zombies:
+   after a crash the same xid may be re-admitted as a fresh xact, so
+   membership of [t.active] alone would let the dead incarnation through. *)
+let still_open t xs =
+  t.epoch = xs.x_epoch
+  && (not xs.x_aborted)
+  && Hashtbl.mem t.active xs.x_xid
+
+(* WAL read rule: a page whose latest committed version is still in the
+   buffered log tail must not be shipped to a reader — the reader forces
+   the log first (group commit), charged one sequential log page.  Every
+   version a client ever observes is therefore durable, so a crash can
+   never erase an observed version, and the version numbers recovery
+   re-issues can never collide with one a client still holds. *)
+let await_pages_durable t xs pages =
+  match t.log with
+  | Some log when t.srv_faulty ->
+      let pending page =
+        match Hashtbl.find_opt t.unforced_page page with
+        | Some lsn ->
+            if lsn < Storage.Log_manager.durable_records log then begin
+              Hashtbl.remove t.unforced_page page;
+              false
+            end
+            else true
+        | None -> false
+      in
+      if List.exists pending pages then begin
+        Storage.Log_manager.force_pending log;
+        barrier t xs
+      end
+  | Some _ | None -> ()
+
+(* Remember, for the WAL read rule above, which pages' latest versions
+   ride in the log tail the [append_commit] that was just buffered. *)
+let note_unforced t log new_versions =
+  let lsn = Storage.Log_manager.records_logged log - 1 in
+  List.iter
+    (fun (page, _) -> Hashtbl.replace t.unforced_page page lsn)
+    new_versions
 
 let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
   if tombstoned t xid then begin
     if not no_wait then
       send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
   end
-  else if finished_reply t xid <> None then ()
+  else if finished_reply t xid <> None || Hashtbl.mem t.durable_commits xid
+  then ()
   else begin
     let xs = admit t ~client ~xid in
-    with_chain xs (fun () ->
+    with_chain t xs (fun () ->
         if not (still_open t xs) then ()
         else begin
           (* lock every page of the object first, then read the stale and
@@ -647,6 +782,7 @@ let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
           | `Abort_handled -> ()
           | `Ok data ->
               read_pages t (List.map fst data);
+              await_pages_durable t xs (List.map fst data);
               if not xs.x_aborted then begin
                 charge_pages_sent t (List.length data);
                 if not no_wait then
@@ -658,10 +794,11 @@ let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
 let handle_cert_read t ~client ~xid ~req ~pages =
   if tombstoned t xid then
     send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
-  else if finished_reply t xid <> None then ()
+  else if finished_reply t xid <> None || Hashtbl.mem t.durable_commits xid
+  then ()
   else begin
     let xs = admit t ~client ~xid in
-    with_chain xs (fun () ->
+    with_chain t xs (fun () ->
         if not (still_open t xs) then ()
         else begin
           let data =
@@ -674,6 +811,7 @@ let handle_cert_read t ~client ~xid ~req ~pages =
               pages
           in
           read_pages t (List.map fst data);
+          await_pages_durable t xs (List.map fst data);
           charge_pages_sent t (List.length data);
           send_to_client t client (Proto.Cert_reply { xid; req; data })
         end)
@@ -707,12 +845,28 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
     let new_versions =
       List.map (fun p -> (p, Cc.Version_table.bump t.version_table p)) update_pages
     in
-    charge_updates_received t (List.length update_pages);
     (match t.log with
-    | Some log when update_pages <> [] ->
+    | Some log when t.srv_faulty ->
+        (* append in the same atomic step as the bump: a reader that
+           fetches these versions and forces its own commit makes this
+           one durable too (group commit), so a durable commit can never
+           depend on a write a crash would lose.  Crashable servers log
+           every commit (read-only ones too) so a lost reply can be
+           rebuilt from the durable log. *)
+        Storage.Log_manager.append_commit log ~xid ~updates:new_versions;
+        note_unforced t log new_versions
+    | Some _ | None -> ());
+    charge_updates_received t (List.length update_pages);
+    barrier t xs;
+    (match t.log with
+    | Some log when t.srv_faulty || update_pages <> [] ->
         Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
     | Some _ | None -> ());
-    List.iter (fun p -> install_page t p ~dirty:true) update_pages;
+    barrier t xs;
+    List.iter
+      (fun p -> if t.epoch = xs.x_epoch then install_page t p ~dirty:true)
+      update_pages;
+    barrier t xs;
     let reply =
       Proto.Commit_reply { xid; req; ok = true; new_versions; stale_pages = [] }
     in
@@ -768,29 +922,44 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
   end
   else begin
   (* when validation ran, bump before any suspension point so no competing
-     commit can slip between the version check and the version advance *)
-  let validated_versions =
-    if read_set = [] then None
+     commit can slip between the version check and the version advance; a
+     crashable server also bumps here so the appended update records carry
+     the committed versions (group commit: the append rides out with the
+     next force by anyone, never later than our own below) *)
+  let logged_versions =
+    if read_set = [] && not t.srv_faulty then None
     else
       Some
         (List.map
            (fun p -> (p, Cc.Version_table.bump t.version_table p))
            update_pages)
   in
+  (match (t.log, logged_versions) with
+  | Some log, Some nv when t.srv_faulty ->
+      Storage.Log_manager.append_commit log ~xid ~updates:nv;
+      note_unforced t log nv
+  | _ -> ());
   charge_updates_received t (List.length update_pages);
+  barrier t xs;
+  (* crashable servers force every commit (read-only ones too), so a lost
+     reply can be rebuilt from the durable record *)
   (match t.log with
-  | Some log when update_pages <> [] ->
+  | Some log when t.srv_faulty || update_pages <> [] ->
       Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
   | Some _ | None -> ());
+  barrier t xs;
   let new_versions =
-    match validated_versions with
+    match logged_versions with
     | Some nv -> nv
     | None ->
         List.map
           (fun p -> (p, Cc.Version_table.bump t.version_table p))
           update_pages
   in
-  List.iter (fun p -> install_page t p ~dirty:true) update_pages;
+  List.iter
+    (fun p -> if t.epoch = xs.x_epoch then install_page t p ~dirty:true)
+    update_pages;
+  barrier t xs;
   (match t.algo with
   | Proto.Callback ->
       (* give up the pages whose callbacks the client deferred; keep
@@ -808,7 +977,15 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
           (Cc.Lock_table.pages_held_by t.lock_table client)
   | Proto.Two_phase _ | Proto.No_wait _ ->
       ignore (Cc.Lock_table.release_all t.lock_table client)
-  | Proto.Certification _ -> assert false);
+  | Proto.Certification _ ->
+      (* certification commits are dispatched to [commit_certification] *)
+      raise
+        (Server_invariant
+           {
+             protocol = Proto.algorithm_name t.algo;
+             client;
+             kind = "locking-commit-under-certification";
+           }));
   let reply =
     Proto.Commit_reply { xid; req; ok = true; new_versions; stale_pages = [] }
   in
@@ -839,9 +1016,32 @@ let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages =
     | Some reply ->
         (* the commit already ran; its reply was lost — replay it verbatim *)
         send_to_client t client reply
+    | None when Hashtbl.mem t.durable_commits xid -> (
+        (* the commit became durable before a server crash wiped
+           [completed]: rebuild the lost reply from the log.  [req] comes
+           from the retransmission, so the client's request pairing holds *)
+        match t.log with
+        | Some log -> (
+            match Storage.Log_manager.durable_commit_updates log ~xid with
+            | Some new_versions ->
+                let reply =
+                  Proto.Commit_reply
+                    { xid; req; ok = true; new_versions; stale_pages = [] }
+                in
+                remember_reply t xid reply;
+                send_to_client t client reply
+            | None ->
+                raise
+                  (Server_invariant
+                     {
+                       protocol = Proto.algorithm_name t.algo;
+                       client;
+                       kind = "durable-commit-without-log-record";
+                     }))
+        | None -> ())
     | None ->
         let xs = admit t ~client ~xid in
-        with_chain xs (fun () ->
+        with_chain t xs (fun () ->
             if not (still_open t xs) then begin
               (* a duplicate queued behind the handler that finished the
                  transaction: replay the recorded verdict, if any *)
@@ -859,9 +1059,13 @@ let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages =
                     ~release_pages)
 
 let handle_dirty_evict t ~client ~xid ~page =
-  if (not (tombstoned t xid)) && finished_reply t xid = None then begin
+  if
+    (not (tombstoned t xid))
+    && finished_reply t xid = None
+    && not (Hashtbl.mem t.durable_commits xid)
+  then begin
     let xs = admit t ~client ~xid in
-    with_chain xs (fun () ->
+    with_chain t xs (fun () ->
         if still_open t xs then begin
           charge_updates_received t 1;
           install_page t page ~dirty:true;
@@ -911,6 +1115,84 @@ let lease_sweep t =
       then reclaim_client t ~client:cid)
     (List.sort Int.compare silent)
 
+(* ------------------------------------------------------------------ *)
+(* Server crash and recovery                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop every piece of volatile state, instantaneously (no suspension
+   point: nothing can observe a half-crashed server).  Handler processes
+   suspended across the crash are fenced by the epoch bump; processes
+   parked on wiped ivars/conditions never resume at all. *)
+let crash_server t =
+  let killed = t.n_active in
+  Metrics.record_server_crash t.metrics ~killed;
+  if Trace.active () then
+    Trace.emit (Sim.Engine.now t.eng) (Trace.Server_crash { killed });
+  t.epoch <- t.epoch + 1;
+  t.down <- true;
+  t.down_since <- Sim.Engine.now t.eng;
+  Option.iter Storage.Log_manager.crash t.log;
+  Storage.Lru_pool.clear t.buf;
+  t.lock_table <- Cc.Lock_table.create ();
+  Cc.Version_table.clear t.version_table;
+  Hashtbl.reset t.active;
+  Hashtbl.reset t.active_by_client;
+  Hashtbl.reset t.admitting;
+  Hashtbl.reset t.tombstones;
+  Hashtbl.reset t.in_flight;
+  Hashtbl.reset t.wait_since;
+  Hashtbl.reset t.completed;
+  Hashtbl.reset t.last_heard;
+  Hashtbl.reset t.durable_commits;
+  Hashtbl.reset t.unforced_page;
+  t.n_active <- 0;
+  Queue.clear t.ready
+
+(* Replay the durable log from the last checkpoint (paying the log-disk
+   read-back), reload the committed page-version map, and rebuild the
+   bookkeeping that outlives [completed]: tombstones from durable aborts,
+   the durable-commit set from durable commits.  Ends with a best-effort
+   restart broadcast — droppable; commit-time revalidation and the
+   tombstone/durable-commit tables are the reliable backstop. *)
+let recover_server t =
+  let replay_start = Sim.Engine.now t.eng in
+  (match t.log with
+  | Some log ->
+      let scratch = Hashtbl.create 256 in
+      let stats = Storage.Log_manager.replay log ~into:scratch in
+      let versions =
+        Hashtbl.fold (fun p v acc -> (p, v) :: acc) scratch []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (page, version) ->
+          Cc.Version_table.set t.version_table ~page ~version)
+        versions;
+      List.iter
+        (fun (xid, committed) ->
+          if committed then Hashtbl.replace t.durable_commits xid ()
+          else Hashtbl.replace t.tombstones xid ())
+        (Storage.Log_manager.durable_outcomes log);
+      if Trace.active () then
+        Trace.emit (Sim.Engine.now t.eng)
+          (Trace.Log_replayed
+             {
+               records = stats.Storage.Log_manager.records_replayed;
+               pages = stats.Storage.Log_manager.pages_read;
+             })
+  | None -> ());
+  t.down <- false;
+  let now = Sim.Engine.now t.eng in
+  let recovery = now -. replay_start in
+  let downtime = now -. t.down_since in
+  Metrics.record_server_recovery t.metrics ~downtime ~recovery;
+  if Trace.active () then
+    Trace.emit now (Trace.Server_recover { downtime; recovery });
+  Array.iteri
+    (fun cid _ ->
+      send_to_client t cid (Proto.Server_restart { epoch = t.epoch }))
+    t.clients
+
 let start t =
   if t.faulty && t.fault.Fault.Plan.lease > 0.0 then
     Sim.Engine.spawn t.eng ~name:"lease-sweep" (fun () ->
@@ -919,9 +1201,41 @@ let start t =
           lease_sweep t;
           loop ()
         in
-        loop ())
+        loop ());
+  if t.srv_faulty then begin
+    let srng = Fault.Injector.server_stream t.fault in
+    Sim.Engine.spawn t.eng ~name:"server-gremlin" (fun () ->
+        let rec loop () =
+          Sim.Engine.hold
+            (Sim.Rng.exponential srng
+               ~mean:t.fault.Fault.Plan.server_crash_mean);
+          crash_server t;
+          Sim.Engine.hold
+            (Float.max 1e-4
+               (Sim.Rng.exponential srng
+                  ~mean:t.fault.Fault.Plan.server_restart_mean));
+          recover_server t;
+          loop ()
+        in
+        loop ());
+    if t.fault.Fault.Plan.checkpoint_interval > 0.0 then
+      Sim.Engine.spawn t.eng ~name:"server-checkpoint" (fun () ->
+          let rec loop () =
+            Sim.Engine.hold t.fault.Fault.Plan.checkpoint_interval;
+            (match t.log with
+            | Some log when not t.down ->
+                Metrics.record_checkpoint t.metrics;
+                let versions = Storage.Log_manager.checkpoint log in
+                if Trace.active () then
+                  Trace.emit (Sim.Engine.now t.eng)
+                    (Trace.Checkpoint { versions })
+            | Some _ | None -> ());
+            loop ()
+          in
+          loop ())
+  end
 
-let handle t = function
+let handle_msg t = function
   | Proto.Fetch { client; xid; req; mode; pages; no_wait } ->
       handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait
   | Proto.Cert_read { client; xid; req; pages } ->
@@ -938,7 +1252,20 @@ let handle t = function
          sweep is the reliable backstop) *)
       reclaim_client t ~client
 
+let handle t msg =
+  (* a handler overtaken by a server crash dies silently, like any other
+     in-flight work lost in the failure; the client-side timeout machinery
+     owns the retry *)
+  try handle_msg t msg with Server_down -> ()
+
 let deliver t msg =
-  if t.faulty then
-    Hashtbl.replace t.last_heard (Proto.c2s_client msg) (Sim.Engine.now t.eng);
-  Sim.Engine.spawn t.eng (fun () -> handle t msg)
+  if t.down then () (* a dead server hears nothing; clients retransmit *)
+  else begin
+    if t.faulty then
+      Hashtbl.replace t.last_heard (Proto.c2s_client msg) (Sim.Engine.now t.eng);
+    Sim.Engine.spawn t.eng (fun () -> handle t msg)
+  end
+
+let server_epoch t = t.epoch
+let server_down t = t.down
+let log_manager t = t.log

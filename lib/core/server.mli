@@ -15,6 +15,13 @@
 
 type t
 
+(** A broken server-side invariant: the protocol under which it broke,
+    the client whose request exposed it, and which invariant it was.
+    Replaces what used to be bare [assert false] branches, so a violation
+    in a long chaos run says {e what} died instead of a file/line pair. *)
+exception
+  Server_invariant of { protocol : string; client : int; kind : string }
+
 (** How the server reaches one client: its CPU endpoint, its inbox, and a
     read-only view of its cache (the notification directory — see
     DESIGN.md on why consulting it costs nothing). *)
@@ -44,8 +51,16 @@ val create :
 (** Must be called once, before any message is delivered. *)
 val register_clients : t -> client_link array -> unit
 
-(** Start background services (the lease-reclamation sweep).  A no-op
-    unless the fault plan is active with a positive lease. *)
+(** Start background services: the lease-reclamation sweep (fault plans
+    with a positive lease), and — when the plan can crash the server —
+    the crash/restart gremlin and the periodic checkpointer.  A server
+    crash drops all volatile state (lock table, version table, buffer
+    pool, admission queues, in-flight requests) instantaneously; recovery
+    replays the durable redo log from the last checkpoint, paying the
+    log-disk read-back, then broadcasts [Proto.Server_restart] so clients
+    can run their per-protocol reconstruction.  Handler processes caught
+    mid-flight by a crash are fenced by an epoch counter and die
+    silently.  A no-op for inert plans. *)
 val start : t -> unit
 
 (** The server CPU endpoint (for charging inbound messages). *)
@@ -66,3 +81,14 @@ val ready_queue_length : t -> int
 val cpu_utilization : t -> float
 val mean_disk_utilization : t -> float
 val reset_stats : t -> unit
+
+(** Crash count so far (0 until the first crash).  Bumped atomically at
+    each crash; transactions admitted under an older epoch are dead. *)
+val server_epoch : t -> int
+
+(** Is the server currently crashed (between crash and recovery)? *)
+val server_down : t -> bool
+
+(** The redo log, when a log disk is configured — the durability audit's
+    ground truth ({!Storage.Log_manager.committed_versions}). *)
+val log_manager : t -> Storage.Log_manager.t option

@@ -68,6 +68,13 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;
+  (* server availability (all zero unless the plan crashes the server) *)
+  server_crashes : int;
+  server_recoveries : int;
+  server_killed_xacts : int;
+  checkpoints : int;
+  server_downtime : float;
+  mean_server_recovery : float;
   (* per-replication point estimates, in seed order (singletons for a
      single run): the raw material for replication confidence intervals.
      Purely additive — every pooled scalar above is computed exactly as
@@ -396,6 +403,12 @@ let run_with_stats ?audit ?inspect spec =
     msgs_delayed = Metrics.msgs_delayed metrics;
     msgs_duplicated = Metrics.msgs_duplicated metrics;
     mean_recovery = Metrics.mean_recovery metrics;
+    server_crashes = Metrics.server_crashes metrics;
+    server_recoveries = Metrics.server_recoveries metrics;
+    server_killed_xacts = Metrics.server_killed_xacts metrics;
+    checkpoints = Metrics.checkpoints metrics;
+    server_downtime = Metrics.server_downtime metrics;
+    mean_server_recovery = Metrics.mean_server_recovery metrics;
     rep_mean_responses = [| Metrics.mean_response metrics |];
     rep_throughputs = [| Metrics.throughput metrics ~now |];
     obs = obs_payload;
@@ -494,6 +507,22 @@ let run_replicated ?(jobs = 1) spec ~reps =
              (fun a r -> a +. (r.mean_recovery *. float_of_int r.recoveries))
              0.0 results
            /. float_of_int recs);
+      server_crashes = isum (fun r -> r.server_crashes);
+      server_recoveries = isum (fun r -> r.server_recoveries);
+      server_killed_xacts = isum (fun r -> r.server_killed_xacts);
+      checkpoints = isum (fun r -> r.checkpoints);
+      (* total seconds of outage across replications, like the counters *)
+      server_downtime =
+        List.fold_left (fun a r -> a +. r.server_downtime) 0.0 results;
+      mean_server_recovery =
+        (let recs = isum (fun r -> r.server_recoveries) in
+         if recs = 0 then 0.0
+         else
+           List.fold_left
+             (fun a r ->
+               a +. (r.mean_server_recovery *. float_of_int r.server_recoveries))
+             0.0 results
+           /. float_of_int recs);
       rep_mean_responses =
         Array.of_list (List.map (fun r -> r.mean_response) results);
       rep_throughputs =
@@ -529,4 +558,10 @@ let pp_result fmt r =
       " | faults: drops=%d dups=%d retries=%d crashes=%d recovered=%d \
        (%.3fs avg) lost=%d lease-aborts=%d reclaimed=%d"
       r.msgs_dropped r.msgs_duplicated r.retries r.crashes r.recoveries
-      r.mean_recovery r.lost_xacts r.aborts_lease r.reclaimed_locks
+      r.mean_recovery r.lost_xacts r.aborts_lease r.reclaimed_locks;
+  if r.server_crashes > 0 then
+    Format.fprintf fmt
+      " | server: crashes=%d recovered=%d killed=%d ckpts=%d down=%.3fs \
+       replay=%.4fs avg"
+      r.server_crashes r.server_recoveries r.server_killed_xacts r.checkpoints
+      r.server_downtime r.mean_server_recovery

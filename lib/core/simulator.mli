@@ -86,6 +86,16 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;  (** mean crash-to-recovery downtime, seconds *)
+  server_crashes : int;  (** server failures (plans with server faults) *)
+  server_recoveries : int;
+  server_killed_xacts : int;
+      (** in-flight transactions killed by server crashes *)
+  checkpoints : int;  (** redo-log checkpoints taken *)
+  server_downtime : float;
+      (** total seconds the server was unavailable (summed over
+          replications in {!run_replicated}) *)
+  mean_server_recovery : float;
+      (** mean log-replay time per recovery, seconds *)
   rep_mean_responses : float array;
       (** each replication's mean response time, in seed order (a
           singleton for a single run) — the raw material for

@@ -31,6 +31,10 @@ type event = Obs.Event.t =
   | Client_recover of { client : int; downtime : float }
   | Lock_reclaimed of { client : int; pages : int list }
   | Retransmit of { client : int; xid : int }
+  | Server_crash of { killed : int }
+  | Server_recover of { downtime : float; recovery : float }
+  | Checkpoint of { versions : int }
+  | Log_replayed of { records : int; pages : int }
 
 val event_to_string : event -> string
 

@@ -55,23 +55,46 @@ let audit_run (sp : Core.Simulator.spec) =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   let clients_down = ref 0 in
+  let srv = sp.Core.Simulator.fault.Fault.Plan.server_crash_mean > 0.0 in
+  let server_down_at_end = ref false in
+  let redo_log = ref None in
   let inspect server clients =
+    server_down_at_end := Core.Server.server_down server;
+    redo_log := Core.Server.log_manager server;
     (* lock-table structural invariants *)
     (try Cc.Lock_table.check_invariants (Core.Server.locks server)
      with Failure m -> err "lock table: %s" m);
     (* cache coherence: no client may cache a version the server has not
-       installed yet *)
+       installed yet.  Under server-crash plans a client can legitimately
+       cache an orphaned pre-crash version (bumped but never durable, so
+       absent from the replayed table) — there the guarantee is carried
+       by the durability checks against the redo log instead. *)
     let vt = Core.Server.versions server in
-    Array.iteri
-      (fun cid c ->
+    if not srv then
+      Array.iteri
+        (fun cid c ->
+          List.iter
+            (fun (page, v) ->
+              let cur = Cc.Version_table.current vt page in
+              if v > cur then
+                err "client %d caches p%d@v%d ahead of server v%d" cid page v
+                  cur)
+            (Core.Client.cached_versions c))
+        clients;
+    (* no committed update lost: every page version the durable log proves
+       committed must be present (or superseded) in the recovered server's
+       version table.  Skipped while the server is down — its volatile
+       table is empty until the next replay. *)
+    (match !redo_log with
+    | Some log when srv && not !server_down_at_end ->
         List.iter
           (fun (page, v) ->
             let cur = Cc.Version_table.current vt page in
-            if v > cur then
-              err "client %d caches p%d@v%d ahead of server v%d" cid page v
-                cur)
-          (Core.Client.cached_versions c))
-      clients;
+            if cur < v then
+              err "durability: committed p%d@v%d lost (server table at v%d)"
+                page v cur)
+          (Storage.Log_manager.committed_versions log)
+    | Some _ | None -> ());
     clients_down :=
       Array.fold_left
         (fun a c -> if Core.Client.crashed c then a + 1 else a)
@@ -104,6 +127,66 @@ let audit_run (sp : Core.Simulator.spec) =
              clients down at end"
           r.Core.Simulator.crashes r.Core.Simulator.recoveries outstanding
           !clients_down;
+      if srv then begin
+        (* server crash bookkeeping: down at the end iff one crash is
+           still inside its restart delay *)
+        let s_out =
+          r.Core.Simulator.server_crashes - r.Core.Simulator.server_recoveries
+        in
+        let down_now = if !server_down_at_end then 1 else 0 in
+        if s_out <> down_now then
+          err
+            "server crash bookkeeping: %d crashes - %d recoveries but \
+             server %s at end"
+            r.Core.Simulator.server_crashes r.Core.Simulator.server_recoveries
+            (if !server_down_at_end then "down" else "up");
+        (* the durability audit proper: walk every acknowledged commit in
+           the history against the durable redo log *)
+        match !redo_log with
+        | None -> err "durability: server-crash plan ran without a redo log"
+        | Some log ->
+            let pair_set = Hashtbl.create 1024 in
+            List.iter
+              (fun pv -> Hashtbl.replace pair_set pv ())
+              (Storage.Log_manager.durable_committed_pairs log);
+            List.iter
+              (fun (cr : Cc.History.commit_record) ->
+                (* no acknowledged update may be lost: the client saw ok,
+                   so the commit record and all its updates are durable *)
+                if cr.Cc.History.writes <> [] then begin
+                  match
+                    Storage.Log_manager.durable_commit_updates log
+                      ~xid:cr.Cc.History.xid
+                  with
+                  | None ->
+                      err
+                        "durability: acknowledged commit x%d has no \
+                         durable commit record"
+                        cr.Cc.History.xid
+                  | Some ups ->
+                      List.iter
+                        (fun (p, v) ->
+                          if not (List.mem (p, v) ups) then
+                            err
+                              "durability: acknowledged write p%d@v%d of \
+                               x%d missing from durable log"
+                              p v cr.Cc.History.xid)
+                        cr.Cc.History.writes
+                end;
+                (* no uncommitted update may be visible: every version a
+                   committed transaction read was durably committed by its
+                   writer (group commit guarantees the writer's records
+                   were forced no later than this reader's) *)
+                List.iter
+                  (fun (p, v) ->
+                    if v > 0 && not (Hashtbl.mem pair_set (p, v)) then
+                      err
+                        "durability: x%d committed after reading \
+                         uncommitted p%d@v%d"
+                        cr.Cc.History.xid p v)
+                  cr.Cc.History.reads)
+              (Cc.History.commits audit)
+      end;
       {
         v_algo = sp.Core.Simulator.algo;
         v_plan = sp.Core.Simulator.fault;
@@ -156,7 +239,11 @@ let pp_verdict fmt v =
         name v.v_plan.Fault.Plan.seed r.Core.Simulator.commits
         r.Core.Simulator.aborts r.Core.Simulator.retries
         r.Core.Simulator.crashes r.Core.Simulator.recoveries
-        r.Core.Simulator.msgs_dropped
+        r.Core.Simulator.msgs_dropped;
+      if r.Core.Simulator.server_crashes > 0 then
+        Format.fprintf fmt " srv_crashes=%d ckpts=%d down=%.1fs"
+          r.Core.Simulator.server_crashes r.Core.Simulator.checkpoints
+          r.Core.Simulator.server_downtime
   | errs ->
       Format.fprintf fmt "FAIL %-14s seed=%-6d plan={%s}" name
         v.v_plan.Fault.Plan.seed

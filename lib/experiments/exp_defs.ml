@@ -121,6 +121,12 @@ let placeholder_result (s : Core.Simulator.spec) : Core.Simulator.result =
     msgs_delayed = 0;
     msgs_duplicated = 0;
     mean_recovery = 0.0;
+    server_crashes = 0;
+    server_recoveries = 0;
+    server_killed_xacts = 0;
+    checkpoints = 0;
+    server_downtime = 0.0;
+    mean_server_recovery = 0.0;
     rep_mean_responses = [||];
     rep_throughputs = [||];
     obs = None;

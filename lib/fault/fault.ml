@@ -7,6 +7,9 @@ module Plan = struct
     dup_prob : float;
     crash_mean : float;
     restart_mean : float;
+    server_crash_mean : float;
+    server_restart_mean : float;
+    checkpoint_interval : float;
     req_timeout : float;
     max_backoff : float;
     lease : float;
@@ -23,6 +26,9 @@ module Plan = struct
       dup_prob = 0.0;
       crash_mean = 0.0;
       restart_mean = 0.0;
+      server_crash_mean = 0.0;
+      server_restart_mean = 0.0;
+      checkpoint_interval = 0.0;
       req_timeout = 0.0;
       max_backoff = 0.0;
       lease = 0.0;
@@ -32,7 +38,7 @@ module Plan = struct
 
   let active t =
     t.drop_prob > 0.0 || t.delay_prob > 0.0 || t.dup_prob > 0.0
-    || t.crash_mean > 0.0
+    || t.crash_mean > 0.0 || t.server_crash_mean > 0.0
 
   let default ~seed =
     {
@@ -43,11 +49,33 @@ module Plan = struct
       dup_prob = 0.02;
       crash_mean = 150.0;
       restart_mean = 1.0;
+      server_crash_mean = 0.0;
+      server_restart_mean = 0.0;
+      checkpoint_interval = 0.0;
       req_timeout = 1.0;
       max_backoff = 8.0;
       lease = 10.0;
       callback_retry = 1.0;
       unsafe_skip_validation = false;
+    }
+
+  let server_default ~seed =
+    {
+      (default ~seed) with
+      (* quiet network: isolate the server-fault dimension so durability
+         failures shrink to the server knobs, not the message gremlins *)
+      drop_prob = 0.0;
+      delay_prob = 0.0;
+      delay_mean = 0.0;
+      dup_prob = 0.0;
+      crash_mean = 0.0;
+      restart_mean = 0.0;
+      (* frequent enough that even a short audit run sees several
+         crash/replay cycles (a 150-commit chaos run is ~30 simulated
+         seconds) *)
+      server_crash_mean = 8.0;
+      server_restart_mean = 0.5;
+      checkpoint_interval = 5.0;
     }
 
   let validate t =
@@ -65,6 +93,9 @@ module Plan = struct
     non_neg "delay_mean" t.delay_mean;
     non_neg "crash_mean" t.crash_mean;
     non_neg "restart_mean" t.restart_mean;
+    non_neg "server_crash_mean" t.server_crash_mean;
+    non_neg "server_restart_mean" t.server_restart_mean;
+    non_neg "checkpoint_interval" t.checkpoint_interval;
     non_neg "req_timeout" t.req_timeout;
     non_neg "max_backoff" t.max_backoff;
     non_neg "lease" t.lease;
@@ -76,16 +107,23 @@ module Plan = struct
     if t.crash_mean > 0.0 && t.drop_prob > 0.0 && t.lease <= 0.0 then
       invalid_arg
         "Fault.Plan: crashes under message loss need lease > 0 (the \
-         recovery notice is droppable; only the lease sweep is reliable)"
+         recovery notice is droppable; only the lease sweep is reliable)";
+    if t.checkpoint_interval > 0.0 && t.server_crash_mean <= 0.0 then
+      invalid_arg
+        "Fault.Plan: checkpoint_interval without server crashes is dead \
+         weight (set server_crash_mean > 0 or checkpoint_interval = 0)"
 
   let to_string t =
     if not (active t) then "none"
     else
       Printf.sprintf
         "seed=%d drop=%g delay=%g~%gs dup=%g crash~%gs restart~%gs \
-         timeout=%g..%gs lease=%gs nag=%gs%s"
+         srv-crash~%gs srv-restart~%gs ckpt=%gs timeout=%g..%gs lease=%gs \
+         nag=%gs%s"
         t.seed t.drop_prob t.delay_prob t.delay_mean t.dup_prob t.crash_mean
-        t.restart_mean t.req_timeout t.max_backoff t.lease t.callback_retry
+        t.restart_mean t.server_crash_mean t.server_restart_mean
+        t.checkpoint_interval t.req_timeout t.max_backoff t.lease
+        t.callback_retry
         (if t.unsafe_skip_validation then " UNSAFE-NO-VALIDATION" else "")
 
   let shrink_candidates t =
@@ -96,12 +134,23 @@ module Plan = struct
         { t with delay_prob = 0.0; delay_mean = 0.0 };
         { t with dup_prob = 0.0 };
         { t with crash_mean = 0.0; restart_mean = 0.0 };
+        {
+          t with
+          server_crash_mean = 0.0;
+          server_restart_mean = 0.0;
+          checkpoint_interval = 0.0;
+        };
         (* then soften dimensions that must stay *)
         { t with drop_prob = t.drop_prob /. 2.0 };
         { t with delay_prob = t.delay_prob /. 2.0 };
         { t with delay_mean = t.delay_mean /. 2.0 };
         { t with dup_prob = t.dup_prob /. 2.0 };
         { t with crash_mean = t.crash_mean *. 2.0 };
+        (* fewer server crashes, cheaper restarts, tighter checkpoints:
+           each strictly reduces the adversity of the server dimension *)
+        { t with server_crash_mean = t.server_crash_mean *. 2.0 };
+        { t with server_restart_mean = t.server_restart_mean /. 2.0 };
+        { t with checkpoint_interval = t.checkpoint_interval /. 2.0 };
       ]
     in
     List.filter (fun c -> c <> t && active c) cands
@@ -138,4 +187,7 @@ module Injector = struct
     Sim.Rng.split
       (Sim.Rng.create plan.Plan.seed)
       (Printf.sprintf "fault-client-%d" i)
+
+  let server_stream (plan : Plan.t) =
+    Sim.Rng.split (Sim.Rng.create plan.Plan.seed) "fault-server"
 end

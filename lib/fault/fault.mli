@@ -2,10 +2,10 @@
 
     A {!Plan.t} is a seeded, spec-like description of the adversity applied
     to one simulation run: message drops, delays and duplications on the
-    shared network, and client crash/restart events.  Plans are plain
-    immutable records of scalars, so they [Marshal]-digest stably and
-    compose with the experiment result cache exactly like the rest of a
-    simulation spec.
+    shared network, client crash/restart events, and server crash/recovery
+    events.  Plans are plain immutable records of scalars, so they
+    [Marshal]-digest stably and compose with the experiment result cache
+    exactly like the rest of a simulation spec.
 
     All stochastic fault decisions flow from split {!Sim.Rng} streams
     derived from [plan.seed] — never from the simulation's own workload
@@ -27,6 +27,17 @@ module Plan : sig
     crash_mean : float;
         (** mean interval between crash events per client (s); 0 = never *)
     restart_mean : float;  (** mean client downtime before restart (s) *)
+    server_crash_mean : float;
+        (** mean interval between server crash events (s); 0 = never.
+            A crash wipes the server's volatile state (lock table,
+            callback registrations, buffer pool, in-flight requests);
+            recovery replays the redo log from the last checkpoint. *)
+    server_restart_mean : float;
+        (** mean server outage before recovery begins (s); the log-replay
+            disk work is charged on top of this *)
+    checkpoint_interval : float;
+        (** period of the server's checkpoint process (s); 0 = never
+            checkpoint, so recovery replays the whole log *)
     req_timeout : float;  (** initial client request timeout (s) *)
     max_backoff : float;  (** retry timeout cap (s) *)
     lease : float;
@@ -47,28 +58,38 @@ module Plan : sig
   (** The identity plan: no faults, no hardening, bit-identical runs. *)
   val none : t
 
-  (** A plan injects faults iff it can drop, delay, duplicate or crash.
-      Protocol hardening (timeouts, leases, retries) is armed only for
-      active plans so that [none] changes nothing. *)
+  (** A plan injects faults iff it can drop, delay, duplicate, crash a
+      client, or crash the server.  Protocol hardening (timeouts, leases,
+      retries) is armed only for active plans so that [none] changes
+      nothing. *)
   val active : t -> bool
 
   (** A moderate default chaos plan for [seed]: a few percent of messages
-      dropped/delayed/duplicated, occasional client crashes, leases on. *)
+      dropped/delayed/duplicated, occasional client crashes, leases on.
+      Server faults stay off; see {!server_default}. *)
   val default : seed:int -> t
 
+  (** A server-fault chaos plan for [seed]: quiet network and immortal
+      clients (isolating the server dimension), server crashes roughly
+      once a simulated minute, sub-second restarts, 5 s checkpoints. *)
+  val server_default : seed:int -> t
+
   (** Raises [Invalid_argument] on malformed plans (probabilities outside
-      [0,1], negative durations, active plan without a positive timeout). *)
+      [0,1], negative durations, active plan without a positive timeout,
+      checkpoints configured without server crashes). *)
   val validate : t -> unit
 
   (** One-line rendering for logs and failure reports. *)
   val to_string : t -> string
 
   (** Strictly simpler variants of an active plan, most aggressive
-      simplification first: each adversity dimension zeroed, then each
-      halved.  The chaos shrinker keeps a candidate iff it still
+      simplification first: each adversity dimension zeroed (network
+      drops, delays, duplicates, client crashes, server crashes), then
+      each softened.  The chaos shrinker keeps a candidate iff it still
       reproduces the failure.  Candidates equal to the input (or already
       inactive when the input was active in that dimension only) are
-      omitted. *)
+      omitted.  The order is pinned by golden tests so minimal
+      reproducers stay stable across refactors. *)
   val shrink_candidates : t -> t list
 end
 
@@ -91,4 +112,7 @@ module Injector : sig
 
   (** Independent stream for client [i]'s crash/restart schedule. *)
   val client_stream : Plan.t -> int -> Sim.Rng.t
+
+  (** Independent stream for the server's crash/recovery schedule. *)
+  val server_stream : Plan.t -> Sim.Rng.t
 end

@@ -15,6 +15,10 @@ type t =
   | Client_recover of { client : int; downtime : float }
   | Lock_reclaimed of { client : int; pages : int list }
   | Retransmit of { client : int; xid : int }
+  | Server_crash of { killed : int }
+  | Server_recover of { downtime : float; recovery : float }
+  | Checkpoint of { versions : int }
+  | Log_replayed of { records : int; pages : int }
 
 let to_string = function
   | Client_send { client; xid; what } ->
@@ -53,6 +57,17 @@ let to_string = function
         (String.concat " " (List.map string_of_int pages))
   | Retransmit { client; xid } ->
       Printf.sprintf "client %d retransmits request (xid %d)" client xid
+  | Server_crash { killed } ->
+      Printf.sprintf "server crashed (%d in-flight transaction(s) killed)"
+        killed
+  | Server_recover { downtime; recovery } ->
+      Printf.sprintf "server recovered after %.4fs (%.4fs log replay)"
+        downtime recovery
+  | Checkpoint { versions } ->
+      Printf.sprintf "checkpoint (%d page version(s) snapshotted)" versions
+  | Log_replayed { records; pages } ->
+      Printf.sprintf "log replayed (%d record(s), %d page(s) read)" records
+        pages
 
 let kind = function
   | Client_send _ -> "client_send"
@@ -71,6 +86,10 @@ let kind = function
   | Client_recover _ -> "client_recover"
   | Lock_reclaimed _ -> "lock_reclaimed"
   | Retransmit _ -> "retransmit"
+  | Server_crash _ -> "server_crash"
+  | Server_recover _ -> "server_recover"
+  | Checkpoint _ -> "checkpoint"
+  | Log_replayed _ -> "log_replayed"
 
 let actor = function
   | Client_send { client; _ }
@@ -87,7 +106,9 @@ let actor = function
       Some client
   | Callback { holder; _ } -> Some holder
   | Deadlock { victim_client; _ } -> Some victim_client
-  | Disk_read _ | Msg_dropped _ | Msg_delayed _ -> None
+  | Disk_read _ | Msg_dropped _ | Msg_delayed _ | Server_crash _
+  | Server_recover _ | Checkpoint _ | Log_replayed _ ->
+      None
 
 (* Free-text message descriptions carry arguments ("fetch reply (2 data
    pages)", "S lock request [1346]"); the grouping label is the text up to
@@ -111,5 +132,6 @@ let message_label = function
   | Notify { push = false; _ } -> Some "s2c invalidation"
   | Lock_wait _ | Lock_grant _ | Deadlock _ | Abort _ | Commit _ | Disk_read _
   | Msg_dropped _ | Msg_delayed _ | Client_crash _ | Client_recover _
-  | Lock_reclaimed _ ->
+  | Lock_reclaimed _ | Server_crash _ | Server_recover _ | Checkpoint _
+  | Log_replayed _ ->
       None

@@ -24,6 +24,15 @@ type t =
   | Client_recover of { client : int; downtime : float }
   | Lock_reclaimed of { client : int; pages : int list }
   | Retransmit of { client : int; xid : int }
+  | Server_crash of { killed : int }
+      (** server volatile state lost; [killed] in-flight transactions die *)
+  | Server_recover of { downtime : float; recovery : float }
+      (** server reopened: [downtime] total outage, of which [recovery]
+          was spent replaying the log *)
+  | Checkpoint of { versions : int }
+      (** server forced a committed-version snapshot to the log *)
+  | Log_replayed of { records : int; pages : int }
+      (** recovery scanned [records] log records / [pages] log pages *)
 
 (** Human-readable one-liner. *)
 val to_string : t -> string

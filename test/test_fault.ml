@@ -70,6 +70,82 @@ let test_injector_deterministic () =
   Alcotest.(check bool) "duplicates occur" true some_dup
 
 (* ------------------------------------------------------------------ *)
+(* Server-fault plans                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_plan_defaults () =
+  let p = Fault.Plan.server_default ~seed:9 in
+  Fault.Plan.validate p;
+  Alcotest.(check bool) "active" true (Fault.Plan.active p);
+  Alcotest.(check (float 0.0)) "no client crashes" 0.0 p.Fault.Plan.crash_mean;
+  Alcotest.(check (float 0.0)) "quiet network" 0.0 p.Fault.Plan.drop_prob;
+  Alcotest.(check bool) "server crashes on" true
+    (p.Fault.Plan.server_crash_mean > 0.0);
+  Alcotest.(check bool) "checkpoints on" true
+    (p.Fault.Plan.checkpoint_interval > 0.0)
+
+let test_server_plan_validate_rejects () =
+  let reject p =
+    match Fault.Plan.validate p with
+    | () -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  let sd = Fault.Plan.server_default ~seed:1 in
+  reject { sd with Fault.Plan.server_crash_mean = -1.0 };
+  reject { sd with Fault.Plan.server_restart_mean = -0.5 };
+  reject { sd with Fault.Plan.checkpoint_interval = -5.0 };
+  (* a checkpointer with nothing that can ever crash is dead weight *)
+  reject { sd with Fault.Plan.server_crash_mean = 0.0 };
+  reject { (Fault.Plan.default ~seed:1) with Fault.Plan.checkpoint_interval = 3.0 }
+
+(* Golden shrink order: pure server plans soften only the three server
+   knobs, in a pinned order; combined plans offer the whole-dimension
+   drop at a pinned position.  The shrinker's descent path — and so every
+   minimal reproducer — depends on this order staying put. *)
+let test_server_shrink_golden () =
+  let feq name want got = Alcotest.(check (float 1e-9)) name want got in
+  (match Fault.Plan.shrink_candidates (Fault.Plan.server_default ~seed:7) with
+  | [ a; b; c ] ->
+      feq "1st: rarer crashes" 16.0 a.Fault.Plan.server_crash_mean;
+      feq "2nd: faster restarts" 0.25 b.Fault.Plan.server_restart_mean;
+      feq "3rd: tighter checkpoints" 2.5 c.Fault.Plan.checkpoint_interval
+  | l ->
+      Alcotest.failf "expected exactly 3 server-plan candidates, got %d"
+        (List.length l));
+  let combined =
+    {
+      (Fault.Plan.default ~seed:7) with
+      Fault.Plan.server_crash_mean = 8.0;
+      server_restart_mean = 0.5;
+      checkpoint_interval = 5.0;
+    }
+  in
+  let cands = Fault.Plan.shrink_candidates combined in
+  let nth n = List.nth cands n in
+  (* candidate 4 zeroes the whole server dimension at once *)
+  feq "server dim dropped" 0.0 (nth 4).Fault.Plan.server_crash_mean;
+  feq "ckpt dropped with it" 0.0 (nth 4).Fault.Plan.checkpoint_interval;
+  Alcotest.(check bool) "still active without the server dim" true
+    (Fault.Plan.active (nth 4));
+  (* the three server softenings close the list, in golden order *)
+  (match List.rev cands with
+  | c3 :: c2 :: c1 :: _ ->
+      feq "rarer crashes" 16.0 c1.Fault.Plan.server_crash_mean;
+      feq "faster restarts" 0.25 c2.Fault.Plan.server_restart_mean;
+      feq "tighter checkpoints" 2.5 c3.Fault.Plan.checkpoint_interval
+  | _ -> Alcotest.fail "combined plan has too few candidates")
+
+let test_server_stream_deterministic () =
+  let draws plan =
+    let rng = Fault.Injector.server_stream plan in
+    List.init 100 (fun _ -> Sim.Rng.exponential rng ~mean:8.0)
+  in
+  let p = Fault.Plan.server_default ~seed:5 in
+  Alcotest.(check bool) "same plan, same stream" true (draws p = draws p);
+  Alcotest.(check bool) "different seed, different stream" true
+    (draws p <> draws (Fault.Plan.server_default ~seed:6))
+
+(* ------------------------------------------------------------------ *)
 (* Chaos audits                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -127,6 +203,52 @@ let test_verdicts_deterministic_across_jobs () =
   let v2 = Experiments.Chaos.sweep ~jobs:2 specs in
   Alcotest.(check bool) "jobs=1 and jobs=2 verdicts identical" true (v1 = v2)
 
+(* The durability acceptance gate in miniature: every algorithm must pass
+   the full audit — serializability, liveness, lock/cache sweeps, AND the
+   durability checks against the redo log — under plans that repeatedly
+   crash and recover the server. *)
+let test_server_faults_audited () =
+  let specs =
+    List.concat_map
+      (fun algo ->
+        List.map
+          (fun seed ->
+            Experiments.Chaos.spec ~measured_commits:100
+              ~fault:(Fault.Plan.server_default ~seed) algo)
+          [ 3; 4 ])
+      Experiments.Chaos.default_algos
+  in
+  let verdicts = Experiments.Chaos.sweep ~jobs:2 specs in
+  List.iter2
+    (fun (sp : Core.Simulator.spec) v ->
+      if not (Experiments.Chaos.ok v) then
+        Alcotest.failf "%s seed=%d failed audit: %s"
+          (Core.Proto.algorithm_name sp.Core.Simulator.algo)
+          sp.Core.Simulator.fault.Fault.Plan.seed
+          (String.concat "; " v.Experiments.Chaos.v_errors))
+    specs verdicts;
+  let crashes =
+    List.fold_left
+      (fun acc v ->
+        match v.Experiments.Chaos.v_result with
+        | Some r -> acc + r.Core.Simulator.server_crashes
+        | None -> acc)
+      0 verdicts
+  in
+  Alcotest.(check bool) "server crashes actually happened" true (crashes > 0)
+
+let test_server_verdicts_deterministic_across_jobs () =
+  let specs =
+    List.map
+      (fun (seed, algo) ->
+        Experiments.Chaos.spec ~measured_commits:80
+          ~fault:(Fault.Plan.server_default ~seed) algo)
+      [ (1, Core.Proto.Two_phase Core.Proto.Inter); (2, Core.Proto.Callback) ]
+  in
+  let v1 = Experiments.Chaos.sweep ~jobs:1 specs in
+  let v2 = Experiments.Chaos.sweep ~jobs:4 specs in
+  Alcotest.(check bool) "jobs=1 and jobs=4 verdicts identical" true (v1 = v2)
+
 (* Disable commit validation on a hot workload: the audit must catch the
    resulting non-serializable history, and shrinking must return an
    active plan that still fails. *)
@@ -179,6 +301,10 @@ let suites =
         case "validate rejects" test_plan_validate_rejects;
         case "shrink candidates" test_plan_shrink_candidates;
         case "injector deterministic" test_injector_deterministic;
+        case "server plan defaults" test_server_plan_defaults;
+        case "server plan validate rejects" test_server_plan_validate_rejects;
+        case "server shrink golden order" test_server_shrink_golden;
+        case "server stream deterministic" test_server_stream_deterministic;
       ] );
     ( "chaos",
       [
@@ -187,6 +313,9 @@ let suites =
         case "crashes recovered" test_crashes_recovered;
         case "verdicts deterministic across jobs"
           test_verdicts_deterministic_across_jobs;
+        case "server faults audited" test_server_faults_audited;
+        case "server verdicts deterministic across jobs"
+          test_server_verdicts_deterministic_across_jobs;
         case "violation caught and shrunk"
           test_unsafe_violation_caught_and_shrunk;
       ] );

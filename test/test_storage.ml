@@ -208,6 +208,119 @@ let test_log_abort_counted () =
   Alcotest.(check int) "pages written" 1 (Log_manager.log_pages_written lm)
 
 
+(* ------------------------------------------------------------------ *)
+(* Log_manager: typed redo records, crash, replay                      *)
+(* ------------------------------------------------------------------ *)
+
+let make_log () =
+  let eng = Sim.Engine.create () in
+  let d = Disk.create eng ~rng:(Sim.Rng.create 1) ~name:"log" fixed_seek in
+  (eng, Log_manager.create eng ~disk:d ())
+
+let run_log eng body =
+  Sim.Engine.spawn eng body;
+  ignore (Sim.Engine.run eng ())
+
+(* Interleaved commits, an abort, a crash-lost tail, and a checkpoint:
+   replay must reconstruct exactly the committed page-version map. *)
+let test_log_replay_reconstructs () =
+  let eng, lm = make_log () in
+  run_log eng (fun () ->
+      Log_manager.log_begin lm ~xid:1;
+      Log_manager.force_commit ~xid:1 ~updates:[ (10, 1); (11, 1) ] lm
+        ~n_updates:2;
+      Log_manager.log_begin lm ~xid:2;
+      Log_manager.force_abort ~xid:2 lm ~n_updates:0;
+      Log_manager.log_begin lm ~xid:3;
+      Log_manager.force_commit ~xid:3 ~updates:[ (10, 2) ] lm ~n_updates:1;
+      (* appended but never forced: lost at the crash below *)
+      Log_manager.append_commit lm ~xid:4 ~updates:[ (12, 1) ]);
+  Log_manager.crash lm;
+  Alcotest.(check (list (pair int int)))
+    "committed map: redo commits, drop abort, lose volatile tail"
+    [ (10, 2); (11, 1) ]
+    (Log_manager.committed_versions lm);
+  let into = Hashtbl.create 8 in
+  let stats = ref None in
+  run_log eng (fun () -> stats := Some (Log_manager.replay lm ~into));
+  let s = Option.get !stats in
+  Alcotest.(check int) "xacts redone" 2 s.Log_manager.xacts_redone;
+  Alcotest.(check bool) "abort discarded" true
+    (s.Log_manager.xacts_discarded >= 1);
+  Alcotest.(check (option int)) "page 10 at v2" (Some 2)
+    (Hashtbl.find_opt into 10);
+  Alcotest.(check (option int)) "lost tail not replayed" None
+    (Hashtbl.find_opt into 12)
+
+let test_log_durable_outcomes () =
+  let eng, lm = make_log () in
+  run_log eng (fun () ->
+      Log_manager.force_commit ~xid:7 ~updates:[ (3, 1) ] lm ~n_updates:1;
+      Log_manager.force_abort ~xid:8 lm ~n_updates:0;
+      Log_manager.append_commit lm ~xid:9 ~updates:[ (4, 1) ]);
+  Log_manager.crash lm;
+  Alcotest.(check (list (pair int bool)))
+    "durable outcomes in log order, volatile x9 lost"
+    [ (7, true); (8, false) ]
+    (Log_manager.durable_outcomes lm);
+  Alcotest.(check (option (list (pair int int))))
+    "x7 rebuildable" (Some [ (3, 1) ])
+    (Log_manager.durable_commit_updates lm ~xid:7);
+  Alcotest.(check (option (list (pair int int))))
+    "x9 not durable" None
+    (Log_manager.durable_commit_updates lm ~xid:9);
+  Alcotest.(check (list (pair int int)))
+    "durable committed pairs" [ (3, 1) ]
+    (Log_manager.durable_committed_pairs lm)
+
+(* Regression: a commit appended (version already visible) but not yet
+   forced when a checkpoint runs sits BEFORE the checkpoint record in the
+   log.  The checkpoint's own force makes it durable, so its snapshot must
+   include it — otherwise replay-from-checkpoint silently loses it. *)
+let test_log_checkpoint_covers_buffered_tail () =
+  let eng, lm = make_log () in
+  run_log eng (fun () ->
+      Log_manager.force_commit ~xid:1 ~updates:[ (5, 1) ] lm ~n_updates:1;
+      Log_manager.append_commit lm ~xid:2 ~updates:[ (6, 1) ];
+      ignore (Log_manager.checkpoint lm));
+  Log_manager.crash lm;
+  let into = Hashtbl.create 8 in
+  run_log eng (fun () -> ignore (Log_manager.replay lm ~into));
+  Alcotest.(check (option int))
+    "buffered commit in checkpoint snapshot" (Some 1)
+    (Hashtbl.find_opt into 6);
+  Alcotest.(check (option int)) "forced commit kept" (Some 1)
+    (Hashtbl.find_opt into 5)
+
+(* The typed records ride on the existing cost model: a typed force
+   charges exactly the pages the bare (legacy, xid-less) force charges,
+   and force_pending charges one page only when a tail is buffered. *)
+let test_log_typed_costs_match_legacy () =
+  let eng1, lm1 = make_log () in
+  run_log eng1 (fun () ->
+      Log_manager.force_commit ~xid:1
+        ~updates:(List.init 9 (fun i -> (i, 1)))
+        lm1 ~n_updates:9;
+      Log_manager.force_abort ~xid:2 lm1 ~n_updates:0);
+  let eng2, lm2 = make_log () in
+  run_log eng2 (fun () ->
+      Log_manager.force_commit lm2 ~n_updates:9;
+      Log_manager.force_abort lm2 ~n_updates:0);
+  Alcotest.(check int) "typed force charges the legacy pages"
+    (Log_manager.log_pages_written lm2)
+    (Log_manager.log_pages_written lm1);
+  let eng3, lm3 = make_log () in
+  run_log eng3 (fun () ->
+      Log_manager.force_pending lm3;
+      Alcotest.(check int) "clean log: force_pending is free" 0
+        (Log_manager.log_pages_written lm3);
+      Log_manager.append_commit lm3 ~xid:1 ~updates:[ (1, 1) ];
+      Log_manager.force_pending lm3;
+      Alcotest.(check int) "buffered tail: one sequential page" 1
+        (Log_manager.log_pages_written lm3);
+      Alcotest.(check int) "tail now durable" (Log_manager.records_logged lm3)
+        (Log_manager.durable_records lm3))
+
 (* Model-based check: the pool must agree with a naive reference LRU on
    membership and eviction choice under arbitrary operation sequences. *)
 let prop_lru_matches_reference_model =
@@ -309,6 +422,11 @@ let suites =
         case "log pages" test_log_pages_for;
         case "commit timing" test_log_commit_timing;
         case "abort counted" test_log_abort_counted;
+        case "replay reconstructs" test_log_replay_reconstructs;
+        case "durable outcomes" test_log_durable_outcomes;
+        case "checkpoint covers buffered tail"
+          test_log_checkpoint_covers_buffered_tail;
+        case "typed costs match legacy" test_log_typed_costs_match_legacy;
       ] );
   ]
 
