@@ -230,6 +230,9 @@ let () =
     List.iter
       (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr)
       Experiments.Suite.all;
+    Printf.printf "%-14s %s\n" "client-sweep"
+      "scalability: engine events/s and heap vs client population (not \
+       run by default)";
     exit 0
   end;
   let opts =
@@ -252,8 +255,13 @@ let () =
       "# note: reps=1 — replication confidence intervals unavailable (± \
        columns read n/a); rerun with --reps N>=2 for intervals\n%!";
   let runner = Experiments.Exp_defs.make_runner ~jobs:!jobs opts in
+  (* client-sweep is not a Suite figure (it benchmarks the simulator, not
+     the paper); recognize the id here and run it after the figures *)
+  let sweep_requested = List.mem "client-sweep" !experiments in
+  let figure_ids = List.filter (fun id -> id <> "client-sweep") !experiments in
   let selected =
-    match !experiments with
+    match figure_ids with
+    | [] when sweep_requested -> []
     | [] -> Experiments.Suite.all
     | ids ->
         List.rev_map
@@ -307,6 +315,25 @@ let () =
         :: !telemetry;
       Format.printf "@?")
     selected;
+  let sweep_cells =
+    if not sweep_requested then []
+    else begin
+      Format.printf "@.###### client-sweep — simulator scalability vs \
+                     population@.";
+      let cells =
+        Experiments.Client_sweep.run ~quick:!quick
+          ~seed:opts.Experiments.Exp_defs.seed ()
+      in
+      Experiments.Client_sweep.print Format.std_formatter cells;
+      List.iter
+        (fun line ->
+          Buffer.add_string csv_buf line;
+          Buffer.add_char csv_buf '\n')
+        (Experiments.Client_sweep.csv cells);
+      Format.printf "@?";
+      cells
+    end
+  in
   (match !csv with
   | Some file ->
       let oc = open_out file in
@@ -337,6 +364,17 @@ let () =
           s_quick = !quick;
           s_experiments = List.rev !telemetry;
           s_micro = List.map time_micro micro_defs;
+          s_sweep =
+            List.map
+              (fun (c : Experiments.Client_sweep.cell) ->
+                {
+                  Experiments.Telemetry.w_clients = c.sw_clients;
+                  w_algo = c.sw_algo;
+                  w_events = c.sw_events;
+                  w_wall_s = c.sw_wall_s;
+                  w_heap_hwm = c.sw_heap_hwm;
+                })
+              sweep_cells;
           s_engine = Some (engine_probe ());
         }
       in

@@ -551,8 +551,13 @@ let exp_cmd =
     Format.printf "%s@."
       (Experiments.Report.repro_line ~seed:opts.Experiments.Exp_defs.seed ~jobs);
     let runner = Experiments.Exp_defs.make_runner ~jobs opts in
+    (* client-sweep benchmarks the simulator itself (wall-clock cells run
+       sequentially, uncached); it is excluded from 'all' so regenerating
+       the paper's figures never implies a 100k-client run *)
+    let sweep_requested = List.mem "client-sweep" ids in
+    let figure_ids = List.filter (fun id -> id <> "client-sweep") ids in
     let selected =
-      if List.mem "all" ids then Experiments.Suite.all
+      if List.mem "all" figure_ids then Experiments.Suite.all
       else
         List.map
           (fun id ->
@@ -562,7 +567,7 @@ let exp_cmd =
                 Printf.eprintf
                   "ccsim: unknown experiment %S (try 'ccsim list')\n" id;
                 exit 1)
-          ids
+          figure_ids
     in
     let buf = Buffer.create 4096 in
     List.iter
@@ -582,6 +587,20 @@ let exp_cmd =
               figs
         | Experiments.Suite.Map _ -> ())
       selected;
+    if sweep_requested then begin
+      Format.printf "@.###### client-sweep — simulator scalability vs \
+                     population@.";
+      let cells =
+        Experiments.Client_sweep.run ~quick
+          ~seed:opts.Experiments.Exp_defs.seed ()
+      in
+      Experiments.Client_sweep.print Format.std_formatter cells;
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        (Experiments.Client_sweep.csv cells)
+    end;
     match csv with
     | Some file ->
         let oc = open_out file in
@@ -797,7 +816,10 @@ let list_cmd =
   let run () =
     List.iter
       (fun (id, descr, _) -> Printf.printf "%-14s %s\n" id descr)
-      Experiments.Suite.all
+      Experiments.Suite.all;
+    Printf.printf "%-14s %s\n" "client-sweep"
+      "scalability: engine events/s and heap vs client population \
+       (excluded from 'all')"
   in
   Cmd.v (Cmd.info "list" ~doc:"List experiment ids.") Term.(const run $ const ())
 

@@ -64,6 +64,10 @@ val waiting : t -> page:int -> (owner * mode) list
 (** Pages on which [owner] holds a lock. *)
 val pages_held_by : t -> owner -> int list
 
+(** Does [owner] hold any lock?  O(1) — unlike [pages_held_by <> []],
+    which materialises the page list. *)
+val holds_any : t -> owner -> bool
+
 (** Every (page, owner, mode) currently queued, across all pages. *)
 val all_waiting : t -> (int * owner * mode) list
 
@@ -72,8 +76,13 @@ val all_waiting : t -> (int * owner * mode) list
     incompatible waiters.  Empty if [owner] is not queued on [page]. *)
 val blockers : t -> page:int -> owner -> owner list
 
-(** Total locks currently held (for tests and diagnostics). *)
+(** Total locks currently held.  O(1): maintained incrementally, so the
+    observability sampler can probe it every tick at any population. *)
 val locks_held : t -> int
+
+(** Total queued requests across all pages.  O(1), same contract as
+    {!locks_held}. *)
+val waiting_count : t -> int
 
 (** Check internal invariants (S* xor X per page, no granted waiter);
     raises [Failure] on violation.  Used by tests. *)

@@ -47,10 +47,23 @@ type t = {
   (* stats *)
   mutable n_commits : int;
   mutable n_restarts : int;
+  down_gauge : int ref; (* shared fleet-wide count of crashed clients *)
 }
 
-let create ?audit ?(fault = Fault.Plan.none) eng ~id ~cfg ~algo ~workload ~rng
-    ~metrics ~to_server ~on_commit =
+(* Build a probe set once so per-page membership checks cost O(1) instead
+   of rescanning a list for every page of the object. *)
+let page_set pages =
+  let s = Hashtbl.create (max 8 (List.length pages)) in
+  List.iter (fun p -> Hashtbl.replace s p ()) pages;
+  s
+
+let reply_page_set data =
+  let s = Hashtbl.create (max 8 (List.length data)) in
+  List.iter (fun (p, _) -> Hashtbl.replace s p ()) data;
+  s
+
+let create ?audit ?(fault = Fault.Plan.none) ?(down_gauge = ref 0) eng ~id
+    ~cfg ~algo ~workload ~rng ~metrics ~to_server ~on_commit =
   let cpu =
     Sim.Facility.create eng
       ~name:(Printf.sprintf "client-%d-cpu" id)
@@ -99,6 +112,7 @@ let create ?audit ?(fault = Fault.Plan.none) eng ~id ~cfg ~algo ~workload ~rng
     srv_epoch = 0;
     n_commits = 0;
     n_restarts = 0;
+    down_gauge;
   }
 
 let port t = t.cport
@@ -491,16 +505,18 @@ let read_locking t pages ~no_wait_ok =
       match await_reply t with
       | Proto.Fetch_reply { data; _ } ->
           install_fetch_data t data;
+          let got = reply_page_set data in
           List.iter
-            (fun p -> if not (List.mem_assoc p data) then touch_and_pin t p)
+            (fun p -> if not (Hashtbl.mem got p) then touch_and_pin t p)
             need
       | _ -> assert false
     end;
     List.iter (fun p -> Hashtbl.replace t.locked p Proto.Read) need;
     snap_reads t need
   end;
+  let needed = page_set need in
   List.iter
-    (fun p -> if not (List.memq p need) then touch_and_pin t p)
+    (fun p -> if not (Hashtbl.mem needed p) then touch_and_pin t p)
     pages;
   check_abort t
 
@@ -537,8 +553,9 @@ let read_callback t pages =
     (match await_reply t with
     | Proto.Fetch_reply { data; _ } ->
         install_fetch_data t data;
+        let got = reply_page_set data in
         List.iter
-          (fun p -> if not (List.mem_assoc p data) then touch_and_pin t p)
+          (fun p -> if not (Hashtbl.mem got p) then touch_and_pin t p)
           need
     | _ -> assert false);
     List.iter
@@ -549,12 +566,13 @@ let read_callback t pages =
         end)
       need
   end;
+  let needed = page_set need in
   List.iter
     (fun p ->
       (* don't forget a write lock we already hold on a re-read *)
       if Hashtbl.find_opt t.locked p <> Some Proto.Write then
         Hashtbl.replace t.locked p Proto.Read;
-      if not (List.memq p need) then touch_and_pin t p)
+      if not (Hashtbl.mem needed p) then touch_and_pin t p)
     pages;
   snap_reads t pages;
   check_abort t
@@ -572,8 +590,9 @@ let read_certification t pages =
     (match await_reply t with
     | Proto.Cert_reply { data; _ } ->
         install_fetch_data t data;
+        let got = reply_page_set data in
         List.iter
-          (fun p -> if not (List.mem_assoc p data) then touch_and_pin t p)
+          (fun p -> if not (Hashtbl.mem got p) then touch_and_pin t p)
           need
     | _ -> assert false);
     List.iter
@@ -583,7 +602,10 @@ let read_certification t pages =
         | None -> assert false)
       need
   end;
-  List.iter (fun p -> if not (List.memq p need) then touch_and_pin t p) pages
+  let needed = page_set need in
+  List.iter
+    (fun p -> if not (Hashtbl.mem needed p) then touch_and_pin t p)
+    pages
 
 let read_object t pages =
   match t.algo with
@@ -796,9 +818,10 @@ let commit t =
         if t.cfg.Sys_params.callback_retain_writes then Proto.Write
         else Proto.Read
       in
+      let released = page_set release_pages in
       List.iter
         (fun p ->
-          if not (List.memq p release_pages) then Hashtbl.replace t.retained p mode)
+          if not (Hashtbl.mem released p) then Hashtbl.replace t.retained p mode)
         updates;
       (* callbacks that arrived while the commit was in flight missed
          [release_pages]; the transaction is over, honour them now *)
@@ -908,10 +931,12 @@ let crash_cleanup t =
   t.last_req <- None;
   t.lease_deadline <- infinity;
   t.crash_requested <- false;
-  t.crashed <- true
+  t.crashed <- true;
+  incr t.down_gauge
 
 let recover t ~downtime =
   t.crashed <- false;
+  decr t.down_gauge;
   (* messages delivered during the outage were already dropped by the
      dispatcher; clear any reply that slipped in before the crash *)
   let rec drain () =

@@ -28,10 +28,15 @@ type t
     gremlin, schedules crashes off the plan seed), and — under callback
     locking — lease-bounded trust in retained locks.  With the default
     {!Fault.Plan.none} every one of those paths is dormant and behavior
-    is bit-identical to a fault-free build. *)
+    is bit-identical to a fault-free build.
+
+    [?down_gauge] — a shared counter the client increments while crashed
+    and decrements on recovery, so a fleet-wide "clients down" probe is
+    O(1) instead of scanning every client per sample. *)
 val create :
   ?audit:Cc.History.t ->
   ?fault:Fault.Plan.t ->
+  ?down_gauge:int ref ->
   Sim.Engine.t ->
   id:int ->
   cfg:Sys_params.t ->

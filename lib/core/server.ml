@@ -36,6 +36,70 @@ type xact = {
   mutable x_waits : (int * grant Sim.Ivar.t) list;
 }
 
+module Int_set = Set.Make (Int)
+
+(* Liveness tracker for the lease sweep.  Arrival times live in a
+   doubly-linked list ordered oldest-first: every message moves its
+   client's node to the back (arrival times are monotone), so the sweep
+   reads the expired prefix and stops at the first live client instead of
+   scanning every client it ever heard from. *)
+type heard_node = {
+  hn_cid : int;
+  mutable hn_at : float;
+  mutable hn_prev : heard_node option;
+  mutable hn_next : heard_node option;
+}
+
+type heard = {
+  hd_tbl : (int, heard_node) Hashtbl.t;
+  mutable hd_head : heard_node option; (* oldest arrival *)
+  mutable hd_tail : heard_node option; (* newest arrival *)
+}
+
+let heard_create () = { hd_tbl = Hashtbl.create 64; hd_head = None; hd_tail = None }
+
+let heard_unlink h n =
+  (match n.hn_prev with
+  | Some p -> p.hn_next <- n.hn_next
+  | None -> h.hd_head <- n.hn_next);
+  (match n.hn_next with
+  | Some s -> s.hn_prev <- n.hn_prev
+  | None -> h.hd_tail <- n.hn_prev);
+  n.hn_prev <- None;
+  n.hn_next <- None
+
+let heard_push_back h n =
+  n.hn_next <- None;
+  n.hn_prev <- h.hd_tail;
+  (match h.hd_tail with
+  | Some l -> l.hn_next <- Some n
+  | None -> h.hd_head <- Some n);
+  h.hd_tail <- Some n
+
+let heard_touch h cid ~at =
+  match Hashtbl.find_opt h.hd_tbl cid with
+  | Some n ->
+      n.hn_at <- at;
+      heard_unlink h n;
+      heard_push_back h n
+  | None ->
+      let n = { hn_cid = cid; hn_at = at; hn_prev = None; hn_next = None } in
+      Hashtbl.replace h.hd_tbl cid n;
+      heard_push_back h n
+
+(* Clients silent for longer than [lease], oldest first.  O(expired). *)
+let heard_expired h ~now ~lease =
+  let rec go acc = function
+    | Some n when now -. n.hn_at > lease -> go (n.hn_cid :: acc) n.hn_next
+    | Some _ | None -> List.rev acc
+  in
+  go [] h.hd_head
+
+let heard_reset h =
+  Hashtbl.reset h.hd_tbl;
+  h.hd_head <- None;
+  h.hd_tail <- None
+
 type t = {
   eng : Sim.Engine.t;
   cfg : Sys_params.t;
@@ -64,7 +128,14 @@ type t = {
   fault : Fault.Plan.t;
   faulty : bool; (* [Fault.Plan.active fault]: gates every recovery path *)
   completed : (int, Proto.s2c) Hashtbl.t; (* xid -> final commit reply *)
-  last_heard : (int, float) Hashtbl.t; (* client -> last message arrival *)
+  last_heard : heard; (* per-client last message arrival, oldest first *)
+  cached_by : (int, Int_set.t ref) Hashtbl.t;
+      (* page -> clients caching it, mirrored from the client cache pools
+         via residency hooks; an ordered set because the notify loop needs
+         "next caching client above cid" evaluated at visit time (sends
+         suspend, and caches change under the suspension).  Only maintained
+         when the algorithm can send update notifications, so other runs
+         pay nothing *)
   (* server crash/recovery (inert unless the plan can crash the server) *)
   srv_faulty : bool; (* [fault.server_crash_mean > 0]: typed logging on *)
   mutable epoch : int; (* bumped at every crash; guards zombie handlers *)
@@ -134,7 +205,8 @@ let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
     fault;
     faulty = Fault.Plan.active fault;
     completed = Hashtbl.create 1024;
-    last_heard = Hashtbl.create 64;
+    last_heard = heard_create ();
+    cached_by = Hashtbl.create 1024;
     srv_faulty = fault.Fault.Plan.server_crash_mean > 0.0;
     epoch = 0;
     down = false;
@@ -143,7 +215,43 @@ let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
     unforced_page = Hashtbl.create 64;
   }
 
-let register_clients t links = t.clients <- links
+(* Only algorithms that can send update notifications ever consult the
+   page -> caching-clients index; everyone else skips the bookkeeping. *)
+let sends_notifications t =
+  match t.algo with
+  | Proto.No_wait { notify = Some _ } -> true
+  | Proto.No_wait { notify = None } | Proto.Two_phase _ | Proto.Callback ->
+      t.cfg.Sys_params.notify_updates <> None
+  | Proto.Certification _ -> false
+
+let cached_by_add t cid page =
+  match Hashtbl.find_opt t.cached_by page with
+  | Some r -> r := Int_set.add cid !r
+  | None -> Hashtbl.replace t.cached_by page (ref (Int_set.singleton cid))
+
+let cached_by_drop t cid page =
+  match Hashtbl.find_opt t.cached_by page with
+  | None -> ()
+  | Some r ->
+      r := Int_set.remove cid !r;
+      if Int_set.is_empty !r then Hashtbl.remove t.cached_by page
+
+let register_clients t links =
+  t.clients <- links;
+  if sends_notifications t then begin
+    Hashtbl.reset t.cached_by;
+    Array.iteri
+      (fun cid link ->
+        Storage.Lru_pool.set_residency_hook link.cache_view
+          ~on_add:(fun page -> cached_by_add t cid page)
+          ~on_drop:(fun page -> cached_by_drop t cid page);
+        (* seed from anything already resident, so the index mirrors the
+           pools from the moment of registration *)
+        List.iter
+          (fun page -> cached_by_add t cid page)
+          (Storage.Lru_pool.pages_mru link.cache_view))
+      links
+  end
 let port t = t.sport
 let buffer t = t.buf
 let locks t = t.lock_table
@@ -876,20 +984,34 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
   end
 
 let notify_clients t ~updater ~mode new_versions =
+  (* The reverse index replaces a scan of every client.  Each send is a
+     suspension point under which caches change, so candidates must be
+     discovered lazily — "smallest caching client above the last one
+     visited", evaluated at visit time — to notify exactly the clients a
+     full ascending scan with per-client membership checks would. *)
   List.iter
     (fun (page, version) ->
-      Array.iteri
-        (fun cid link ->
-          if cid <> updater && Storage.Lru_pool.mem link.cache_view page then begin
-            Metrics.record_push_sent t.metrics;
-            match mode with
-            | Proto.Push ->
-                charge_pages_sent t 1;
-                send_to_client t cid (Proto.Update_push { page; version })
-            | Proto.Invalidate ->
-                send_to_client t cid (Proto.Invalidate_page { page })
-          end)
-        t.clients)
+      let next above =
+        match Hashtbl.find_opt t.cached_by page with
+        | None -> None
+        | Some r -> Int_set.find_first_opt (fun c -> c > above) !r
+      in
+      let rec loop last =
+        match next last with
+        | None -> ()
+        | Some cid ->
+            if cid <> updater then begin
+              Metrics.record_push_sent t.metrics;
+              (match mode with
+              | Proto.Push ->
+                  charge_pages_sent t 1;
+                  send_to_client t cid (Proto.Update_push { page; version })
+              | Proto.Invalidate ->
+                  send_to_client t cid (Proto.Invalidate_page { page }))
+            end;
+            loop cid
+      in
+      loop (-1))
     new_versions
 
 let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
@@ -1102,16 +1224,12 @@ let reclaim_client t ~client =
 let lease_sweep t =
   let lease = t.fault.Fault.Plan.lease in
   let now = Sim.Engine.now t.eng in
-  let silent =
-    Hashtbl.fold
-      (fun cid heard acc -> if now -. heard > lease then cid :: acc else acc)
-      t.last_heard []
-  in
+  let silent = heard_expired t.last_heard ~now ~lease in
   List.iter
     (fun cid ->
       if
         Hashtbl.mem t.active_by_client cid
-        || Cc.Lock_table.pages_held_by t.lock_table cid <> []
+        || Cc.Lock_table.holds_any t.lock_table cid
       then reclaim_client t ~client:cid)
     (List.sort Int.compare silent)
 
@@ -1142,7 +1260,7 @@ let crash_server t =
   Hashtbl.reset t.in_flight;
   Hashtbl.reset t.wait_since;
   Hashtbl.reset t.completed;
-  Hashtbl.reset t.last_heard;
+  heard_reset t.last_heard;
   Hashtbl.reset t.durable_commits;
   Hashtbl.reset t.unforced_page;
   t.n_active <- 0;
@@ -1262,7 +1380,7 @@ let deliver t msg =
   if t.down then () (* a dead server hears nothing; clients retransmit *)
   else begin
     if t.faulty then
-      Hashtbl.replace t.last_heard (Proto.c2s_client msg) (Sim.Engine.now t.eng);
+      heard_touch t.last_heard (Proto.c2s_client msg) ~at:(Sim.Engine.now t.eng);
     Sim.Engine.spawn t.eng (fun () -> handle t msg)
   end
 

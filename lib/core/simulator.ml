@@ -138,6 +138,9 @@ let run_with_stats ?audit ?inspect spec =
       ~rng:(Sim.Rng.split master "server") ~metrics
   in
   let clients = Array.make cfg.Sys_params.n_clients None in
+  (* fleet-wide crashed-client count, maintained by the clients themselves
+     so the sampler never scans the population *)
+  let down_gauge = ref 0 in
   let commit_target = spec.warmup_commits + spec.measured_commits in
   let reset_all () =
     Metrics.reset metrics;
@@ -170,9 +173,9 @@ let run_with_stats ?audit ?inspect spec =
         ~deliver:(fun () -> Server.deliver server msg)
     in
     let c =
-      Client.create eng ?audit ~fault:spec.fault ~id:i ~cfg ~algo:spec.algo
-        ~workload ~rng:(Sim.Rng.split crng "client") ~metrics ~to_server
-        ~on_commit
+      Client.create eng ?audit ~fault:spec.fault ~down_gauge ~id:i ~cfg
+        ~algo:spec.algo ~workload ~rng:(Sim.Rng.split crng "client") ~metrics
+        ~to_server ~on_commit
     in
     client := Some c;
     clients.(i) <- Some c
@@ -252,22 +255,13 @@ let run_with_stats ?audit ?inspect spec =
           ("net_util", fun () -> Float.min 1.0 (net_busy () /. interval));
           ("locks_held", fun () -> float_of_int (Cc.Lock_table.locks_held locks));
           ( "lock_waiters",
-            fun () ->
-              float_of_int (List.length (Cc.Lock_table.all_waiting locks)) );
+            fun () -> float_of_int (Cc.Lock_table.waiting_count locks) );
           ("active_xacts", fun () -> float_of_int (Server.active_count server));
           ( "ready_queue",
             fun () -> float_of_int (Server.ready_queue_length server) );
           ("commit_rate", fun () -> commit_rate () /. interval);
           ("abort_rate", fun () -> abort_rate () /. interval);
-          ( "clients_down",
-            fun () ->
-              Array.fold_left
-                (fun a c ->
-                  match c with
-                  | Some c when Client.crashed c -> a + 1
-                  | _ -> a)
-                0 clients
-              |> float_of_int );
+          ("clients_down", fun () -> float_of_int !down_gauge);
         ]
       in
       Some (Obs.Series.sample eng ~interval ~sources)
@@ -292,14 +286,17 @@ let run_with_stats ?audit ?inspect spec =
   let window = now -. Metrics.measure_start metrics in
   let commits = Metrics.commits metrics in
   let lookups = Metrics.lookups metrics in
-  let client_utils =
-    Array.to_list clients
-    |> List.filter_map (Option.map Client.cpu_utilization)
-  in
-  let mean l =
-    match l with
-    | [] -> 0.0
-    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  (* single pass over the client array: no intermediate list at 100k *)
+  let client_cpu_util_mean =
+    let sum = ref 0.0 and n = ref 0 in
+    Array.iter
+      (function
+        | Some c ->
+            sum := !sum +. Client.cpu_utilization c;
+            incr n
+        | None -> ())
+      clients;
+    if !n = 0 then 0.0 else !sum /. float_of_int !n
   in
   let obs_payload =
     if not (Obs.Config.enabled ocfg) then None
@@ -382,7 +379,7 @@ let run_with_stats ?audit ?inspect spec =
     callbacks_sent = Metrics.callbacks_sent metrics;
     pushes_sent = Metrics.pushes_sent metrics;
     server_cpu_util = Server.cpu_utilization server;
-    client_cpu_util = mean client_utils;
+    client_cpu_util = client_cpu_util_mean;
     disk_util = Server.mean_disk_utilization server;
     log_disk_util =
       (match Server.log_disk server with

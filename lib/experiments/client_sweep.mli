@@ -1,0 +1,37 @@
+(** Population-scalability sweep (`ccsim exp client-sweep`).
+
+    Runs the Table 5 workload at growing client populations with a fixed
+    commit target and MPL, timing the simulator itself: because the
+    simulated work per cell is roughly constant, engine events per
+    wall-clock second should stay flat as the population grows — any
+    super-linear wall-clock growth exposes a per-client cost in a
+    per-event hot path.  Reported per cell: engine events, wall-clock,
+    events/sec, and the event-heap high-water mark (the space analogue).
+
+    Not a paper figure: excluded from [Suite.all] so `exp all` never pays
+    for a 100k-client run implicitly. *)
+
+type cell = {
+  sw_clients : int;
+  sw_algo : string;
+  sw_commits : int;
+  sw_events : int;  (** engine events executed, warmup included *)
+  sw_wall_s : float;
+  sw_heap_hwm : int;  (** event-heap high-water mark *)
+}
+
+val events_per_sec : cell -> float
+
+(** Populations swept: [quick] is the seconds-scale CI set, full reaches
+    100k clients. *)
+val populations : quick:bool -> int list
+
+(** Cells run sequentially (never pooled, never cached) so each cell's
+    wall-clock is unpolluted; [progress] fires after each cell. *)
+val run :
+  ?progress:(cell -> unit) -> quick:bool -> seed:int -> unit -> cell list
+
+val print : Format.formatter -> cell list -> unit
+
+(** RFC-4180 rows, header first. *)
+val csv : cell list -> string list

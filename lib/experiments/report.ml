@@ -16,6 +16,19 @@ let figure_cis (fig : figure) =
     (fun s -> List.map (fun (_, r) -> metric_ci fig.metric r) s.points)
     fig.series
 
+(* Index a series' points by x once.  The row loops below probe every
+   (x, series) cell; List.assoc_opt there rescanned the point list per
+   cell, quadratic in the axis length.  First binding wins, matching
+   List.assoc_opt on the raw list. *)
+let points_table s =
+  let h = Hashtbl.create (max 8 (List.length s.points)) in
+  List.iter
+    (fun (x, r) -> if not (Hashtbl.mem h x) then Hashtbl.add h x r)
+    s.points;
+  h
+
+let series_tables fig = List.map (fun s -> (s, points_table s)) fig.series
+
 let print_figure ?(detail = false) fmt (fig : figure) =
   Format.fprintf fmt "@.== %s: %s ==@." fig.fig_id fig.title;
   Format.fprintf fmt "   metric: %s@." (metric_name fig.metric);
@@ -26,15 +39,16 @@ let print_figure ?(detail = false) fmt (fig : figure) =
   let xs =
     match fig.series with [] -> [] | s :: _ -> List.map fst s.points
   in
+  let tables = series_tables fig in
   List.iter
     (fun x ->
       Format.fprintf fmt "   %-8g" x;
       List.iter
-        (fun s ->
-          match List.assoc_opt x s.points with
+        (fun (_, tbl) ->
+          match Hashtbl.find_opt tbl x with
           | Some r -> Format.fprintf fmt " %16s" (cell_string fig.metric r)
           | None -> Format.fprintf fmt " %16s" "-")
-        fig.series;
+        tables;
       Format.fprintf fmt "@.")
     xs;
   (match Obs.Run_stats.pooled_rel_half_width (figure_cis fig) with
@@ -49,14 +63,14 @@ let print_figure ?(detail = false) fmt (fig : figure) =
       (fun x ->
         Format.fprintf fmt "   %-8g" x;
         List.iter
-          (fun s ->
-            match List.assoc_opt x s.points with
+          (fun (_, tbl) ->
+            match Hashtbl.find_opt tbl x with
             | Some r ->
                 Format.fprintf fmt " %4d %4.2f %5.1f"
                   r.Core.Simulator.aborts r.Core.Simulator.hit_ratio
                   r.Core.Simulator.msgs_per_commit
             | None -> Format.fprintf fmt " %14s" "-")
-          fig.series;
+          tables;
         Format.fprintf fmt "@.")
       xs
   end
@@ -201,12 +215,13 @@ let write_gnuplot ~dir (fig : figure) =
     fig.series;
   output_char oc '\n';
   let xs = match fig.series with [] -> [] | s :: _ -> List.map fst s.points in
+  let tables = series_tables fig in
   List.iter
     (fun x ->
       Printf.fprintf oc "%g" x;
       List.iter
-        (fun s ->
-          match List.assoc_opt x s.points with
+        (fun (_, tbl) ->
+          match Hashtbl.find_opt tbl x with
           | Some r ->
               let ci = metric_ci fig.metric r in
               let half =
@@ -217,7 +232,7 @@ let write_gnuplot ~dir (fig : figure) =
                 (metric_value fig.metric r)
                 half
           | None -> output_string oc "\t-\t-")
-        fig.series;
+        tables;
       output_char oc '\n')
     xs;
   close_out oc;

@@ -606,4 +606,14 @@ let all =
     ("ext-mix", "extension: mixed transaction types (paper §3.2)", mix_extension);
   ]
 
-let find id = List.find_opt (fun (i, _, _) -> i = id) all
+(* The registry is looked up per id from the CLI and the bench harness;
+   index it once instead of rescanning the list on every call. *)
+let by_id =
+  lazy
+    (let h = Hashtbl.create 64 in
+     List.iter
+       (fun ((i, _, _) as e) -> if not (Hashtbl.mem h i) then Hashtbl.add h i e)
+       all;
+     h)
+
+let find id = Hashtbl.find_opt (Lazy.force by_id) id

@@ -37,6 +37,17 @@ type probe = {
   p_heap_hwm : int;  (* event-heap high-water mark of the probe run *)
 }
 
+(* One cell of the client-population scalability sweep: how fast the
+   engine ran (events per wall-clock second) and how much event-heap it
+   needed at a given population.  Keyed by (algo, clients) in diffs. *)
+type sweep_cell = {
+  w_clients : int;
+  w_algo : string;
+  w_events : int;
+  w_wall_s : float;
+  w_heap_hwm : int;
+}
+
 type snapshot = {
   s_schema : string;
   s_repro : string;  (* Report.repro_line verbatim — the provenance header *)
@@ -49,6 +60,7 @@ type snapshot = {
   s_quick : bool;
   s_experiments : experiment list;
   s_micro : micro list;
+  s_sweep : sweep_cell list;  (* empty when the sweep was not run *)
   s_engine : probe option;
 }
 
@@ -92,6 +104,17 @@ let to_json s =
         (f m.m_ci_hi_ns))
     s.s_micro;
   add "%s],\n" (if s.s_micro = [] then "" else "\n  ");
+  add "  \"sweep\": [";
+  List.iteri
+    (fun i w ->
+      add "%s\n    {\"clients\": %d, \"algo\": %s, \"events\": %d, \
+           \"wall_s\": %s, \"events_per_sec\": %s, \"heap_hwm\": %d}"
+        (if i = 0 then "" else ",")
+        w.w_clients (q w.w_algo) w.w_events (f w.w_wall_s)
+        (f (events_per_sec ~events:w.w_events ~wall_s:w.w_wall_s))
+        w.w_heap_hwm)
+    s.s_sweep;
+  add "%s],\n" (if s.s_sweep = [] then "" else "\n  ");
   (match s.s_engine with
   | None -> add "  \"engine\": null\n"
   | Some p ->
@@ -175,6 +198,22 @@ let of_json text =
                     m_ci_hi_ns = num (get "ci_hi_ns" m);
                   })
                 (arr (get "micro" j));
+            s_sweep =
+              (* additive section: absent in snapshots written before the
+                 sweep existed, and that must stay parseable *)
+              (match Obs.Export.member "sweep" j with
+              | None -> []
+              | Some a ->
+                  List.map
+                    (fun w ->
+                      {
+                        w_clients = int (get "clients" w);
+                        w_algo = str (get "algo" w);
+                        w_events = int (get "events" w);
+                        w_wall_s = num (get "wall_s" w);
+                        w_heap_hwm = int (get "heap_hwm" w);
+                      })
+                    (arr a));
             s_engine =
               (match get "engine" j with
               | Obs.Export.Null -> None
@@ -213,6 +252,14 @@ let min_wall_s = 0.05
 
 let overlap (alo, ahi) (blo, bhi) = alo <= bhi && blo <= ahi
 
+(* Index a list by key once so matching baseline entries against current
+   ones costs O(n) total instead of O(n.m) rescans.  First entry wins on a
+   duplicate key, matching List.find_opt on the unindexed list. *)
+let index_by key l =
+  let h = Hashtbl.create (max 8 (List.length l)) in
+  List.iter (fun x -> if not (Hashtbl.mem h (key x)) then Hashtbl.add h (key x) x) l;
+  h
+
 let diff ?(threshold = 0.25) ~baseline ~current () =
   if threshold <= 0.0 then invalid_arg "Telemetry.diff: threshold must be > 0";
   let regressions = ref [] and improvements = ref [] and notes = ref [] in
@@ -239,11 +286,11 @@ let diff ?(threshold = 0.25) ~baseline ~current () =
         :: !improvements
   in
   (* experiments: match by id; wall-clock, higher = worse *)
+  let cur_exp = index_by (fun (c : experiment) -> c.e_id) current.s_experiments in
+  let base_exp = index_by (fun (b : experiment) -> b.e_id) baseline.s_experiments in
   List.iter
     (fun (b : experiment) ->
-      match
-        List.find_opt (fun c -> c.e_id = b.e_id) current.s_experiments
-      with
+      match Hashtbl.find_opt cur_exp b.e_id with
       | None -> note "experiment %s only in baseline" b.e_id
       | Some c ->
           let noisy = b.e_wall_s < min_wall_s && c.e_wall_s < min_wall_s in
@@ -256,18 +303,18 @@ let diff ?(threshold = 0.25) ~baseline ~current () =
     baseline.s_experiments;
   List.iter
     (fun (c : experiment) ->
-      if
-        not
-          (List.exists (fun b -> b.e_id = c.e_id) baseline.s_experiments)
-      then note "experiment %s only in current snapshot" c.e_id)
+      if not (Hashtbl.mem base_exp c.e_id) then
+        note "experiment %s only in current snapshot" c.e_id)
     current.s_experiments;
   (* microbenches: match by name; a regression needs both the medians to
      move past the threshold AND the replication CIs to not overlap —
      overlapping intervals mean the difference is within measurement
      noise *)
+  let cur_micro = index_by (fun (c : micro) -> c.m_name) current.s_micro in
+  let base_micro = index_by (fun (b : micro) -> b.m_name) baseline.s_micro in
   List.iter
     (fun (b : micro) ->
-      match List.find_opt (fun c -> c.m_name = b.m_name) current.s_micro with
+      match Hashtbl.find_opt cur_micro b.m_name with
       | None -> note "microbench %S only in baseline" b.m_name
       | Some c ->
           let noisy =
@@ -282,9 +329,42 @@ let diff ?(threshold = 0.25) ~baseline ~current () =
     baseline.s_micro;
   List.iter
     (fun (c : micro) ->
-      if not (List.exists (fun b -> b.m_name = c.m_name) baseline.s_micro)
-      then note "microbench %S only in current snapshot" c.m_name)
+      if not (Hashtbl.mem base_micro c.m_name) then
+        note "microbench %S only in current snapshot" c.m_name)
     current.s_micro;
+  (* sweep cells: match by (algo, clients); events/sec, lower = worse;
+     heap high-water, higher = worse.  The heap mark is deterministic, so
+     it gets no noise band. *)
+  let sweep_key (w : sweep_cell) = Printf.sprintf "%s@%d" w.w_algo w.w_clients in
+  let cur_sweep = index_by sweep_key current.s_sweep in
+  let base_sweep = index_by sweep_key baseline.s_sweep in
+  List.iter
+    (fun (b : sweep_cell) ->
+      match Hashtbl.find_opt cur_sweep (sweep_key b) with
+      | None -> note "sweep cell %s only in baseline" (sweep_key b)
+      | Some c ->
+          let b_eps = events_per_sec ~events:b.w_events ~wall_s:b.w_wall_s in
+          let c_eps = events_per_sec ~events:c.w_events ~wall_s:c.w_wall_s in
+          let noisy = b.w_wall_s < min_wall_s && c.w_wall_s < min_wall_s in
+          classify
+            ~metric:(Printf.sprintf "sweep %s events_per_sec" (sweep_key b))
+            ~base:b_eps ~cur:c_eps
+            ~slowdown:(if c_eps <= 0.0 then Float.nan else b_eps /. c_eps)
+            ~noisy;
+          classify
+            ~metric:(Printf.sprintf "sweep %s heap_hwm" (sweep_key b))
+            ~base:(float_of_int b.w_heap_hwm)
+            ~cur:(float_of_int c.w_heap_hwm)
+            ~slowdown:
+              (if b.w_heap_hwm <= 0 then Float.nan
+               else float_of_int c.w_heap_hwm /. float_of_int b.w_heap_hwm)
+            ~noisy:false)
+    baseline.s_sweep;
+  List.iter
+    (fun (c : sweep_cell) ->
+      if not (Hashtbl.mem base_sweep (sweep_key c)) then
+        note "sweep cell %s only in current snapshot" (sweep_key c))
+    current.s_sweep;
   (* engine probe: events/sec, lower = worse; heap high-water, higher =
      worse (a space regression) *)
   (match (baseline.s_engine, current.s_engine) with

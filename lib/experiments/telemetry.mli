@@ -43,6 +43,18 @@ type probe = {
   p_heap_hwm : int;  (** event-heap high-water mark of the probe run *)
 }
 
+(** One cell of the client-population scalability sweep
+    ({!Client_sweep}).  Cells are keyed by (algo, clients) in diffs;
+    events/sec falling or heap_hwm rising past the threshold is a
+    regression. *)
+type sweep_cell = {
+  w_clients : int;
+  w_algo : string;
+  w_events : int;
+  w_wall_s : float;
+  w_heap_hwm : int;
+}
+
 type snapshot = {
   s_schema : string;  (** {!schema_version} *)
   s_repro : string;  (** {!Report.repro_line} verbatim *)
@@ -55,6 +67,9 @@ type snapshot = {
   s_quick : bool;
   s_experiments : experiment list;
   s_micro : micro list;
+  s_sweep : sweep_cell list;
+      (** empty when the sweep was not run; the field is additive — old
+          snapshots without it still parse *)
   s_engine : probe option;
 }
 

@@ -12,7 +12,16 @@ type node = {
 
 type victim = { page : int; dirty : bool }
 
-type t = { cap : int; table : (int, node) Hashtbl.t; sentinel : node }
+type t = {
+  cap : int;
+  table : (int, node) Hashtbl.t;
+  sentinel : node;
+  (* residency hooks: fired whenever a page enters or leaves the pool, so
+     an external index (e.g. the server's page -> caching-clients map) can
+     track membership without scanning pools *)
+  mutable on_add : (int -> unit) option;
+  mutable on_drop : (int -> unit) option;
+}
 
 let make_sentinel () =
   let rec s = { page = -1; dirty = false; pins = 0; prev = s; next = s } in
@@ -24,7 +33,16 @@ let create ~capacity =
     cap = capacity;
     table = Hashtbl.create (2 * capacity);
     sentinel = make_sentinel ();
+    on_add = None;
+    on_drop = None;
   }
+
+let set_residency_hook t ~on_add ~on_drop =
+  t.on_add <- Some on_add;
+  t.on_drop <- Some on_drop
+
+let fire_add t page = match t.on_add with Some f -> f page | None -> ()
+let fire_drop t page = match t.on_drop with Some f -> f page | None -> ()
 
 let capacity t = t.cap
 let size t = Hashtbl.length t.table
@@ -58,6 +76,7 @@ let evict_one t =
   let v = find t.sentinel.prev in
   unlink v;
   Hashtbl.remove t.table v.page;
+  fire_drop t v.page;
   { page = v.page; dirty = v.dirty }
 
 let insert t page ~dirty =
@@ -80,6 +99,7 @@ let insert t page ~dirty =
       in
       push_front t n;
       Hashtbl.replace t.table page n;
+      fire_add t page;
       victim
 
 let is_dirty t page =
@@ -96,6 +116,7 @@ let remove t page =
   | Some n ->
       unlink n;
       Hashtbl.remove t.table page;
+      fire_drop t page;
       n.dirty
 
 let pin t page =
@@ -127,6 +148,12 @@ let dirty_pages t =
     t.table []
 
 let clear t =
+  (match t.on_drop with
+  | None -> ()
+  | Some f ->
+      (* enumerate before the reset so the hook sees every dropped page *)
+      let pages = Hashtbl.fold (fun p _ acc -> p :: acc) t.table [] in
+      List.iter f pages);
   Hashtbl.reset t.table;
   t.sentinel.next <- t.sentinel;
   t.sentinel.prev <- t.sentinel

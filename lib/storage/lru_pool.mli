@@ -15,6 +15,13 @@ type victim = { page : int; dirty : bool }
     (raises [Invalid_argument] if non-positive). *)
 val create : capacity:int -> t
 
+(** [set_residency_hook t ~on_add ~on_drop] registers callbacks fired when
+    a page becomes resident ([insert] of a new page) or stops being
+    resident ([insert] eviction, [remove], [clear]).  Lets an external
+    index mirror the pool's membership without ever scanning it; replaces
+    any previously registered hook. *)
+val set_residency_hook : t -> on_add:(int -> unit) -> on_drop:(int -> unit) -> unit
+
 val capacity : t -> int
 val size : t -> int
 val mem : t -> int -> bool

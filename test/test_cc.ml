@@ -424,6 +424,394 @@ let prop_lock_queue_drains =
            (fun page -> Lock_table.waiting lt ~page = [])
            [ 0; 1; 2; 3 ])
 
+(* ------------------------------------------------------------------ *)
+(* Lock_table: differential check against the list-based original      *)
+(* ------------------------------------------------------------------ *)
+
+(* The original association-list implementation the map-indexed table
+   replaced, kept verbatim as an executable reference model.  Every
+   operation is O(holders + waiters) here, which is fine at test sizes
+   and makes the semantics easy to audit by eye. *)
+module Model = struct
+  type mode = Lock_table.mode = S | X
+
+  type owner = int
+
+  type waiter = {
+    w_owner : owner;
+    w_mode : mode;
+    w_upgrade : bool;
+    w_wake : unit -> unit;
+  }
+
+  type entry = {
+    mutable held : (owner * mode) list;
+    mutable queue : waiter list; (* FCFS; upgrades inserted at the front *)
+  }
+
+  type t = {
+    pages : (int, entry) Hashtbl.t;
+    by_owner : (owner, (int, unit) Hashtbl.t) Hashtbl.t;
+  }
+
+  let create () = { pages = Hashtbl.create 64; by_owner = Hashtbl.create 16 }
+
+  let entry t page =
+    match Hashtbl.find_opt t.pages page with
+    | Some e -> e
+    | None ->
+        let e = { held = []; queue = [] } in
+        Hashtbl.replace t.pages page e;
+        e
+
+  let note_held t owner page =
+    let set =
+      match Hashtbl.find_opt t.by_owner owner with
+      | Some s -> s
+      | None ->
+          let s = Hashtbl.create 16 in
+          Hashtbl.replace t.by_owner owner s;
+          s
+    in
+    Hashtbl.replace set page ()
+
+  let note_released t owner page =
+    match Hashtbl.find_opt t.by_owner owner with
+    | None -> ()
+    | Some s ->
+        Hashtbl.remove s page;
+        if Hashtbl.length s = 0 then Hashtbl.remove t.by_owner owner
+
+  let drop_entry_if_empty t page e =
+    if e.held = [] && e.queue = [] then Hashtbl.remove t.pages page
+
+  let compatible mode holders ~except =
+    match mode with
+    | S -> List.for_all (fun (o, m) -> o = except || m = S) holders
+    | X -> List.for_all (fun (o, _) -> o = except) holders
+
+  let rec grant_from_queue t page e =
+    match e.queue with
+    | [] -> ()
+    | w :: rest ->
+        let can =
+          if w.w_upgrade then
+            match e.held with
+            | [ (o, S) ] when o = w.w_owner -> true
+            | _ -> false
+          else compatible w.w_mode e.held ~except:w.w_owner
+        in
+        if can then begin
+          e.queue <- rest;
+          (if w.w_upgrade then
+             e.held <-
+               List.map
+                 (fun (o, m) -> if o = w.w_owner then (o, X) else (o, m))
+                 e.held
+           else begin
+             e.held <- (w.w_owner, w.w_mode) :: e.held;
+             note_held t w.w_owner page
+           end);
+          w.w_wake ();
+          grant_from_queue t page e
+        end
+
+  type outcome = Granted | Blocked of owner list
+
+  let blockers_for e ~owner ~mode ~upgrade =
+    let holder_blockers =
+      List.filter_map
+        (fun (o, m) ->
+          if o = owner then None
+          else
+            match (mode, m) with
+            | S, S -> None
+            | S, X | X, S | X, X -> Some o)
+        e.held
+    in
+    let queue_blockers =
+      if upgrade then []
+      else
+        List.filter_map
+          (fun w ->
+            if w.w_owner = owner then None
+            else
+              match (mode, w.w_mode) with
+              | S, S -> None
+              | S, X | X, S | X, X -> Some w.w_owner)
+          e.queue
+    in
+    List.sort_uniq Int.compare (holder_blockers @ queue_blockers)
+
+  let request t ~page owner mode ~wake =
+    let e = entry t page in
+    if List.exists (fun w -> w.w_owner = owner) e.queue then
+      Blocked
+        (match List.find_opt (fun w -> w.w_owner = owner) e.queue with
+        | Some w -> blockers_for e ~owner ~mode:w.w_mode ~upgrade:w.w_upgrade
+        | None -> [])
+    else
+      match List.assoc_opt owner e.held with
+      | Some X -> Granted
+      | Some S when mode = S -> Granted
+      | Some S ->
+          if List.length e.held = 1 then begin
+            e.held <- [ (owner, X) ];
+            Granted
+          end
+          else begin
+            let blockers = blockers_for e ~owner ~mode:X ~upgrade:true in
+            e.queue <-
+              { w_owner = owner; w_mode = X; w_upgrade = true; w_wake = wake }
+              :: e.queue;
+            Blocked blockers
+          end
+      | None ->
+          let free_now = e.queue = [] && compatible mode e.held ~except:owner in
+          if free_now then begin
+            e.held <- (owner, mode) :: e.held;
+            note_held t owner page;
+            Granted
+          end
+          else begin
+            let blockers = blockers_for e ~owner ~mode ~upgrade:false in
+            e.queue <-
+              e.queue
+              @ [
+                  {
+                    w_owner = owner;
+                    w_mode = mode;
+                    w_upgrade = false;
+                    w_wake = wake;
+                  };
+                ];
+            Blocked blockers
+          end
+
+  let release t ~page owner =
+    match Hashtbl.find_opt t.pages page with
+    | None -> ()
+    | Some e ->
+        if List.mem_assoc owner e.held then begin
+          e.held <- List.remove_assoc owner e.held;
+          note_released t owner page;
+          e.queue <-
+            List.map
+              (fun w ->
+                if w.w_owner = owner && w.w_upgrade then
+                  { w with w_upgrade = false }
+                else w)
+              e.queue;
+          grant_from_queue t page e;
+          drop_entry_if_empty t page e
+        end
+
+  let release_all t owner =
+    match Hashtbl.find_opt t.by_owner owner with
+    | None -> []
+    | Some s ->
+        let pages = Hashtbl.fold (fun p () acc -> p :: acc) s [] in
+        List.iter (fun p -> release t ~page:p owner) pages;
+        pages
+
+  let cancel_wait t ~page owner =
+    match Hashtbl.find_opt t.pages page with
+    | None -> ()
+    | Some e ->
+        e.queue <- List.filter (fun w -> w.w_owner <> owner) e.queue;
+        grant_from_queue t page e;
+        drop_entry_if_empty t page e
+
+  let cancel_all_waits t owner =
+    let pages =
+      Hashtbl.fold
+        (fun page e acc ->
+          if List.exists (fun w -> w.w_owner = owner) e.queue then page :: acc
+          else acc)
+        t.pages []
+    in
+    List.iter (fun page -> cancel_wait t ~page owner) pages
+
+  let downgrade t ~page owner =
+    match Hashtbl.find_opt t.pages page with
+    | None -> ()
+    | Some e -> (
+        match List.assoc_opt owner e.held with
+        | Some X ->
+            e.held <-
+              List.map
+                (fun (o, m) -> if o = owner then (o, S) else (o, m))
+                e.held;
+            grant_from_queue t page e
+        | Some S | None -> ())
+
+  let held t ~page owner =
+    match Hashtbl.find_opt t.pages page with
+    | None -> None
+    | Some e -> List.assoc_opt owner e.held
+
+  let holders t ~page =
+    match Hashtbl.find_opt t.pages page with None -> [] | Some e -> e.held
+
+  let waiting t ~page =
+    match Hashtbl.find_opt t.pages page with
+    | None -> []
+    | Some e -> List.map (fun w -> (w.w_owner, w.w_mode)) e.queue
+
+  let pages_held_by t owner =
+    match Hashtbl.find_opt t.by_owner owner with
+    | None -> []
+    | Some s -> Hashtbl.fold (fun p () acc -> p :: acc) s []
+
+  let all_waiting t =
+    Hashtbl.fold
+      (fun page e acc ->
+        List.fold_left
+          (fun acc w -> (page, w.w_owner, w.w_mode) :: acc)
+          acc e.queue)
+      t.pages []
+
+  let blockers t ~page owner =
+    match Hashtbl.find_opt t.pages page with
+    | None -> []
+    | Some e -> (
+        match List.find_opt (fun w -> w.w_owner = owner) e.queue with
+        | None -> []
+        | Some w ->
+            let earlier =
+              let rec take acc = function
+                | [] -> List.rev acc
+                | x :: _ when x.w_owner = owner && x.w_mode = w.w_mode ->
+                    List.rev acc
+                | x :: rest -> take (x :: acc) rest
+              in
+              take [] e.queue
+            in
+            blockers_for
+              { e with queue = earlier }
+              ~owner ~mode:w.w_mode ~upgrade:w.w_upgrade)
+
+  let locks_held t =
+    Hashtbl.fold (fun _ e acc -> acc + List.length e.held) t.pages 0
+
+  let waiting_count t =
+    Hashtbl.fold (fun _ e acc -> acc + List.length e.queue) t.pages 0
+end
+
+(* Drive both tables through the same random operation sequence and
+   demand agreement after every step: request outcomes (blocker sets),
+   wake callbacks, and every observable accessor.  The one sanctioned
+   divergence is wake *order* under the bulk operations — the rewrite
+   visits pages in ascending page order where the original used hash
+   order — so those two ops compare wake logs as sets; everything else,
+   including FCFS wake order within a page, must match exactly. *)
+let prop_lock_matches_list_model =
+  QCheck.Test.make ~name:"map table matches list-based reference model"
+    ~count:500
+    QCheck.(
+      list_of_size Gen.(int_range 1 80)
+        (triple (int_bound 9) (int_bound 4) (int_bound 5)))
+    (fun ops ->
+      let lt = Lock_table.create () in
+      let m = Model.create () in
+      let pages = [ 0; 1; 2; 3; 4; 5 ] and owners = [ 0; 1; 2; 3; 4 ] in
+      let log_lt = ref [] and log_m = ref [] in
+      let drain r =
+        let l = List.rev !r in
+        r := [];
+        l
+      in
+      let sorted l = List.sort compare l in
+      let fail i what =
+        QCheck.Test.fail_reportf "op %d: %s diverges from the model" i what
+      in
+      let outcome_eq o1 o2 =
+        match (o1, o2) with
+        | Lock_table.Granted, Model.Granted -> true
+        | Lock_table.Blocked a, Model.Blocked b -> sorted a = sorted b
+        | _ -> false
+      in
+      let step i (kind, owner, page) =
+        let request mode =
+          let o1 =
+            Lock_table.request lt ~page owner mode ~wake:(fun () ->
+                log_lt := (page, owner) :: !log_lt)
+          in
+          let o2 =
+            Model.request m ~page owner mode ~wake:(fun () ->
+                log_m := (page, owner) :: !log_m)
+          in
+          if not (outcome_eq o1 o2) then fail i "request outcome";
+          true
+        in
+        (* [ordered] - whether the wake logs must match as sequences *)
+        let ordered =
+          match kind with
+          | 0 | 1 -> request S
+          | 2 | 3 | 4 -> request X
+          | 5 ->
+              Lock_table.release lt ~page owner;
+              Model.release m ~page owner;
+              true
+          | 6 ->
+              let p1 = Lock_table.release_all lt owner in
+              let p2 = Model.release_all m owner in
+              if sorted p1 <> sorted p2 then fail i "release_all pages";
+              false
+          | 7 ->
+              Lock_table.cancel_wait lt ~page owner;
+              Model.cancel_wait m ~page owner;
+              true
+          | 8 ->
+              Lock_table.cancel_all_waits lt owner;
+              Model.cancel_all_waits m owner;
+              false
+          | _ ->
+              Lock_table.downgrade lt ~page owner;
+              Model.downgrade m ~page owner;
+              true
+        in
+        let w1 = drain log_lt and w2 = drain log_m in
+        if if ordered then w1 <> w2 else sorted w1 <> sorted w2 then
+          fail i "wake log";
+        Lock_table.check_invariants lt;
+        if Lock_table.locks_held lt <> Model.locks_held m then
+          fail i "locks_held";
+        if Lock_table.waiting_count lt <> Model.waiting_count m then
+          fail i "waiting_count";
+        if sorted (Lock_table.all_waiting lt) <> sorted (Model.all_waiting m)
+        then fail i "all_waiting";
+        List.iter
+          (fun p ->
+            if
+              sorted (Lock_table.holders lt ~page:p)
+              <> sorted (Model.holders m ~page:p)
+            then fail i "holders";
+            if Lock_table.waiting lt ~page:p <> Model.waiting m ~page:p then
+              fail i "wait queue";
+            List.iter
+              (fun o ->
+                if Lock_table.held lt ~page:p o <> Model.held m ~page:p o then
+                  fail i "held";
+                if
+                  sorted (Lock_table.blockers lt ~page:p o)
+                  <> sorted (Model.blockers m ~page:p o)
+                then fail i "blockers")
+              owners)
+          pages;
+        List.iter
+          (fun o ->
+            if
+              sorted (Lock_table.pages_held_by lt o)
+              <> sorted (Model.pages_held_by m o)
+            then fail i "pages_held_by";
+            if Lock_table.holds_any lt o <> (Model.pages_held_by m o <> [])
+            then fail i "holds_any")
+          owners
+      in
+      List.iteri step ops;
+      true)
+
 let suites =
   [
     ( "lock_table",
@@ -442,7 +830,11 @@ let suites =
         case "downgrade" test_downgrade;
       ] );
     qsuite "lock-props"
-      [ prop_lock_invariants_random_ops; prop_lock_queue_drains ];
+      [
+        prop_lock_invariants_random_ops;
+        prop_lock_queue_drains;
+        prop_lock_matches_list_model;
+      ];
     ( "waits_for",
       [
         case "no cycle" test_no_cycle;

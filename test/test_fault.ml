@@ -237,6 +237,44 @@ let test_server_faults_audited () =
   in
   Alcotest.(check bool) "server crashes actually happened" true (crashes > 0)
 
+(* The population-scaling refactors (map-indexed lock table, flat lease
+   sweep, gauge-based sampler probes) must not disturb cross-jobs
+   determinism at fleet scale: a 10k-client run under an active
+   client-crash plan must produce bit-identical results whether its
+   replications run sequentially or on a 4-worker pool. *)
+let test_large_population_deterministic_across_jobs () =
+  let cfg = Core.Sys_params.table5 ~n_clients:10_000 () in
+  let xp =
+    Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+  in
+  (* [Plan.default] is tuned for 50-client chaos runs; at fleet scale its
+     per-client crash rate and 1 s request timeout produce a genuine
+     (modeled) congestion collapse — MPL-admission queueing alone exceeds
+     the timeout, so every request retries forever and nothing commits.
+     Scale the per-client crash mean so the *fleet* crash rate stays at
+     the 50-client default, and stretch the timeout/lease horizons past
+     the admission-queue delay.  Drops, delays and dups keep their
+     defaults, so the recovery paths still fire (the run below sees ~50
+     crashes and hundreds of dropped messages). *)
+  let fault =
+    {
+      (Fault.Plan.default ~seed:11) with
+      Fault.Plan.crash_mean = 15_000.0;
+      req_timeout = 60.0;
+      max_backoff = 240.0;
+      lease = 600.0;
+      callback_retry = 60.0;
+    }
+  in
+  let spec =
+    Core.Simulator.default_spec ~seed:11 ~warmup_commits:20
+      ~measured_commits:80 ~fault ~cfg ~xact_params:xp Core.Proto.Callback
+  in
+  let seq = Core.Simulator.run_replicated ~jobs:1 spec ~reps:2 in
+  let par = Core.Simulator.run_replicated ~jobs:4 spec ~reps:2 in
+  Alcotest.(check bool) "10k-client faulty run identical at jobs=1 and jobs=4"
+    true (seq = par)
+
 let test_server_verdicts_deterministic_across_jobs () =
   let specs =
     List.map
@@ -313,6 +351,8 @@ let suites =
         case "crashes recovered" test_crashes_recovered;
         case "verdicts deterministic across jobs"
           test_verdicts_deterministic_across_jobs;
+        case "10k clients deterministic across jobs"
+          test_large_population_deterministic_across_jobs;
         case "server faults audited" test_server_faults_audited;
         case "server verdicts deterministic across jobs"
           test_server_verdicts_deterministic_across_jobs;

@@ -31,6 +31,23 @@ let snap () =
           m_ci_hi_ns = 1100.0;
         };
       ];
+    s_sweep =
+      [
+        {
+          w_clients = 1_000;
+          w_algo = "2PL inter";
+          w_events = 2_000_000;
+          w_wall_s = 1.0;
+          w_heap_hwm = 5_000;
+        };
+        {
+          w_clients = 100_000;
+          w_algo = "2PL inter";
+          w_events = 2_000_000;
+          w_wall_s = 1.3;
+          w_heap_hwm = 400_000;
+        };
+      ];
     s_engine = Some { p_wall_s = 0.5; p_events = 200_000; p_heap_hwm = 123 };
   }
 
@@ -49,6 +66,30 @@ let test_json_roundtrip_no_engine () =
   match of_json (to_json s) with
   | Ok s' -> Alcotest.(check bool) "engine=null round-trips" true (s = s')
   | Error e -> Alcotest.failf "parse back failed: %s" e
+
+(* Snapshots written before the sweep section existed have no "sweep"
+   field at all; they must still parse, as an empty sweep. *)
+let remove_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else find (i + 1)
+  in
+  Option.map
+    (fun i -> String.sub s 0 i ^ String.sub s (i + m) (n - i - m))
+    (find 0)
+
+let test_sweep_section_is_additive () =
+  let s = { (snap ()) with s_sweep = [] } in
+  let json = to_json s in
+  match remove_substring ~sub:"  \"sweep\": [],\n" json with
+  | None -> Alcotest.fail "fixture could not remove the sweep section"
+  | Some legacy -> (
+      match of_json legacy with
+      | Ok s' ->
+          Alcotest.(check bool) "parses as empty sweep" true (s'.s_sweep = [])
+      | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
 
 let test_of_json_rejects () =
   (match of_json "{ not json" with
@@ -149,6 +190,45 @@ let test_diff_jitter_floor () =
   let v = diff ~baseline:tiny ~current:slower () in
   Alcotest.(check bool) "sub-jitter cells ignored" true (ok v)
 
+(* Sweep cells: losing events/sec or growing the event heap past the
+   threshold regresses; sub-jitter walls are noise; a cell present on one
+   side only is a note. *)
+let test_diff_sweep_cells () =
+  let s = snap () in
+  let slow =
+    {
+      s with
+      s_sweep =
+        List.map (fun w -> { w with w_wall_s = w.w_wall_s *. 2.0 }) s.s_sweep;
+    }
+  in
+  let v = diff ~baseline:s ~current:slow () in
+  Alcotest.(check bool) "eps regression detected" false (ok v);
+  Alcotest.(check int) "one finding per cell" (List.length s.s_sweep)
+    (List.length v.v_regressions);
+  let bloated =
+    {
+      s with
+      s_sweep =
+        List.map (fun w -> { w with w_heap_hwm = w.w_heap_hwm * 3 }) s.s_sweep;
+    }
+  in
+  let v' = diff ~baseline:s ~current:bloated () in
+  Alcotest.(check bool) "heap regression detected" false (ok v');
+  let tiny w = { w with w_wall_s = 0.002 } in
+  let v'' =
+    diff
+      ~baseline:{ s with s_sweep = List.map tiny s.s_sweep }
+      ~current:
+        { s with s_sweep = List.map (fun w -> { (tiny w) with w_wall_s = 0.02 }) s.s_sweep }
+      ()
+  in
+  Alcotest.(check bool) "sub-jitter sweep cells ignored" true (ok v'');
+  let v''' = diff ~baseline:s ~current:{ s with s_sweep = [] } () in
+  Alcotest.(check bool) "missing cells are notes, not failures" true (ok v''');
+  Alcotest.(check int) "one note per missing cell" (List.length s.s_sweep)
+    (List.length v'''.v_notes)
+
 let test_diff_threshold_and_notes () =
   let s = snap () in
   let mild =
@@ -178,6 +258,7 @@ let () =
         [
           case "round-trip + validator" test_json_roundtrip;
           case "engine=null round-trip" test_json_roundtrip_no_engine;
+          case "sweep section is additive" test_sweep_section_is_additive;
           case "rejects malformed input" test_of_json_rejects;
         ] );
       ( "diff",
@@ -186,6 +267,7 @@ let () =
           case "2x slowdown flagged" test_diff_flags_2x_slowdown;
           case "ci overlap is noise" test_diff_ci_overlap_is_noise;
           case "jitter floor" test_diff_jitter_floor;
+          case "sweep cells" test_diff_sweep_cells;
           case "threshold + mismatch notes" test_diff_threshold_and_notes;
         ] );
     ]
