@@ -275,6 +275,7 @@ let () =
   in
   let csv_buf = Buffer.create 4096 in
   let telemetry = ref [] in
+  let shard_cells = ref [] in
   let t0 = Sys.time () in
   List.iter
     (fun (id, descr, build) ->
@@ -285,6 +286,25 @@ let () =
       let wall = Unix.gettimeofday () -. wall0 in
       Experiments.Report.print_output ~detail:!detail Format.std_formatter out;
       let events = ref 0 in
+      (* the shard sweep's throughput figure doubles as telemetry: its
+         cells are deterministic, so bench-diff treats drift as semantic *)
+      (match out with
+      | Experiments.Suite.Figures (fig :: _) when id = "shard-sweep" ->
+          shard_cells :=
+            List.concat_map
+              (fun (s : Experiments.Exp_defs.series) ->
+                List.map
+                  (fun (x, (r : Core.Simulator.result)) ->
+                    {
+                      Experiments.Telemetry.h_shards = int_of_float x;
+                      h_pattern = s.Experiments.Exp_defs.label;
+                      h_throughput = r.Core.Simulator.throughput;
+                      h_xshard_commits = r.Core.Simulator.xshard_commits;
+                      h_prepares = r.Core.Simulator.prepares;
+                    })
+                  s.Experiments.Exp_defs.points)
+              fig.Experiments.Exp_defs.series
+      | _ -> ());
       (match out with
       | Experiments.Suite.Figures figs ->
           List.iter
@@ -375,6 +395,7 @@ let () =
                   w_heap_hwm = c.sw_heap_hwm;
                 })
               sweep_cells;
+          s_shard = !shard_cells;
           s_engine = Some (engine_probe ());
         }
       in

@@ -515,8 +515,14 @@ let stats_cmd =
 let exp_cmd =
   let ids =
     Arg.(
-      non_empty & pos_all string []
+      value & pos_all string []
       & info [] ~docv:"ID" ~doc:"Experiment ids (see $(b,ccsim list)), or 'all'.")
+  in
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List registered experiment ids with descriptions and exit.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Fewer commits per run.") in
   let detail =
@@ -536,7 +542,21 @@ let exp_cmd =
              cell gains a 95% confidence interval (the ± columns); at 1 \
              they read ±n/a.")
   in
-  let run ids quick detail csv reps jobs =
+  let run ids list_flag quick detail csv reps jobs =
+    if list_flag then begin
+      List.iter
+        (fun (id, descr, _) -> Printf.printf "%-20s %s\n" id descr)
+        Experiments.Suite.all;
+      Printf.printf "%-20s %s\n" "client-sweep"
+        "scalability: engine events/s and heap vs client population \
+         (excluded from 'all')";
+      exit 0
+    end;
+    if ids = [] then begin
+      Printf.eprintf
+        "ccsim: no experiment ids given (try 'ccsim exp --list')\n";
+      exit 1
+    end;
     if reps < 1 then begin
       Printf.eprintf "ccsim: --reps must be >= 1\n";
       exit 1
@@ -611,7 +631,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ ids $ quick $ detail $ csv $ reps $ jobs_arg)
+    Term.(const run $ ids $ list_flag $ quick $ detail $ csv $ reps $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim chaos                                                         *)
@@ -645,6 +665,19 @@ let chaos_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer commits per run.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the database over N shard servers (default 1). \
+             Cross-shard transactions commit via presumed-abort 2PC; the \
+             audit adds per-shard durability and cross-shard atomicity \
+             checks.  With --server-faults the plans come from \
+             Fault.Plan.shard_default: independent per-shard crash \
+             streams plus coordinator amnesia between prepare and \
+             commit.")
+  in
   let server_faults =
     Arg.(
       value & flag
@@ -663,15 +696,21 @@ let chaos_cmd =
             "Deliberately disable commit validation to prove the audit \
              catches protocol violations (expected to FAIL).")
   in
-  let run seeds algos drop crash_mean quick server_faults unsafe jobs =
+  let run seeds algos drop crash_mean quick shards server_faults unsafe jobs =
     if seeds <= 0 then begin
       Printf.eprintf "ccsim: --seeds must be positive\n";
+      exit 1
+    end;
+    if shards < 1 then begin
+      Printf.eprintf "ccsim: --shards must be positive\n";
       exit 1
     end;
     let measured_commits = if quick then 150 else 400 in
     let plan seed =
       let p =
-        if server_faults then Fault.Plan.server_default ~seed
+        if server_faults then
+          if shards > 1 then Fault.Plan.shard_default ~seed
+          else Fault.Plan.server_default ~seed
         else Fault.Plan.default ~seed
       in
       let p =
@@ -693,12 +732,13 @@ let chaos_cmd =
           List.init seeds (fun k ->
               (* validation bypass only shows up under contention, so the
                  violation proof runs on the hot workload *)
-              Experiments.Chaos.spec ~measured_commits ~hot:unsafe
-                ~fault:(plan (k + 1)) algo))
+              Experiments.Chaos.spec ~measured_commits ~n_shards:shards
+                ~hot:unsafe ~fault:(plan (k + 1)) algo))
         algos
     in
-    Format.printf "# chaos: %d plans x %d algorithms, %d commits each, %s@."
-      seeds (List.length algos) measured_commits
+    Format.printf
+      "# chaos: %d plans x %d algorithms, %d commits each, %d shard(s), %s@."
+      seeds (List.length algos) measured_commits shards
       (Experiments.Report.repro_line ~seed:1 ~jobs);
     let verdicts = Experiments.Chaos.sweep ~jobs specs in
     let failures =
@@ -745,8 +785,8 @@ let chaos_cmd =
           and recovers from its redo log, and every run must also pass \
           the durability audit.")
     Term.(
-      const run $ seeds $ algos $ drop $ crash_mean $ quick $ server_faults
-      $ unsafe $ jobs_arg)
+      const run $ seeds $ algos $ drop $ crash_mean $ quick $ shards
+      $ server_faults $ unsafe $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim bench-diff                                                    *)

@@ -37,14 +37,17 @@ let find_cycle_from t start =
   Hashtbl.replace visited start ();
   dfs start [ start ]
 
-let of_lock_table table =
-  let g = create () in
+let add_lock_table g table =
   List.iter
     (fun (page, owner, _mode) ->
       List.iter
         (fun blocker -> add_edge g owner blocker)
         (Lock_table.blockers table ~page owner))
-    (Lock_table.all_waiting table);
+    (Lock_table.all_waiting table)
+
+let of_lock_table table =
+  let g = create () in
+  add_lock_table g table;
   g
 
 let pick_victim ~start_time = function

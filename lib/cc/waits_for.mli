@@ -26,6 +26,11 @@ val find_cycle_from : t -> int -> int list option
 (** Build the lock-wait edges of [table] into a fresh graph. *)
 val of_lock_table : Lock_table.t -> t
 
+(** [add_lock_table g table] adds [table]'s wait edges to [g] — unioning
+    several shards' lock tables into one global graph, so cycles that
+    span shards are found by the same search. *)
+val add_lock_table : t -> Lock_table.t -> unit
+
 (** Youngest victim: of the cycle nodes, the one with the largest
     [start_time] (ties by larger id).  [start_time] maps an owner to when
     its current transaction began. *)

@@ -199,7 +199,8 @@ let handle_async t = function
   | Proto.Update_push { page; version } -> handle_push t page version
   | Proto.Invalidate_page { page } -> handle_invalidate t page
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _
-  | Proto.Aborted _ | Proto.Server_restart _ ->
+  | Proto.Aborted _ | Proto.Server_restart _ | Proto.Vote _
+  | Proto.Decision_ack _ ->
       assert false
 
 (* Per-protocol reconstruction on first sight of a new server epoch
@@ -268,6 +269,10 @@ let dispatch t msg =
       end
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _ ->
       Sim.Mailbox.send t.reply_box msg
+  | Proto.Vote _ | Proto.Decision_ack _ ->
+      (* 2PC traffic terminates at the shard router; it never reaches a
+         client transaction loop *)
+      ()
 
 let dispatcher_loop t () =
   let rec loop () =
@@ -297,7 +302,7 @@ let reply_xid = function
   | Proto.Aborted { xid; _ } ->
       xid
   | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _
-  | Proto.Server_restart _ ->
+  | Proto.Server_restart _ | Proto.Vote _ | Proto.Decision_ack _ ->
       -1
 
 let reply_req = function
@@ -306,7 +311,8 @@ let reply_req = function
   | Proto.Commit_reply { req; _ } ->
       req
   | Proto.Aborted _ | Proto.Callback_request _ | Proto.Update_push _
-  | Proto.Invalidate_page _ | Proto.Server_restart _ ->
+  | Proto.Invalidate_page _ | Proto.Server_restart _ | Proto.Vote _
+  | Proto.Decision_ack _ ->
       -1
 
 (* [req] sequence numbers only advance under an active fault plan; without
@@ -392,6 +398,12 @@ let describe_c2s = function
         (String.concat "," (List.map string_of_int pages))
   | Proto.Dirty_evict { page; _ } -> Printf.sprintf "dirty evict p%d" page
   | Proto.Recovered _ -> "recovered (cold cache)"
+  | Proto.Prepare { update_pages; _ } ->
+      Printf.sprintf "2pc prepare (%d updated pages)"
+        (List.length update_pages)
+  | Proto.Decision { commit; _ } ->
+      if commit then "2pc decision commit" else "2pc decision abort"
+  | Proto.Outcome_query { xid; _ } -> Printf.sprintf "2pc outcome query x%d" xid
 
 let send_xact_msg t msg =
   if Trace.active () then

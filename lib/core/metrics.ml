@@ -34,6 +34,11 @@ type t = {
   mutable n_checkpoints : int;
   mutable server_downtime : float;
   server_recovery : Sim.Stats.t;
+  (* sharding / two-phase-commit counters (all zero with one shard) *)
+  mutable n_prepares : int;
+  mutable n_xshard_commits : int;
+  mutable n_xshard_aborts : int;
+  mutable n_outcome_queries : int;
 }
 
 let create eng =
@@ -68,6 +73,10 @@ let create eng =
     n_checkpoints = 0;
     server_downtime = 0.0;
     server_recovery = Sim.Stats.create ();
+    n_prepares = 0;
+    n_xshard_commits = 0;
+    n_xshard_aborts = 0;
+    n_outcome_queries = 0;
   }
 
 let measure_start t = t.start
@@ -116,6 +125,11 @@ let record_server_recovery t ~downtime ~recovery =
   Sim.Stats.add t.server_recovery recovery
 
 let record_checkpoint t = t.n_checkpoints <- t.n_checkpoints + 1
+let record_prepare t = t.n_prepares <- t.n_prepares + 1
+
+let record_xshard_commit t = t.n_xshard_commits <- t.n_xshard_commits + 1
+let record_xshard_abort t = t.n_xshard_aborts <- t.n_xshard_aborts + 1
+let record_outcome_query t = t.n_outcome_queries <- t.n_outcome_queries + 1
 let total_commits t = t.n_total_commits
 let commits t = t.n_commits
 let aborts t = t.n_deadlock + t.n_stale + t.n_cert + t.n_lease
@@ -150,6 +164,10 @@ let server_killed_xacts t = t.n_server_killed
 let checkpoints t = t.n_checkpoints
 let server_downtime t = t.server_downtime
 let mean_server_recovery t = Sim.Stats.mean t.server_recovery
+let prepares t = t.n_prepares
+let xshard_commits t = t.n_xshard_commits
+let xshard_aborts t = t.n_xshard_aborts
+let outcome_queries t = t.n_outcome_queries
 
 let throughput t ~now =
   let dt = now -. t.start in
@@ -183,4 +201,8 @@ let reset t =
   t.n_server_killed <- 0;
   t.n_checkpoints <- 0;
   t.server_downtime <- 0.0;
-  Sim.Stats.reset t.server_recovery
+  Sim.Stats.reset t.server_recovery;
+  t.n_prepares <- 0;
+  t.n_xshard_commits <- 0;
+  t.n_xshard_aborts <- 0;
+  t.n_outcome_queries <- 0

@@ -66,6 +66,22 @@ val record_server_recovery : t -> downtime:float -> recovery:float -> unit
 (** The server forced a committed-version checkpoint to the log. *)
 val record_checkpoint : t -> unit
 
+(** {1 Sharding / two-phase-commit accounting}
+
+    All zero with a single shard. *)
+
+(** A shard force-logged a 2PC prepare record and voted. *)
+val record_prepare : t -> unit
+
+(** A cross-shard transaction committed (counted once, by the router). *)
+val record_xshard_commit : t -> unit
+
+(** A cross-shard transaction aborted during 2PC (counted once). *)
+val record_xshard_abort : t -> unit
+
+(** A participant queried the decider for an in-doubt outcome. *)
+val record_outcome_query : t -> unit
+
 (** Commits since the simulation (not the window) started — used for warmup
     and run-length control. *)
 val total_commits : t -> int
@@ -114,6 +130,11 @@ val server_downtime : t -> float
 
 (** Mean log-replay time over recorded server recoveries (0 if none). *)
 val mean_server_recovery : t -> float
+
+val prepares : t -> int
+val xshard_commits : t -> int
+val xshard_aborts : t -> int
+val outcome_queries : t -> int
 
 (** Committed transactions per second of window time. *)
 val throughput : t -> now:float -> float

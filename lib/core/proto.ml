@@ -54,6 +54,22 @@ type c2s =
   | Release_retained of { client : int; pages : int list }
   | Dirty_evict of { client : int; xid : int; page : int }
   | Recovered of { client : int }
+  (* Two-phase commit (sharded topologies only).  [Prepare] carries the
+     shard's slice of the commit; [decider] names the shard whose durable
+     commit record is the commit point.  [Decision] delivers the outcome.
+     [Outcome_query] is shard-to-shard: a participant with an in-doubt
+     prepared transaction asks the decider for the outcome. *)
+  | Prepare of {
+      client : int;
+      xid : int;
+      req : int;
+      decider : int;
+      read_set : (int * int) list;
+      update_pages : int list;
+      release_pages : int list;
+    }
+  | Decision of { client : int; xid : int; req : int; commit : bool }
+  | Outcome_query of { shard : int; xid : int }
 
 type s2c =
   | Fetch_reply of { xid : int; req : int; data : (int * int) list }
@@ -70,6 +86,18 @@ type s2c =
   | Update_push of { page : int; version : int }
   | Invalidate_page of { page : int }
   | Server_restart of { epoch : int }
+  (* 2PC replies: a participant's vote on a [Prepare], and its
+     acknowledgement of a [Decision] (with the slice of new versions it
+     installed when committing).  Consumed by the client-side router;
+     they never reach the client transaction loop. *)
+  | Vote of { xid : int; req : int; shard : int; ok : bool; stale_pages : int list }
+  | Decision_ack of {
+      xid : int;
+      req : int;
+      shard : int;
+      committed : bool;
+      new_versions : (int * int) list;
+    }
 
 (* 2^30 attempts per client is far beyond any simulation run *)
 let xid_stride = 1 lsl 30
@@ -83,21 +111,25 @@ let c2s_client = function
   | Callback_reply { client; _ }
   | Release_retained { client; _ }
   | Dirty_evict { client; _ }
-  | Recovered { client } ->
+  | Recovered { client }
+  | Prepare { client; _ }
+  | Decision { client; _ } ->
       client
+  | Outcome_query _ -> -1 (* sent by a shard, not a client *)
 
 let c2s_bytes ~control ~page_size = function
   | Fetch _ | Cert_read _ | Callback_reply _ | Release_retained _
-  | Recovered _ ->
+  | Recovered _ | Decision _ | Outcome_query _ ->
       control
-  | Commit { update_pages; _ } -> control + (page_size * List.length update_pages)
+  | Commit { update_pages; _ } | Prepare { update_pages; _ } ->
+      control + (page_size * List.length update_pages)
   | Dirty_evict _ -> control + page_size
 
 let s2c_bytes ~control ~page_size = function
   | Fetch_reply { data; _ } | Cert_reply { data; _ } ->
       control + (page_size * List.length data)
   | Commit_reply _ | Aborted _ | Callback_request _ | Invalidate_page _
-  | Server_restart _ ->
+  | Server_restart _ | Vote _ | Decision_ack _ ->
       control
   | Update_push _ -> control + page_size
 

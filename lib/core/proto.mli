@@ -72,6 +72,26 @@ type c2s =
   | Recovered of { client : int }
       (** the client rebooted with a cold cache: the server must abort its
           in-flight transaction and free every lock it held *)
+  | Prepare of {
+      client : int;
+      xid : int;
+      req : int;
+      decider : int;
+          (** shard whose durable commit record is the commit point *)
+      read_set : (int * int) list;
+      update_pages : int list;
+      release_pages : int list;
+    }
+      (** 2PC phase one (sharded topologies): this shard's slice of the
+          commit.  The shard validates, force-logs updates plus a prepare
+          record, and answers with a [Vote]. *)
+  | Decision of { client : int; xid : int; req : int; commit : bool }
+      (** 2PC phase two: apply or abort the prepared transaction *)
+  | Outcome_query of { shard : int; xid : int }
+      (** shard-to-shard termination protocol: participant [shard] holds an
+          in-doubt prepared transaction and asks the decider for the
+          outcome; the decider answers with a [Decision] (presumed abort
+          when it has no durable commit record) *)
 
 (** Server-to-client messages. *)
 type s2c =
@@ -97,6 +117,24 @@ type s2c =
       (** the server crashed and recovered; its lock table, callback
           registrations and buffer pool are gone.  Clients run their
           per-protocol reconstruction on first sight of a new epoch *)
+  | Vote of {
+      xid : int;
+      req : int;
+      shard : int;
+      ok : bool;
+      stale_pages : int list;
+    }
+      (** 2PC: participant's vote on a [Prepare]; consumed by the
+          client-side router, never by the client transaction loop *)
+  | Decision_ack of {
+      xid : int;
+      req : int;
+      shard : int;
+      committed : bool;
+      new_versions : (int * int) list;
+    }
+      (** 2PC: participant applied a [Decision]; [new_versions] is its
+          slice of installed versions on commit *)
 
 (** [make_xid ~client ~seq] packs a client id and a per-client attempt
     counter into a globally unique transaction id. *)
@@ -104,7 +142,8 @@ val make_xid : client:int -> seq:int -> int
 
 val xid_client : int -> int
 
-(** Originating client of any client-to-server message. *)
+(** Originating client of any client-to-server message, or [-1] for
+    shard-to-shard messages ([Outcome_query]). *)
 val c2s_client : c2s -> int
 
 (** Message sizes, for packetization: a data-free message costs

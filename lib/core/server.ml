@@ -38,6 +38,21 @@ type xact = {
 
 module Int_set = Set.Make (Int)
 
+(* One prepared (in-doubt) 2PC participant slice: this shard voted yes
+   and holds the transaction's locks/pins and reserved — unpublished —
+   page versions until the decision arrives.  [p_xs = None] after a
+   server crash: the slice was rebuilt from the durable prepare record,
+   so it owns re-acquired locks but no live transaction. *)
+type prep = {
+  p_xs : xact option;
+  p_client : int;
+  p_decider : int;  (* shard whose durable commit record is the commit point *)
+  p_read_pages : int list;
+  p_updates : (int * int) list;  (* reserved (page, version) pairs *)
+  p_release_pages : int list;
+  p_epoch : int;
+}
+
 (* Liveness tracker for the lease sweep.  Arrival times live in a
    doubly-linked list ordered oldest-first: every message moves its
    client's node to the back (arrival times are monotone), so the sweep
@@ -146,9 +161,22 @@ type t = {
       (* page -> log index of the commit record behind its latest version,
          while that record may still be in the buffered log tail (WAL read
          rule: readers force the log before such a page is shipped) *)
+  (* sharded topologies (inert with a single server: [peers = [||]],
+     [prepared]/[pinned] stay empty, and every guard below is an O(1)
+     pure read, keeping one-shard runs bit-identical) *)
+  mutable shard_id : int;
+  mutable peers : t array; (* every shard, self included; [||] unsharded *)
+  prepared : (int, prep) Hashtbl.t; (* xid -> in-doubt 2PC slice *)
+  pinned : (int, int) Hashtbl.t;
+      (* page -> xid: prepare pins under certification, standing in for
+         the locks the optimistic algorithms never take — any competing
+         validation against a pinned page fails while the outcome of the
+         pinning transaction is in doubt *)
+  mutable local_commits : int; (* commits applied on this shard *)
 }
 
-let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
+let create ?(fault = Fault.Plan.none) ?(label = "") eng ~cfg ~db ~algo ~net
+    ~rng ~metrics =
   Sys_params.validate cfg;
   if
     fault.Fault.Plan.server_crash_mean > 0.0
@@ -158,20 +186,21 @@ let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
       "Server.create: a server-crash plan needs a log disk (n_log_disks > \
        0), or committed state cannot survive the crash";
   let cpu =
-    Sim.Facility.create eng ~name:"server-cpu" ~capacity:cfg.Sys_params.n_server_cpus ()
+    Sim.Facility.create eng ~name:(label ^ "server-cpu")
+      ~capacity:cfg.Sys_params.n_server_cpus ()
   in
   let disks =
     Array.init cfg.Sys_params.n_data_disks (fun i ->
         Storage.Disk.create eng
           ~rng:(Sim.Rng.split rng (Printf.sprintf "disk-%d" i))
-          ~name:(Printf.sprintf "data-disk-%d" i)
+          ~name:(Printf.sprintf "%sdata-disk-%d" label i)
           cfg.Sys_params.disk)
   in
   let log_disk_dev =
     if cfg.Sys_params.n_log_disks > 0 then
       Some
         (Storage.Disk.create eng ~rng:(Sim.Rng.split rng "log-disk")
-           ~name:"log-disk" cfg.Sys_params.disk)
+           ~name:(label ^ "log-disk") cfg.Sys_params.disk)
     else None
   in
   let log =
@@ -213,7 +242,26 @@ let create ?(fault = Fault.Plan.none) eng ~cfg ~db ~algo ~net ~rng ~metrics =
     down_since = 0.0;
     durable_commits = Hashtbl.create 64;
     unforced_page = Hashtbl.create 64;
+    shard_id = 0;
+    peers = [||];
+    prepared = Hashtbl.create 16;
+    pinned = Hashtbl.create 64;
+    local_commits = 0;
   }
+
+(* Wire this server into a sharded topology.  [peers] lists every shard
+   (self included) so the union waits-for graph and shard-to-shard
+   messages can reach any of them. *)
+let set_peers t ~shard_id peers =
+  t.shard_id <- shard_id;
+  t.peers <- peers
+
+let sharded t = Array.length t.peers > 0
+
+(* [deliver] is defined at the bottom of the file but shard-to-shard
+   sends need it; tied after its definition. *)
+let deliver_ref : (t -> Proto.c2s -> unit) ref =
+  ref (fun _ _ -> assert false)
 
 (* Only algorithms that can send update notifications ever consult the
    page -> caching-clients index; everyone else skips the bookkeeping. *)
@@ -236,9 +284,9 @@ let cached_by_drop t cid page =
       r := Int_set.remove cid !r;
       if Int_set.is_empty !r then Hashtbl.remove t.cached_by page
 
-let register_clients t links =
+let register_clients ?(hooks = true) t links =
   t.clients <- links;
-  if sends_notifications t then begin
+  if hooks && sends_notifications t then begin
     Hashtbl.reset t.cached_by;
     Array.iteri
       (fun cid link ->
@@ -252,6 +300,13 @@ let register_clients t links =
           (Storage.Lru_pool.pages_mru link.cache_view))
       links
   end
+
+(* Sharded assemblies install one residency-hook dispatcher per client
+   pool (a pool has a single hook slot) and route each page to its
+   shard's index through these. *)
+let residency_add = cached_by_add
+let residency_drop = cached_by_drop
+let notifies = sends_notifications
 let port t = t.sport
 let buffer t = t.buf
 let locks t = t.lock_table
@@ -272,7 +327,8 @@ let reset_stats t =
   Sim.Facility.reset_stats t.sport.Proto.cpu;
   Array.iter Storage.Disk.reset_stats t.disks;
   Option.iter Storage.Disk.reset_stats t.log_disk_dev;
-  Option.iter Storage.Log_manager.reset_stats t.log
+  Option.iter Storage.Log_manager.reset_stats t.log;
+  t.local_commits <- 0
 
 let describe_s2c = function
   | Proto.Fetch_reply { data; _ } ->
@@ -287,6 +343,12 @@ let describe_s2c = function
   | Proto.Invalidate_page { page } -> Printf.sprintf "invalidate p%d" page
   | Proto.Server_restart { epoch } ->
       Printf.sprintf "server restarted (epoch %d)" epoch
+  | Proto.Vote { shard; ok; _ } ->
+      Printf.sprintf "vote %s (shard %d)" (if ok then "yes" else "no") shard
+  | Proto.Decision_ack { shard; committed; _ } ->
+      Printf.sprintf "decision ack %s (shard %d)"
+        (if committed then "committed" else "aborted")
+        shard
 
 let send_to_client t cid msg =
   if Trace.active () then begin
@@ -316,7 +378,49 @@ let send_to_client t cid msg =
     ~src:t.sport ~dst:link.port ~bytes ~deliver:(fun () ->
       Sim.Mailbox.send link.inbox msg)
 
+(* Shard-to-shard transport (the 2PC termination protocol): same network
+   and cost model as any other message, delivered into the peer's normal
+   dispatch. *)
+let send_to_shard t dst msg =
+  let peer = t.peers.(dst) in
+  let bytes =
+    Proto.c2s_bytes ~control:t.cfg.Sys_params.control_msg_bytes
+      ~page_size:t.cfg.Sys_params.page_size msg
+  in
+  Comms.send t.net ~msg_inst:t.cfg.Sys_params.net.Net.Network.msg_inst
+    ~src:t.sport ~dst:peer.sport ~bytes ~deliver:(fun () ->
+      !deliver_ref peer msg)
+
 let tombstoned t xid = Hashtbl.mem t.tombstones xid
+
+(* 2PC pins (certification only): pages whose fate rides on an in-doubt
+   prepared transaction.  Empty in every unsharded run. *)
+let pin_pages t xid pages = List.iter (fun p -> Hashtbl.replace t.pinned p xid) pages
+
+let unpin_xact t xid =
+  if Hashtbl.length t.pinned > 0 then
+    let mine =
+      Hashtbl.fold
+        (fun p owner acc -> if owner = xid then p :: acc else acc)
+        t.pinned []
+    in
+    List.iter (Hashtbl.remove t.pinned) mine
+
+let pin_conflicts t ~xid pages =
+  if Hashtbl.length t.pinned = 0 then []
+  else
+    List.filter
+      (fun page ->
+        match Hashtbl.find_opt t.pinned page with
+        | Some owner -> owner <> xid
+        | None -> false)
+      pages
+
+let client_has_prepared t ~client =
+  Hashtbl.length t.prepared > 0
+  && Hashtbl.fold
+       (fun _ pr acc -> acc || pr.p_client = client)
+       t.prepared false
 
 (* Epoch barrier for handler code resuming from a suspension point (a
    disk access, a CPU charge, a facility queue): if the server crashed
@@ -506,7 +610,10 @@ let undo_installed t xs =
           ~n_updates:(List.length xs.x_installed)
     | Some _ | None -> ()
 
-let abort_xact t xs ~reason ~stale =
+(* [record] and [notify] exist for the sharded paths: a transaction
+   aborted on several shards is counted once, and its client is told by
+   whoever owns the verdict (the 2PC router), not by every shard. *)
+let abort_xact ?(record = true) ?(notify = true) t xs ~reason ~stale =
   if not xs.x_aborted then begin
     xs.x_aborted <- true;
     Hashtbl.replace t.tombstones xs.x_xid ();
@@ -523,7 +630,7 @@ let abort_xact t xs ~reason ~stale =
                | Metrics.Cert_fail -> "certification"
                | Metrics.Lease_reclaim -> "lease reclaimed");
            });
-    Metrics.record_abort t.metrics reason;
+    if record then Metrics.record_abort t.metrics reason;
     List.iter
       (fun (page, cell) ->
         Cc.Lock_table.cancel_wait t.lock_table ~page xs.x_client;
@@ -547,8 +654,61 @@ let abort_xact t xs ~reason ~stale =
        deadlock-detecting handler is not charged the victim's cleanup *)
     Sim.Engine.spawn t.eng (fun () ->
         undo_installed t xs;
-        send_to_client t xs.x_client
-          (Proto.Aborted { xid = xs.x_xid; stale_pages = stale }))
+        if notify then
+          send_to_client t xs.x_client
+            (Proto.Aborted { xid = xs.x_xid; stale_pages = stale }))
+  end
+
+(* ---- sharded deadlock plumbing -------------------------------------- *)
+
+(* Cross-shard transactions hold locks on several shards at once, so a
+   cycle can thread through more than one lock table.  The union graph
+   over every peer finds those; unsharded runs keep the single-table
+   build untouched. *)
+let waits_graph t =
+  if not (sharded t) then Cc.Waits_for.of_lock_table t.lock_table
+  else begin
+    let g = Cc.Waits_for.create () in
+    Array.iter (fun p -> Cc.Waits_for.add_lock_table g p.lock_table) t.peers;
+    g
+  end
+
+let start_time_of t c =
+  if not (sharded t) then
+    match Hashtbl.find_opt t.active_by_client c with
+    | Some xs -> xs.x_start
+    | None -> neg_infinity
+  else
+    Array.fold_left
+      (fun acc p ->
+        match Hashtbl.find_opt p.active_by_client c with
+        | Some xs -> Float.min acc xs.x_start
+        | None -> acc)
+      infinity t.peers
+    |> fun v -> if v = infinity then neg_infinity else v
+
+(* Abort the victim's transaction on every shard where it is active.
+   Metrics and the client notification happen exactly once; returns
+   whether any slice was found. *)
+let abort_victim t ~victim ~reason =
+  if not (sharded t) then
+    match Hashtbl.find_opt t.active_by_client victim with
+    | Some xs ->
+        abort_xact t xs ~reason ~stale:[];
+        true
+    | None -> false
+  else begin
+    let found = ref false in
+    Array.iter
+      (fun p ->
+        match Hashtbl.find_opt p.active_by_client victim with
+        | Some xs when not xs.x_aborted ->
+            abort_xact ~record:(not !found) ~notify:(not !found) p xs ~reason
+              ~stale:[];
+            found := true
+        | Some _ | None -> ())
+      t.peers;
+    !found
   end
 
 (* One blocking request can close several cycles at once, so keep breaking
@@ -556,33 +716,29 @@ let abort_xact t xs ~reason ~stale =
    was chosen as a victim, which clears its wait edges). *)
 let check_deadlock t ~requester =
   let rec break () =
-    let g = Cc.Waits_for.of_lock_table t.lock_table in
+    let g = waits_graph t in
     match Cc.Waits_for.find_cycle_from g requester with
     | None -> ()
     | Some cycle ->
-        let start_time c =
-          match Hashtbl.find_opt t.active_by_client c with
-          | Some xs -> xs.x_start
-          | None -> neg_infinity
+        let victim =
+          Cc.Waits_for.pick_victim ~start_time:(start_time_of t) cycle
         in
-        let victim = Cc.Waits_for.pick_victim ~start_time cycle in
         if Trace.active () then
           Trace.emit (Sim.Engine.now t.eng)
             (Trace.Deadlock { victim_client = victim; cycle });
-        (match Hashtbl.find_opt t.active_by_client victim with
-        | Some xs ->
-            abort_xact t xs ~reason:Metrics.Deadlock ~stale:[];
-            if victim <> requester then break ()
-        | None ->
-            (* a retained-lock holder with no active transaction cannot be
-               in a cycle (it has no outgoing wait edge) *)
-            raise
-              (Server_invariant
-                 {
-                   protocol = Proto.algorithm_name t.algo;
-                   client = victim;
-                   kind = "deadlock-victim-without-active-transaction";
-                 }))
+        if abort_victim t ~victim ~reason:Metrics.Deadlock then begin
+          if victim <> requester then break ()
+        end
+        else
+          (* a retained-lock holder with no active transaction cannot be
+             in a cycle (it has no outgoing wait edge) *)
+          raise
+            (Server_invariant
+               {
+                 protocol = Proto.algorithm_name t.algo;
+                 client = victim;
+                 kind = "deadlock-victim-without-active-transaction";
+               })
   in
   break ()
 
@@ -593,42 +749,57 @@ let check_deadlock t ~requester =
    in-flight callback replies or are caught by a later sweep.  The detector
    arms itself when a request blocks and disarms when nothing waits, so a
    quiescent simulation still drains. *)
+let wait_since_of t c =
+  if not (sharded t) then Hashtbl.find_opt t.wait_since c
+  else
+    Array.fold_left
+      (fun acc p ->
+        match (Hashtbl.find_opt p.wait_since c, acc) with
+        | Some s, Some a -> Some (Float.min s a)
+        | Some s, None -> Some s
+        | None, acc -> acc)
+      None t.peers
+
 let stable_cycle t ~now cycle =
   List.for_all
     (fun c ->
-      match Hashtbl.find_opt t.wait_since c with
+      match wait_since_of t c with
       | Some since -> now -. since >= t.cfg.Sys_params.callback_grace
       | None -> false)
     cycle
 
+let all_waiting_owners t =
+  let of_table tbl =
+    List.map (fun (_, o, _) -> o) (Cc.Lock_table.all_waiting tbl)
+  in
+  let owners =
+    if not (sharded t) then of_table t.lock_table
+    else
+      Array.fold_left
+        (fun acc p -> List.rev_append (of_table p.lock_table) acc)
+        [] t.peers
+  in
+  List.sort_uniq Int.compare owners
+
 let deadlock_sweep t =
   let now = Sim.Engine.now t.eng in
   let rec loop () =
-    let g = Cc.Waits_for.of_lock_table t.lock_table in
-    let owners =
-      List.sort_uniq Int.compare
-        (List.map (fun (_, o, _) -> o) (Cc.Lock_table.all_waiting t.lock_table))
-    in
+    let g = waits_graph t in
     let actionable =
       List.find_map
         (fun o ->
           match Cc.Waits_for.find_cycle_from g o with
           | Some cycle when stable_cycle t ~now cycle -> Some cycle
           | Some _ | None -> None)
-        owners
+        (all_waiting_owners t)
     in
     match actionable with
     | None -> ()
     | Some cycle ->
-        let start_time c =
-          match Hashtbl.find_opt t.active_by_client c with
-          | Some xs -> xs.x_start
-          | None -> neg_infinity
+        let victim =
+          Cc.Waits_for.pick_victim ~start_time:(start_time_of t) cycle
         in
-        let victim = Cc.Waits_for.pick_victim ~start_time cycle in
-        (match Hashtbl.find_opt t.active_by_client victim with
-        | Some xs -> abort_xact t xs ~reason:Metrics.Deadlock ~stale:[]
-        | None -> ());
+        ignore (abort_victim t ~victim ~reason:Metrics.Deadlock);
         loop ()
   in
   loop ()
@@ -928,7 +1099,7 @@ let handle_cert_read t ~client ~xid ~req ~pages =
 (* Commit for the certification algorithms: validate, then atomically bump
    versions (no suspension point between validation and bumping), then pay
    for the log and installation. *)
-let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
+let cert_validate t ~xid ~read_set ~update_pages =
   let stale =
     if t.fault.Fault.Plan.unsafe_skip_validation then []
     else
@@ -939,6 +1110,16 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
           else Some page)
         read_set
   in
+  (* pages pinned by an in-doubt prepared transaction are unreadable and
+     unwritable until its outcome is known; never taken unsharded *)
+  if Hashtbl.length t.pinned = 0 then stale
+  else
+    List.sort_uniq compare
+      (stale
+      @ pin_conflicts t ~xid (List.map fst read_set @ update_pages))
+
+let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
+  let stale = cert_validate t ~xid ~read_set ~update_pages in
   if stale <> [] then begin
     Metrics.record_abort t.metrics Metrics.Cert_fail;
     let reply =
@@ -979,6 +1160,7 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
       Proto.Commit_reply { xid; req; ok = true; new_versions; stale_pages = [] }
     in
     remember_reply t xid reply;
+    t.local_commits <- t.local_commits + 1;
     close_xact t xs;
     send_to_client t client reply
   end
@@ -1112,6 +1294,7 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
     Proto.Commit_reply { xid; req; ok = true; new_versions; stale_pages = [] }
   in
   remember_reply t xid reply;
+  t.local_commits <- t.local_commits + 1;
   close_xact t xs;
   if Trace.active () then
     Trace.emit (Sim.Engine.now t.eng)
@@ -1196,6 +1379,415 @@ let handle_dirty_evict t ~client ~xid ~page =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Two-phase commit (sharded topologies only; presumed abort)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The protocol's normal commit-time lock disposition, shared by the
+   one-round commit and the 2PC decision. *)
+let release_for_commit t ~client ~release_pages =
+  match t.algo with
+  | Proto.Callback ->
+      List.iter
+        (fun p -> Cc.Lock_table.release t.lock_table ~page:p client)
+        release_pages;
+      if not t.cfg.Sys_params.callback_retain_writes then
+        List.iter
+          (fun p ->
+            match Cc.Lock_table.held t.lock_table ~page:p client with
+            | Some Cc.Lock_table.X ->
+                Cc.Lock_table.downgrade t.lock_table ~page:p client
+            | Some Cc.Lock_table.S | None -> ())
+          (Cc.Lock_table.pages_held_by t.lock_table client)
+  | Proto.Two_phase _ | Proto.No_wait _ ->
+      ignore (Cc.Lock_table.release_all t.lock_table client)
+  | Proto.Certification _ -> ()
+
+(* Apply a decision to a prepared slice ([pr] must already be removed
+   from [t.prepared]).  Commit publishes the reserved versions, logs and
+   forces the commit record — re-appending the update records so a
+   checkpoint taken between prepare and decision can never hide them
+   from replay — installs the pages, and releases locks/pins under the
+   protocol's normal commit rules.  Abort discards the reservation.
+   Returns the versions the acknowledgement carries. *)
+let resolve_prepared t pr ~xid ~commit =
+  let fence () = if t.epoch <> pr.p_epoch then raise Server_down in
+  unpin_xact t xid;
+  if commit then begin
+    List.iter
+      (fun (page, version) ->
+        Cc.Version_table.set t.version_table ~page ~version)
+      pr.p_updates;
+    (match t.log with
+    | Some log when t.srv_faulty ->
+        Storage.Log_manager.append_commit log ~xid ~updates:pr.p_updates;
+        note_unforced t log pr.p_updates
+    | Some _ | None -> ());
+    (* the decision force carries the commit record alone: the update
+       images were already forced at prepare *)
+    (match t.log with
+    | Some log -> Storage.Log_manager.force_commit log ~n_updates:0
+    | None -> ());
+    fence ();
+    List.iter
+      (fun (p, _) -> if t.epoch = pr.p_epoch then install_page t p ~dirty:true)
+      pr.p_updates;
+    fence ();
+    (match pr.p_xs with
+    | Some xs ->
+        release_for_commit t ~client:pr.p_client
+          ~release_pages:pr.p_release_pages;
+        close_xact t xs
+    | None ->
+        (* a slice rebuilt from the log owns plain re-acquired locks *)
+        ignore (Cc.Lock_table.release_all t.lock_table pr.p_client));
+    t.local_commits <- t.local_commits + 1;
+    if Trace.active () then
+      Trace.emit (Sim.Engine.now t.eng)
+        (Trace.Commit
+           {
+             client = pr.p_client;
+             xid;
+             n_updates = List.length pr.p_updates;
+           });
+    (let notify_mode =
+       match t.algo with
+       | Proto.No_wait { notify = Some mode } -> Some mode
+       | Proto.No_wait { notify = None } | Proto.Two_phase _ | Proto.Callback
+         ->
+           t.cfg.Sys_params.notify_updates
+       | Proto.Certification _ -> None
+     in
+     match notify_mode with
+     | Some mode when pr.p_updates <> [] ->
+         notify_clients t ~updater:pr.p_client ~mode pr.p_updates
+     | Some _ | None -> ());
+    pr.p_updates
+  end
+  else begin
+    (match pr.p_xs with
+    | Some xs ->
+        (* counted and announced by whoever decided the global abort *)
+        abort_xact ~record:false ~notify:false t xs ~reason:Metrics.Cert_fail
+          ~stale:[]
+    | None ->
+        Hashtbl.replace t.tombstones xid ();
+        ignore (Cc.Lock_table.release_all t.lock_table pr.p_client);
+        (match t.log with
+        | Some log when t.srv_faulty ->
+            Storage.Log_manager.force_abort ~xid log ~n_updates:0
+        | Some _ | None -> ()));
+    []
+  end
+
+(* Participant termination protocol: while a slice stays in doubt,
+   periodically ask the decider for the outcome (presumed abort: it
+   answers commit only from a durable commit record).  A decider whose
+   own slice is still undecided after the nag interval presumes abort
+   unilaterally — safe, because the global commit point is precisely its
+   own durable commit record, which does not exist yet. *)
+let rec nag_in_doubt t xid =
+  if t.faulty then
+    Sim.Engine.spawn t.eng (fun () ->
+        let period = Float.max (4.0 *. t.fault.Fault.Plan.req_timeout) 2.0 in
+        Sim.Engine.hold period;
+        match Hashtbl.find_opt t.prepared xid with
+        | Some pr when pr.p_epoch = t.epoch && not t.down ->
+            if pr.p_decider = t.shard_id then begin
+              Hashtbl.remove t.prepared xid;
+              ignore (resolve_prepared t pr ~xid ~commit:false)
+            end
+            else begin
+              send_to_shard t pr.p_decider
+                (Proto.Outcome_query { shard = t.shard_id; xid });
+              nag_in_doubt t xid
+            end
+        | Some _ | None -> ())
+
+let vote t ~client ~xid ~req ~ok ~stale =
+  send_to_client t client
+    (Proto.Vote { xid; req; shard = t.shard_id; ok; stale_pages = stale })
+
+let prepare_certification t xs ~client ~xid ~req ~decider ~read_set
+    ~update_pages =
+  let stale = cert_validate t ~xid ~read_set ~update_pages in
+  if stale <> [] then begin
+    abort_xact t xs ~notify:false ~reason:Metrics.Cert_fail ~stale:[];
+    vote t ~client ~xid ~req ~ok:false ~stale
+  end
+  else begin
+    (* reserve without publishing: the bump to current+1 happens at
+       decision-commit via [Version_table.set]; until then the pins keep
+       every competing validation away from these pages *)
+    let new_versions =
+      List.map
+        (fun p -> (p, Cc.Version_table.current t.version_table p + 1))
+        update_pages
+    in
+    pin_pages t xid (List.map fst read_set);
+    pin_pages t xid update_pages;
+    charge_updates_received t (List.length update_pages);
+    barrier t xs;
+    (match t.log with
+    | Some log when t.srv_faulty ->
+        Storage.Log_manager.force_prepare log ~xid ~decider
+          ~read_pages:(List.map fst read_set) ~updates:new_versions
+    | Some log when update_pages <> [] ->
+        (* bare cost model: the prepare force writes the update images *)
+        Storage.Log_manager.force_commit log
+          ~n_updates:(List.length update_pages)
+    | Some _ | None -> ());
+    barrier t xs;
+    Metrics.record_prepare t.metrics;
+    Hashtbl.replace t.prepared xid
+      {
+        p_xs = Some xs;
+        p_client = client;
+        p_decider = decider;
+        p_read_pages = List.map fst read_set;
+        p_updates = new_versions;
+        p_release_pages = [];
+        p_epoch = xs.x_epoch;
+      };
+    nag_in_doubt t xid;
+    vote t ~client ~xid ~req ~ok:true ~stale:[]
+  end
+
+let prepare_locking t xs ~client ~xid ~req ~decider ~read_set ~update_pages
+    ~release_pages =
+  (* as in [commit_locking], [read_set] is non-empty only for no-wait
+     clients under faults; the held locks are otherwise the guarantee *)
+  let stale =
+    if read_set = [] || t.fault.Fault.Plan.unsafe_skip_validation then []
+    else
+      List.filter_map
+        (fun (page, version) ->
+          if Cc.Version_table.is_current t.version_table ~page ~version then
+            None
+          else Some page)
+        read_set
+  in
+  if stale <> [] then begin
+    abort_xact t xs ~notify:false ~reason:Metrics.Stale_read ~stale:[];
+    vote t ~client ~xid ~req ~ok:false ~stale
+  end
+  else begin
+    let new_versions =
+      List.map
+        (fun p -> (p, Cc.Version_table.current t.version_table p + 1))
+        update_pages
+    in
+    charge_updates_received t (List.length update_pages);
+    barrier t xs;
+    (match t.log with
+    | Some log when t.srv_faulty ->
+        Storage.Log_manager.force_prepare log ~xid ~decider
+          ~read_pages:(List.map fst read_set) ~updates:new_versions
+    | Some log when update_pages <> [] ->
+        Storage.Log_manager.force_commit log
+          ~n_updates:(List.length update_pages)
+    | Some _ | None -> ());
+    barrier t xs;
+    Metrics.record_prepare t.metrics;
+    Hashtbl.replace t.prepared xid
+      {
+        p_xs = Some xs;
+        p_client = client;
+        p_decider = decider;
+        p_read_pages = List.map fst read_set;
+        p_updates = new_versions;
+        p_release_pages = release_pages;
+        p_epoch = xs.x_epoch;
+      };
+    nag_in_doubt t xid;
+    vote t ~client ~xid ~req ~ok:true ~stale:[]
+  end
+
+(* Traffic for a NEW transaction from a client whose OLDER slice is still
+   prepared here can only mean the old attempt resolved as a global abort:
+   the router replies to the client (and the client moves to its next xid)
+   strictly after every participant acknowledged the decision, and client
+   crashes are deferred across the commit round-trip — so a still-prepared
+   older slice has no durable commit anywhere and presumed abort is
+   consistent.  Settling it NOW, before the new transaction touches the
+   lock table (which is keyed by client, not xid), is what makes the
+   cleanup safe under arbitrary message reordering: a racing
+   [Decision { commit = false }] for the old xid then finds the slice
+   already gone and just re-acknowledges. *)
+let settle_superseded t ~client ~xid =
+  if Hashtbl.length t.prepared > 0 then begin
+    let stale =
+      Hashtbl.fold
+        (fun xid' pr acc ->
+          if pr.p_client = client && xid' < xid && pr.p_epoch = t.epoch then
+            (xid', pr) :: acc
+          else acc)
+        t.prepared []
+    in
+    List.iter
+      (fun (xid', pr) ->
+        Hashtbl.remove t.prepared xid';
+        ignore (resolve_prepared t pr ~xid:xid' ~commit:false))
+      stale
+  end
+
+let handle_prepare t ~client ~xid ~req ~decider ~read_set ~update_pages
+    ~release_pages =
+  match Hashtbl.find_opt t.prepared xid with
+  | Some pr when pr.p_epoch = t.epoch ->
+      (* duplicate of a prepare this shard already accepted: re-vote *)
+      vote t ~client ~xid ~req ~ok:true ~stale:[]
+  | Some _ | None ->
+      if tombstoned t xid then vote t ~client ~xid ~req ~ok:false ~stale:[]
+      else (
+        match finished_reply t xid with
+        | Some reply -> send_to_client t client reply
+        | None when Hashtbl.mem t.durable_commits xid -> (
+            (* this shard already committed the transaction before a crash
+               wiped [completed]: tell the router directly *)
+            match t.log with
+            | Some log -> (
+                match Storage.Log_manager.durable_commit_updates log ~xid with
+                | Some new_versions ->
+                    send_to_client t client
+                      (Proto.Decision_ack
+                         {
+                           xid;
+                           req;
+                           shard = t.shard_id;
+                           committed = true;
+                           new_versions;
+                         })
+                | None ->
+                    raise
+                      (Server_invariant
+                         {
+                           protocol = Proto.algorithm_name t.algo;
+                           client;
+                           kind = "durable-commit-without-log-record";
+                         }))
+            | None -> ())
+        | None ->
+            let xs = admit t ~client ~xid in
+            with_chain t xs (fun () ->
+                if not (still_open t xs) then begin
+                  if tombstoned t xid then
+                    vote t ~client ~xid ~req ~ok:false ~stale:[]
+                  else
+                    match finished_reply t xid with
+                    | Some reply -> send_to_client t client reply
+                    | None -> ()
+                end
+                else if Hashtbl.mem t.prepared xid then
+                  (* a duplicate queued on the chain behind the prepare
+                     that accepted the slice *)
+                  vote t ~client ~xid ~req ~ok:true ~stale:[]
+                else
+                  match t.algo with
+                  | Proto.Certification _ ->
+                      prepare_certification t xs ~client ~xid ~req ~decider
+                        ~read_set ~update_pages
+                  | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
+                      prepare_locking t xs ~client ~xid ~req ~decider
+                        ~read_set ~update_pages ~release_pages))
+
+let decision_ack t ~client ~xid ~req ~committed ~new_versions =
+  send_to_client t client
+    (Proto.Decision_ack { xid; req; shard = t.shard_id; committed; new_versions })
+
+let handle_decision t ~client ~xid ~req ~commit =
+  match Hashtbl.find_opt t.prepared xid with
+  | Some pr when pr.p_epoch = t.epoch ->
+      Hashtbl.remove t.prepared xid;
+      let new_versions = resolve_prepared t pr ~xid ~commit in
+      let reply =
+        Proto.Decision_ack
+          { xid; req; shard = t.shard_id; committed = commit; new_versions }
+      in
+      remember_reply t xid reply;
+      send_to_client t client reply
+  | Some _ | None ->
+      if commit then (
+        match finished_reply t xid with
+        | Some reply -> send_to_client t client reply
+        | None ->
+            if Hashtbl.mem t.durable_commits xid then (
+              match t.log with
+              | Some log -> (
+                  match Storage.Log_manager.durable_commit_updates log ~xid with
+                  | Some new_versions ->
+                      decision_ack t ~client ~xid ~req ~committed:true
+                        ~new_versions
+                  | None ->
+                      raise
+                        (Server_invariant
+                           {
+                             protocol = Proto.algorithm_name t.algo;
+                             client;
+                             kind = "durable-commit-without-log-record";
+                           }))
+              | None -> ())
+            else
+              (* the slice is gone without a durable commit: it resolved
+                 as an abort (presumed abort here or at the decider); the
+                 router learns the truth and aborts the other shards *)
+              decision_ack t ~client ~xid ~req ~committed:false
+                ~new_versions:[])
+      else begin
+        (* abort decision — also covers router cleanup of an attempt that
+           never prepared here: kill any execution-phase slice and
+           tombstone so a late prepare votes no *)
+        (match Hashtbl.find_opt t.active xid with
+        | Some xs when still_open t xs ->
+            abort_xact ~record:false ~notify:false t xs
+              ~reason:Metrics.Cert_fail ~stale:[]
+        | Some _ | None -> ());
+        Hashtbl.replace t.tombstones xid ();
+        decision_ack t ~client ~xid ~req ~committed:false ~new_versions:[]
+      end
+
+(* Shard-to-shard: a prepared participant asks this shard (the decider)
+   for the outcome.  Presumed abort makes the negative answer a durable
+   promise: absent a durable commit record the answer is abort, our own
+   in-doubt slice (if any) resolves the same way, and the tombstone is
+   forced to the log so no post-crash retransmission can re-vote yes. *)
+let handle_outcome_query t ~shard ~xid =
+  Metrics.record_outcome_query t.metrics;
+  let committed =
+    Hashtbl.mem t.durable_commits xid
+    ||
+    match finished_reply t xid with
+    | Some (Proto.Decision_ack { committed; _ }) -> committed
+    | Some (Proto.Commit_reply { ok; _ }) -> ok
+    | Some _ | None -> false
+  in
+  if committed then
+    send_to_shard t shard
+      (Proto.Decision
+         { client = Proto.xid_client xid; xid; req = 0; commit = true })
+  else begin
+    (match Hashtbl.find_opt t.prepared xid with
+    | Some pr when pr.p_epoch = t.epoch ->
+        Hashtbl.remove t.prepared xid;
+        ignore (resolve_prepared t pr ~xid ~commit:false)
+    | Some _ | None -> (
+        match Hashtbl.find_opt t.active xid with
+        | Some xs when t.epoch = xs.x_epoch && not xs.x_aborted ->
+            abort_xact ~record:false ~notify:false t xs
+              ~reason:Metrics.Cert_fail ~stale:[]
+        | Some _ | None ->
+            if not (tombstoned t xid) then begin
+              Hashtbl.replace t.tombstones xid ();
+              match t.log with
+              | Some log when t.srv_faulty ->
+                  Storage.Log_manager.force_abort ~xid log ~n_updates:0
+              | Some _ | None -> ()
+            end));
+    send_to_shard t shard
+      (Proto.Decision
+         { client = Proto.xid_client xid; xid; req = 0; commit = false })
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Lease reclamation (fault plans only)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1204,16 +1796,21 @@ let handle_dirty_evict t ~client ~xid ~page =
    locks retained across transactions, which its empty post-restart cache
    no longer justifies. *)
 let reclaim_client t ~client =
-  (match Hashtbl.find_opt t.active_by_client client with
-  | Some xs -> abort_xact t xs ~reason:Metrics.Lease_reclaim ~stale:[]
-  | None -> ());
-  Cc.Lock_table.cancel_all_waits t.lock_table client;
-  let freed = Cc.Lock_table.release_all t.lock_table client in
-  if freed <> [] then begin
-    Metrics.record_reclaimed t.metrics ~locks:(List.length freed);
-    if Trace.active () then
-      Trace.emit (Sim.Engine.now t.eng)
-        (Trace.Lock_reclaimed { client; pages = freed })
+  (* never touch a client with a prepared 2PC slice: its locks protect an
+     in-doubt transaction whose fate only the termination protocol may
+     settle (the classic 2PC blocking window) *)
+  if not (client_has_prepared t ~client) then begin
+    (match Hashtbl.find_opt t.active_by_client client with
+    | Some xs -> abort_xact t xs ~reason:Metrics.Lease_reclaim ~stale:[]
+    | None -> ());
+    Cc.Lock_table.cancel_all_waits t.lock_table client;
+    let freed = Cc.Lock_table.release_all t.lock_table client in
+    if freed <> [] then begin
+      Metrics.record_reclaimed t.metrics ~locks:(List.length freed);
+      if Trace.active () then
+        Trace.emit (Sim.Engine.now t.eng)
+          (Trace.Lock_reclaimed { client; pages = freed })
+    end
   end
 
 (* Periodic sweep: any client silent for longer than the lease has, by the
@@ -1263,6 +1860,8 @@ let crash_server t =
   heard_reset t.last_heard;
   Hashtbl.reset t.durable_commits;
   Hashtbl.reset t.unforced_page;
+  Hashtbl.reset t.prepared;
+  Hashtbl.reset t.pinned;
   t.n_active <- 0;
   Queue.clear t.ready
 
@@ -1291,6 +1890,55 @@ let recover_server t =
           if committed then Hashtbl.replace t.durable_commits xid ()
           else Hashtbl.replace t.tombstones xid ())
         (Storage.Log_manager.durable_outcomes log);
+      (* in-doubt 2PC slices: re-protect them (write locks or pins)
+         before the server hears its first post-recovery message, then
+         resolve them through the termination protocol *)
+      if sharded t then
+        List.iter
+          (fun (xid, decider, read_pages, updates) ->
+            let client = Proto.xid_client xid in
+            let reacquire mode page =
+              match
+                Cc.Lock_table.request t.lock_table ~page client mode
+                  ~wake:(fun () -> ())
+              with
+              | Cc.Lock_table.Granted -> ()
+              | Cc.Lock_table.Blocked _ ->
+                  (* prepared slices validated/locked disjointly, and the
+                     post-crash table holds nothing else yet *)
+                  raise
+                    (Server_invariant
+                       {
+                         protocol = Proto.algorithm_name t.algo;
+                         client;
+                         kind = "in-doubt-lock-reacquisition-blocked";
+                       })
+            in
+            (match t.algo with
+            | Proto.Certification _ ->
+                pin_pages t xid read_pages;
+                pin_pages t xid (List.map fst updates)
+            | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
+                List.iter
+                  (fun (p, _) -> reacquire Cc.Lock_table.X p)
+                  updates;
+                List.iter
+                  (fun p ->
+                    if not (List.mem_assoc p updates) then
+                      reacquire Cc.Lock_table.S p)
+                  read_pages);
+            Hashtbl.replace t.prepared xid
+              {
+                p_xs = None;
+                p_client = client;
+                p_decider = decider;
+                p_read_pages = read_pages;
+                p_updates = updates;
+                p_release_pages = [];
+                p_epoch = t.epoch;
+              };
+            nag_in_doubt t xid)
+          (Storage.Log_manager.in_doubt log);
       if Trace.active () then
         Trace.emit (Sim.Engine.now t.eng)
           (Trace.Log_replayed
@@ -1311,7 +1959,7 @@ let recover_server t =
       send_to_client t cid (Proto.Server_restart { epoch = t.epoch }))
     t.clients
 
-let start t =
+let start ?crash_rng t =
   if t.faulty && t.fault.Fault.Plan.lease > 0.0 then
     Sim.Engine.spawn t.eng ~name:"lease-sweep" (fun () ->
         let rec loop () =
@@ -1321,7 +1969,11 @@ let start t =
         in
         loop ());
   if t.srv_faulty then begin
-    let srng = Fault.Injector.server_stream t.fault in
+    let srng =
+      match crash_rng with
+      | Some r -> r
+      | None -> Fault.Injector.server_stream t.fault
+    in
     Sim.Engine.spawn t.eng ~name:"server-gremlin" (fun () ->
         let rec loop () =
           Sim.Engine.hold
@@ -1355,10 +2007,13 @@ let start t =
 
 let handle_msg t = function
   | Proto.Fetch { client; xid; req; mode; pages; no_wait } ->
+      settle_superseded t ~client ~xid;
       handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait
   | Proto.Cert_read { client; xid; req; pages } ->
+      settle_superseded t ~client ~xid;
       handle_cert_read t ~client ~xid ~req ~pages
   | Proto.Commit { client; xid; req; read_set; update_pages; release_pages } ->
+      settle_superseded t ~client ~xid;
       handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages
   | Proto.Callback_reply { client; page } ->
       Cc.Lock_table.release t.lock_table ~page client
@@ -1369,6 +2024,13 @@ let handle_msg t = function
       (* best-effort fast path (this notice itself is droppable; the lease
          sweep is the reliable backstop) *)
       reclaim_client t ~client
+  | Proto.Prepare { client; xid; req; decider; read_set; update_pages; release_pages } ->
+      settle_superseded t ~client ~xid;
+      handle_prepare t ~client ~xid ~req ~decider ~read_set ~update_pages
+        ~release_pages
+  | Proto.Decision { client; xid; req; commit } ->
+      handle_decision t ~client ~xid ~req ~commit
+  | Proto.Outcome_query { shard; xid } -> handle_outcome_query t ~shard ~xid
 
 let handle t msg =
   (* a handler overtaken by a server crash dies silently, like any other
@@ -1379,11 +2041,17 @@ let handle t msg =
 let deliver t msg =
   if t.down then () (* a dead server hears nothing; clients retransmit *)
   else begin
-    if t.faulty then
-      heard_touch t.last_heard (Proto.c2s_client msg) ~at:(Sim.Engine.now t.eng);
+    (if t.faulty then
+       let cid = Proto.c2s_client msg in
+       (* shard-to-shard messages carry no client to keep alive *)
+       if cid >= 0 then heard_touch t.last_heard cid ~at:(Sim.Engine.now t.eng));
     Sim.Engine.spawn t.eng (fun () -> handle t msg)
   end
 
+let () = deliver_ref := deliver
 let server_epoch t = t.epoch
 let server_down t = t.down
 let log_manager t = t.log
+let shard_id t = t.shard_id
+let local_commits t = t.local_commits
+let prepared_count t = Hashtbl.length t.prepared

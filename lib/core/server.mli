@@ -36,9 +36,15 @@ type client_link = {
     re-validation of no-wait read sets, callback-request re-sends, and
     lease-based reclamation of locks held by silent clients.  With the
     default [Fault.Plan.none] every one of those paths is inert and the
-    server behaves bit-identically to the original. *)
+    server behaves bit-identically to the original.
+
+    [?label] prefixes the names of this server's CPU facility and disks —
+    sharded assemblies pass ["s<k>-"] so per-resource stats stay
+    distinguishable.  The empty default keeps single-server names
+    unchanged. *)
 val create :
   ?fault:Fault.Plan.t ->
+  ?label:string ->
   Sim.Engine.t ->
   cfg:Sys_params.t ->
   db:Db.Database.t ->
@@ -48,8 +54,37 @@ val create :
   metrics:Metrics.t ->
   t
 
-(** Must be called once, before any message is delivered. *)
-val register_clients : t -> client_link array -> unit
+(** Must be called once, before any message is delivered.  [?hooks]
+    (default true) installs the cache-residency hooks on the client
+    pools; sharded assemblies pass [false] and install one dispatcher
+    hook per pool themselves, routing each page to its shard's
+    {!residency_add}/{!residency_drop}. *)
+val register_clients : ?hooks:bool -> t -> client_link array -> unit
+
+(** {1 Sharded topologies}
+
+    A shard is an ordinary server owning one partition of the page
+    space.  [set_peers] wires it into the topology; with it set, the
+    server accepts the 2PC messages ([Proto.Prepare] / [Proto.Decision]
+    / [Proto.Outcome_query]), resolves in-doubt slices on recovery, and
+    detects deadlocks on the union waits-for graph over every peer's
+    lock table.  Unsharded servers ([peers] never set) are bit-identical
+    to the pre-sharding implementation. *)
+
+(** [set_peers t ~shard_id peers] — [peers] lists every shard, self
+    included, indexed by shard id. *)
+val set_peers : t -> shard_id:int -> t array -> unit
+
+(** Mirror one client pool's residency change into this server's
+    notification directory (sharded assemblies only; see
+    {!register_clients}). *)
+val residency_add : t -> int -> int -> unit
+
+val residency_drop : t -> int -> int -> unit
+
+(** Does this server's algorithm/configuration send update
+    notifications (and hence need the residency directory at all)? *)
+val notifies : t -> bool
 
 (** Start background services: the lease-reclamation sweep (fault plans
     with a positive lease), and — when the plan can crash the server —
@@ -60,8 +95,12 @@ val register_clients : t -> client_link array -> unit
     log-disk read-back, then broadcasts [Proto.Server_restart] so clients
     can run their per-protocol reconstruction.  Handler processes caught
     mid-flight by a crash are fenced by an epoch counter and die
-    silently.  A no-op for inert plans. *)
-val start : t -> unit
+    silently.  A no-op for inert plans.
+
+    [?crash_rng] overrides the crash/restart schedule stream — sharded
+    assemblies pass {!Fault.Injector.shard_stream} so each shard fails
+    independently; the default is the single-server stream. *)
+val start : ?crash_rng:Sim.Rng.t -> t -> unit
 
 (** The server CPU endpoint (for charging inbound messages). *)
 val port : t -> Proto.port
@@ -92,3 +131,13 @@ val server_down : t -> bool
 (** The redo log, when a log disk is configured — the durability audit's
     ground truth ({!Storage.Log_manager.committed_versions}). *)
 val log_manager : t -> Storage.Log_manager.t option
+
+(** This server's shard id (0 unless {!set_peers} was called). *)
+val shard_id : t -> int
+
+(** Commits applied on this shard since the last {!reset_stats} — both
+    one-round commits and 2PC decision-commits. *)
+val local_commits : t -> int
+
+(** In-doubt prepared 2PC slices currently held (tests, audits). *)
+val prepared_count : t -> int

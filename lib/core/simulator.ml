@@ -4,6 +4,7 @@ type spec = {
   xact_params : Db.Xact_params.t;
   mix : (float * Db.Xact_params.t) list option;
   algo : Proto.algorithm;
+  n_shards : int;
   seed : int;
   warmup_commits : int;
   measured_commits : int;
@@ -21,6 +22,7 @@ let default_spec ?(seed = 1) ?(warmup_commits = 300) ?(measured_commits = 2000)
     xact_params;
     mix = None;
     algo;
+    n_shards = 1;
     seed;
     warmup_commits;
     measured_commits;
@@ -75,6 +77,15 @@ type result = {
   checkpoints : int;
   server_downtime : float;
   mean_server_recovery : float;
+  (* sharded topologies (n_shards = 1 and zeros for unsharded runs) *)
+  n_shards : int;
+  prepares : int;
+  xshard_commits : int;
+  xshard_aborts : int;
+  outcome_queries : int;
+  shard_commits : int array;
+      (* commits applied per shard, in shard order — a singleton for
+         unsharded runs; reveals hot-shard skew under Zipf access *)
   (* per-replication point estimates, in seed order (singletons for a
      single run): the raw material for replication confidence intervals.
      Purely additive — every pooled scalar above is computed exactly as
@@ -98,6 +109,8 @@ type rep_stats = {
 let run_with_stats ?audit ?inspect spec =
   Sys_params.validate spec.cfg;
   Fault.Plan.validate spec.fault;
+  if spec.n_shards > 1 then
+    invalid_arg "Simulator.run: sharded specs (n_shards > 1) run via Shard.Sim";
   let cfg = spec.cfg in
   let eng = Sim.Engine.create () in
   let master = Sim.Rng.create spec.seed in
@@ -406,6 +419,12 @@ let run_with_stats ?audit ?inspect spec =
     checkpoints = Metrics.checkpoints metrics;
     server_downtime = Metrics.server_downtime metrics;
     mean_server_recovery = Metrics.mean_server_recovery metrics;
+    n_shards = 1;
+    prepares = Metrics.prepares metrics;
+    xshard_commits = Metrics.xshard_commits metrics;
+    xshard_aborts = Metrics.xshard_aborts metrics;
+    outcome_queries = Metrics.outcome_queries metrics;
+    shard_commits = [| Server.local_commits server |];
     rep_mean_responses = [| Metrics.mean_response metrics |];
     rep_throughputs = [| Metrics.throughput metrics ~now |];
     obs = obs_payload;
@@ -421,14 +440,10 @@ let run_with_stats ?audit ?inspect spec =
 
 let run ?audit ?inspect spec = fst (run_with_stats ?audit ?inspect spec)
 
-let run_replicated ?(jobs = 1) spec ~reps =
-  if reps <= 1 then run spec
-  else begin
-    let specs = List.init reps (fun k -> { spec with seed = spec.seed + k }) in
-    let runs =
-      if jobs > 1 then Sim.Pool.map ~jobs (fun s -> run_with_stats s) specs
-      else List.map (fun s -> run_with_stats s) specs
-    in
+let aggregate runs =
+  if runs = [] then invalid_arg "Simulator.aggregate: no runs";
+  let reps = List.length runs in
+  begin
     let results = List.map fst runs in
     (* Response-time moments and quantiles come from the pooled per-commit
        observations — averaging per-rep stddevs or quantiles is not a
@@ -520,6 +535,18 @@ let run_replicated ?(jobs = 1) spec ~reps =
                a +. (r.mean_server_recovery *. float_of_int r.server_recoveries))
              0.0 results
            /. float_of_int recs);
+      prepares = isum (fun r -> r.prepares);
+      xshard_commits = isum (fun r -> r.xshard_commits);
+      xshard_aborts = isum (fun r -> r.xshard_aborts);
+      outcome_queries = isum (fun r -> r.outcome_queries);
+      shard_commits =
+        (* element-wise sum; every rep runs the same topology *)
+        (let acc = Array.copy first.shard_commits in
+         List.iter
+           (fun r ->
+             Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) r.shard_commits)
+           (List.tl results);
+         acc);
       rep_mean_responses =
         Array.of_list (List.map (fun r -> r.mean_response) results);
       rep_throughputs =
@@ -536,6 +563,17 @@ let run_replicated ?(jobs = 1) spec ~reps =
          in
          if reps = [] then None else Some { Obs.Run.reps });
     }
+  end
+
+let run_replicated ?(jobs = 1) spec ~reps =
+  if reps <= 1 then run spec
+  else begin
+    let specs = List.init reps (fun k -> { spec with seed = spec.seed + k }) in
+    let runs =
+      if jobs > 1 then Sim.Pool.map ~jobs (fun s -> run_with_stats s) specs
+      else List.map (fun s -> run_with_stats s) specs
+    in
+    aggregate runs
   end
 
 let pp_result fmt r =
@@ -561,4 +599,11 @@ let pp_result fmt r =
       " | server: crashes=%d recovered=%d killed=%d ckpts=%d down=%.3fs \
        replay=%.4fs avg"
       r.server_crashes r.server_recoveries r.server_killed_xacts r.checkpoints
-      r.server_downtime r.mean_server_recovery
+      r.server_downtime r.mean_server_recovery;
+  if r.n_shards > 1 then
+    Format.fprintf fmt
+      " | shards: n=%d prepares=%d 2pc-commits=%d 2pc-aborts=%d queries=%d \
+       per-shard=[%s]"
+      r.n_shards r.prepares r.xshard_commits r.xshard_aborts r.outcome_queries
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int r.shard_commits)))

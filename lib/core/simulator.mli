@@ -16,6 +16,12 @@ type spec = {
       (** when set, overrides [xact_params] with a weighted transaction-type
           mix (paper §3.2) *)
   algo : Proto.algorithm;
+  n_shards : int;
+      (** number of shard servers the page space is partitioned over
+          (default 1).  This module runs only unsharded specs; sharded
+          specs are executed by [Shard.Sim], which dispatches
+          [n_shards <= 1] right back here so single-shard topologies are
+          bit-identical to the original simulator. *)
   seed : int;
   warmup_commits : int;
   measured_commits : int;
@@ -86,7 +92,10 @@ type result = {
   msgs_delayed : int;
   msgs_duplicated : int;
   mean_recovery : float;  (** mean crash-to-recovery downtime, seconds *)
-  server_crashes : int;  (** server failures (plans with server faults) *)
+  server_crashes : int;
+      (** server failures (plans with server faults); like every
+          [server_*] availability field below, an aggregate over all
+          [n_shards] servers in a sharded topology *)
   server_recoveries : int;
   server_killed_xacts : int;
       (** in-flight transactions killed by server crashes *)
@@ -96,6 +105,15 @@ type result = {
           replications in {!run_replicated}) *)
   mean_server_recovery : float;
       (** mean log-replay time per recovery, seconds *)
+  n_shards : int;  (** topology the run executed (1 here) *)
+  prepares : int;  (** 2PC prepare slices force-logged (0 unsharded) *)
+  xshard_commits : int;  (** cross-shard transactions committed by 2PC *)
+  xshard_aborts : int;  (** cross-shard transactions aborted at 2PC time *)
+  outcome_queries : int;
+      (** in-doubt participants asking the decider for the outcome *)
+  shard_commits : int array;
+      (** commits applied per shard, in shard order (a singleton for
+          unsharded runs) — reveals hot-shard skew under Zipf access *)
   rep_mean_responses : float array;
       (** each replication's mean response time, in seed order (a
           singleton for a single run) — the raw material for
@@ -129,3 +147,34 @@ val run :
 val run_replicated : ?jobs:int -> spec -> reps:int -> result
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Replication plumbing (for alternative runners)}
+
+    [Shard.Sim] builds its own multi-server assembly but pools
+    replications exactly like {!run_replicated}; these expose the pieces
+    it reuses so the aggregation arithmetic lives in one place. *)
+
+(** Per-replication measurement state a scalar {!result} cannot
+    reconstruct: the response-time accumulator and raw samples (for
+    pooled stddev/quantiles) and hit/lookup counts (for count-weighted
+    ratios). *)
+type rep_stats = {
+  rep_response : Sim.Stats.t;
+  rep_samples : Sim.Stats.Samples.t;
+  rep_lookups : int;
+  rep_hits : int;
+}
+
+(** {!run} plus the replication state needed by {!aggregate}. *)
+val run_with_stats :
+  ?audit:Cc.History.t ->
+  ?inspect:(Server.t -> Client.t array -> unit) ->
+  spec ->
+  result * rep_stats
+
+(** Pool a non-empty list of per-seed runs into one {!result}, with the
+    {!run_replicated} arithmetic: pooled response moments and quantiles,
+    summed counts, denominator-weighted ratios, averaged utilizations,
+    per-rep arrays and observability payloads concatenated in list
+    order. *)
+val aggregate : (result * rep_stats) list -> result

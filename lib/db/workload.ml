@@ -14,6 +14,7 @@ type t = {
   rng : Sim.Rng.t;
   mutable prm : Xact_params.t; (* parameters of the current transaction *)
   mutable recent : Database.obj list; (* InterXactSet, most recent first *)
+  mutable zipf : (float * float array) option; (* cached (skew, class CDF) *)
 }
 
 let create_mix db mix ~rng =
@@ -25,7 +26,7 @@ let create_mix db mix ~rng =
     mix;
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 mix in
   let mix = List.map (fun (w, prm) -> (w /. total, prm)) mix in
-  { db; mix; rng; prm = snd (List.hd mix); recent = [] }
+  { db; mix; rng; prm = snd (List.hd mix); recent = []; zipf = None }
 
 let create db prm ~rng = create_mix db [ (1.0, prm) ] ~rng
 
@@ -60,10 +61,41 @@ let remember t obj =
     t.recent <- obj :: trimmed
   end
 
+(* Zipf(theta) over classes: class [k] with probability proportional to
+   [1/(k+1)^theta].  The normalized CDF is cached per skew value; a mix
+   alternating between skews just rebuilds a 40-entry array. *)
+let zipf_cdf t skew =
+  match t.zipf with
+  | Some (s, cdf) when s = skew -> cdf
+  | _ ->
+      let n = Database.n_classes t.db in
+      let cdf = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (k + 1)) skew);
+        cdf.(k) <- !acc
+      done;
+      for k = 0 to n - 1 do
+        cdf.(k) <- cdf.(k) /. !acc
+      done;
+      t.zipf <- Some (skew, cdf);
+      cdf
+
+let skewed_object t skew =
+  let cdf = zipf_cdf t skew in
+  let u = Sim.Rng.float t.rng in
+  let n = Array.length cdf in
+  let rec find k = if k >= n - 1 || u < cdf.(k) then k else find (k + 1) in
+  let cls = find 0 in
+  let atoms = (Database.params t.db).Db_params.n_pages.(cls) in
+  { Database.cls; start = Sim.Rng.int t.rng atoms }
+
 let pick_object t =
   let p = t.prm.Xact_params.inter_xact_loc in
   if t.recent <> [] && Sim.Rng.bernoulli t.rng p then
     List.nth t.recent (Sim.Rng.int t.rng (List.length t.recent))
+  else if t.prm.Xact_params.class_skew > 0.0 then
+    skewed_object t t.prm.Xact_params.class_skew
   else Database.random_object t.db t.rng
 
 let make_step t =

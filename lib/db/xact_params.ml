@@ -7,6 +7,7 @@ type t = {
   external_delay : float;
   inter_xact_set_size : int;
   inter_xact_loc : float;
+  class_skew : float;
 }
 
 let base ~min_size ~max_size ~update_delay ~internal_delay ~prob_write
@@ -20,6 +21,7 @@ let base ~min_size ~max_size ~update_delay ~internal_delay ~prob_write
     external_delay = 1.0;
     inter_xact_set_size = 20;
     inter_xact_loc;
+    class_skew = 0.0;
   }
 
 let short_batch ?(prob_write = 0.0) ?(inter_xact_loc = 0.05) () =
@@ -45,4 +47,5 @@ let validate t =
   if t.inter_xact_set_size < 0 then
     invalid_arg "Xact_params: inter_xact_set_size < 0";
   if t.update_delay < 0.0 || t.internal_delay < 0.0 || t.external_delay < 0.0
-  then invalid_arg "Xact_params: negative delay"
+  then invalid_arg "Xact_params: negative delay";
+  if t.class_skew < 0.0 then invalid_arg "Xact_params: class_skew < 0"

@@ -22,6 +22,13 @@ type t = {
       (** [InterXactSetSize]: capacity of the recent-objects set *)
   inter_xact_loc : float;
       (** [InterXactLoc]: probability a read comes from the set *)
+  class_skew : float;
+      (** Zipf exponent over classes for reads outside the InterXactSet:
+          class [k] is drawn with probability proportional to
+          [1/(k+1)^class_skew].  [0] (the default, and the paper's model)
+          is uniform; under sharding a positive skew concentrates traffic
+          on the low-numbered classes — i.e. on shard 0 — making it the
+          hot-shard access pattern of the shard sweep. *)
 }
 
 (** Short batch transactions of the paper's Table 5 (4–12 reads, no think

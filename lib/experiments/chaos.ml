@@ -27,7 +27,7 @@ let default_algos =
    crash/recovery counters cover the whole run and the end-state
    bookkeeping below is exact.  The simulation seed is the plan seed —
    one integer reproduces the run. *)
-let spec ?(n_clients = 8) ?(measured_commits = 400)
+let spec ?(n_clients = 8) ?(n_shards = 1) ?(measured_commits = 400)
     ?(max_sim_time = 20_000.0) ?(hot = false) ~fault algo =
   {
     (* [hot] shrinks the database to a contention furnace — the workload
@@ -42,6 +42,7 @@ let spec ?(n_clients = 8) ?(measured_commits = 400)
        else Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.5 ());
     mix = None;
     algo;
+    n_shards;
     seed = fault.Fault.Plan.seed;
     warmup_commits = 0;
     measured_commits;
@@ -56,51 +57,69 @@ let audit_run (sp : Core.Simulator.spec) =
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   let clients_down = ref 0 in
   let srv = sp.Core.Simulator.fault.Fault.Plan.server_crash_mean > 0.0 in
-  let server_down_at_end = ref false in
-  let redo_log = ref None in
-  let inspect server clients =
-    server_down_at_end := Core.Server.server_down server;
-    redo_log := Core.Server.log_manager server;
-    (* lock-table structural invariants *)
-    (try Cc.Lock_table.check_invariants (Core.Server.locks server)
-     with Failure m -> err "lock table: %s" m);
-    (* cache coherence: no client may cache a version the server has not
-       installed yet.  Under server-crash plans a client can legitimately
-       cache an orphaned pre-crash version (bumped but never durable, so
-       absent from the replayed table) — there the guarantee is carried
-       by the durability checks against the redo log instead. *)
-    let vt = Core.Server.versions server in
+  let n_shards = max 1 sp.Core.Simulator.n_shards in
+  (* the directory is a pure function of the database shape, so the audit
+     recomputes the same map the routers used *)
+  let map =
+    Shard.Shard_map.create
+      (Db.Database.create sp.Core.Simulator.db_params)
+      ~n_shards
+  in
+  let shards_down_at_end = ref 0 in
+  let redo_logs = Array.make n_shards None in
+  let inspect servers clients =
+    shards_down_at_end := 0;
+    Array.iteri
+      (fun k server ->
+        if Core.Server.server_down server then incr shards_down_at_end;
+        redo_logs.(k) <- Core.Server.log_manager server;
+        (* per-shard lock-table structural invariants *)
+        (try Cc.Lock_table.check_invariants (Core.Server.locks server)
+         with Failure m -> err "shard %d lock table: %s" k m);
+        (* no committed update lost: every page version the shard's
+           durable log proves committed must be present (or superseded)
+           in that shard's recovered version table.  Skipped while the
+           shard is down — its volatile table is empty until the next
+           replay. *)
+        match redo_logs.(k) with
+        | Some log when srv && not (Core.Server.server_down server) ->
+            let vt = Core.Server.versions server in
+            List.iter
+              (fun (page, v) ->
+                let cur = Cc.Version_table.current vt page in
+                if cur < v then
+                  err
+                    "durability: committed p%d@v%d lost (shard %d table at \
+                     v%d)"
+                    page v k cur)
+              (Storage.Log_manager.committed_versions log)
+        | Some _ | None -> ())
+      servers;
+    (* cache coherence: no client may cache a version the page's owning
+       shard has not installed yet.  Under server-crash plans a client
+       can legitimately cache an orphaned pre-crash version (bumped but
+       never durable, so absent from the replayed table) — there the
+       guarantee is carried by the durability checks against the redo
+       logs instead. *)
     if not srv then
       Array.iteri
         (fun cid c ->
           List.iter
             (fun (page, v) ->
+              let owner = Shard.Shard_map.shard_of_page map page in
+              let vt = Core.Server.versions servers.(owner) in
               let cur = Cc.Version_table.current vt page in
               if v > cur then
-                err "client %d caches p%d@v%d ahead of server v%d" cid page v
-                  cur)
+                err "client %d caches p%d@v%d ahead of shard %d v%d" cid page
+                  v owner cur)
             (Core.Client.cached_versions c))
         clients;
-    (* no committed update lost: every page version the durable log proves
-       committed must be present (or superseded) in the recovered server's
-       version table.  Skipped while the server is down — its volatile
-       table is empty until the next replay. *)
-    (match !redo_log with
-    | Some log when srv && not !server_down_at_end ->
-        List.iter
-          (fun (page, v) ->
-            let cur = Cc.Version_table.current vt page in
-            if cur < v then
-              err "durability: committed p%d@v%d lost (server table at v%d)"
-                page v cur)
-          (Storage.Log_manager.committed_versions log)
-    | Some _ | None -> ());
     clients_down :=
       Array.fold_left
         (fun a c -> if Core.Client.crashed c then a + 1 else a)
         0 clients
   in
-  match Core.Simulator.run ~audit ~inspect sp with
+  match Shard.Shard_sim.run ~audit ~inspect sp with
   | exception e ->
       {
         v_algo = sp.Core.Simulator.algo;
@@ -128,64 +147,112 @@ let audit_run (sp : Core.Simulator.spec) =
           r.Core.Simulator.crashes r.Core.Simulator.recoveries outstanding
           !clients_down;
       if srv then begin
-        (* server crash bookkeeping: down at the end iff one crash is
-           still inside its restart delay *)
+        (* shard crash bookkeeping: the counters aggregate over shards,
+           so crashes - recoveries = shards still inside a restart delay *)
         let s_out =
           r.Core.Simulator.server_crashes - r.Core.Simulator.server_recoveries
         in
-        let down_now = if !server_down_at_end then 1 else 0 in
-        if s_out <> down_now then
+        if s_out <> !shards_down_at_end then
           err
-            "server crash bookkeeping: %d crashes - %d recoveries but \
-             server %s at end"
+            "server crash bookkeeping: %d crashes - %d recoveries but %d \
+             shard(s) down at end"
             r.Core.Simulator.server_crashes r.Core.Simulator.server_recoveries
-            (if !server_down_at_end then "down" else "up");
+            !shards_down_at_end;
         (* the durability audit proper: walk every acknowledged commit in
-           the history against the durable redo log *)
-        match !redo_log with
-        | None -> err "durability: server-crash plan ran without a redo log"
-        | Some log ->
-            let pair_set = Hashtbl.create 1024 in
-            List.iter
-              (fun pv -> Hashtbl.replace pair_set pv ())
-              (Storage.Log_manager.durable_committed_pairs log);
-            List.iter
-              (fun (cr : Cc.History.commit_record) ->
-                (* no acknowledged update may be lost: the client saw ok,
-                   so the commit record and all its updates are durable *)
-                if cr.Cc.History.writes <> [] then begin
-                  match
-                    Storage.Log_manager.durable_commit_updates log
-                      ~xid:cr.Cc.History.xid
-                  with
-                  | None ->
-                      err
-                        "durability: acknowledged commit x%d has no \
-                         durable commit record"
-                        cr.Cc.History.xid
-                  | Some ups ->
-                      List.iter
-                        (fun (p, v) ->
+           the history against the durable redo logs, each write checked
+           on the shard that owns its page *)
+        if Array.for_all Option.is_none redo_logs then
+          err "durability: server-crash plan ran without a redo log"
+        else begin
+          let log_of_page p =
+            redo_logs.(Shard.Shard_map.shard_of_page map p)
+          in
+          let pair_set = Hashtbl.create 1024 in
+          Array.iter
+            (function
+              | Some log ->
+                  List.iter
+                    (fun pv -> Hashtbl.replace pair_set pv ())
+                    (Storage.Log_manager.durable_committed_pairs log)
+              | None -> ())
+            redo_logs;
+          List.iter
+            (fun (cr : Cc.History.commit_record) ->
+              (* no acknowledged update may be lost: the client saw ok,
+                 so every participant's slice of the commit is durable *)
+              List.iter
+                (fun (p, v) ->
+                  match log_of_page p with
+                  | None -> err "durability: page %d owned by a logless shard" p
+                  | Some log -> (
+                      match
+                        Storage.Log_manager.durable_commit_updates log
+                          ~xid:cr.Cc.History.xid
+                      with
+                      | None ->
+                          err
+                            "durability: acknowledged commit x%d has no \
+                             durable commit record on shard %d"
+                            cr.Cc.History.xid
+                            (Shard.Shard_map.shard_of_page map p)
+                      | Some ups ->
                           if not (List.mem (p, v) ups) then
                             err
                               "durability: acknowledged write p%d@v%d of \
                                x%d missing from durable log"
-                              p v cr.Cc.History.xid)
-                        cr.Cc.History.writes
-                end;
-                (* no uncommitted update may be visible: every version a
-                   committed transaction read was durably committed by its
-                   writer (group commit guarantees the writer's records
-                   were forced no later than this reader's) *)
-                List.iter
-                  (fun (p, v) ->
-                    if v > 0 && not (Hashtbl.mem pair_set (p, v)) then
-                      err
-                        "durability: x%d committed after reading \
-                         uncommitted p%d@v%d"
-                        cr.Cc.History.xid p v)
-                  cr.Cc.History.reads)
-              (Cc.History.commits audit)
+                              p v cr.Cc.History.xid))
+                cr.Cc.History.writes;
+              (* no uncommitted update may be visible: every version a
+                 committed transaction read was durably committed by its
+                 writer (group commit guarantees the writer's records
+                 were forced no later than this reader's) *)
+              List.iter
+                (fun (p, v) ->
+                  if v > 0 && not (Hashtbl.mem pair_set (p, v)) then
+                    err
+                      "durability: x%d committed after reading \
+                       uncommitted p%d@v%d"
+                      cr.Cc.History.xid p v)
+                cr.Cc.History.reads)
+            (Cc.History.commits audit)
+        end;
+        (* cross-shard atomicity: presumed abort means an aborted
+           transaction may be absent from every log, but no shard may
+           durably commit a transaction another shard durably aborted *)
+        if n_shards > 1 then begin
+          let outcomes = Hashtbl.create 256 in
+          Array.iteri
+            (fun k -> function
+              | Some log ->
+                  List.iter
+                    (fun (xid, committed) ->
+                      let prev =
+                        Option.value
+                          (Hashtbl.find_opt outcomes xid)
+                          ~default:[]
+                      in
+                      Hashtbl.replace outcomes xid ((committed, k) :: prev))
+                    (Storage.Log_manager.durable_outcomes log)
+              | None -> ())
+            redo_logs;
+          Hashtbl.iter
+            (fun xid l ->
+              let shards_where b =
+                List.filter_map
+                  (fun (c, k) -> if c = b then Some (string_of_int k) else None)
+                  l
+              in
+              let committed = shards_where true
+              and aborted = shards_where false in
+              if committed <> [] && aborted <> [] then
+                err
+                  "atomicity: x%d durably committed on shard(s) [%s] but \
+                   durably aborted on [%s]"
+                  xid
+                  (String.concat ";" committed)
+                  (String.concat ";" aborted))
+            outcomes
+        end
       end;
       {
         v_algo = sp.Core.Simulator.algo;
@@ -218,7 +285,7 @@ let shrink ?(max_steps = 32) (sp : Core.Simulator.spec) =
 let write_repro_trace ?(limit = 200_000) ~file (sp : Core.Simulator.spec) =
   let (), rec_ =
     Obs.Recorder.with_recorder ~limit (fun () ->
-        try ignore (Core.Simulator.run sp) with _ -> ())
+        try ignore (Shard.Shard_sim.run sp) with _ -> ())
   in
   let tagged = Array.map (fun e -> (0, e)) (Obs.Recorder.entries rec_) in
   Obs.Export.write_file file (Obs.Export.trace_text tagged);

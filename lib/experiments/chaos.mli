@@ -32,9 +32,14 @@ val default_algos : Core.Proto.algorithm list
 (** [spec ~fault algo] is a small Table-5 configuration suited to chaos
     auditing: no warmup reset (availability counters cover the whole
     run) and simulation seed tied to the plan seed, so one integer
-    reproduces the run. *)
+    reproduces the run.  [n_shards > 1] partitions the run across shard
+    servers with 2PC cross-shard commits; the audit then additionally
+    checks per-shard durability against each shard's own redo log and
+    cross-shard atomicity (no transaction durably committed on one shard
+    and durably aborted on another). *)
 val spec :
   ?n_clients:int ->
+  ?n_shards:int ->
   ?measured_commits:int ->
   ?max_sim_time:float ->
   ?hot:bool ->

@@ -127,13 +127,22 @@ let placeholder_result (s : Core.Simulator.spec) : Core.Simulator.result =
     checkpoints = 0;
     server_downtime = 0.0;
     mean_server_recovery = 0.0;
+    n_shards = s.Core.Simulator.n_shards;
+    prepares = 0;
+    xshard_commits = 0;
+    xshard_aborts = 0;
+    outcome_queries = 0;
+    shard_commits = [||];
     rep_mean_responses = [||];
     rep_throughputs = [||];
     obs = None;
   }
 
+(* All experiment cells run through the sharding dispatcher: specs with
+   [n_shards <= 1] take the unsharded simulator unchanged (bit-identical
+   figures), sharded specs assemble N servers plus routers. *)
 let execute t spec =
-  Core.Simulator.run_replicated ~jobs:t.jobs spec ~reps:t.opts.reps
+  Shard.Shard_sim.run_replicated ~jobs:t.jobs spec ~reps:t.opts.reps
 
 let run t spec =
   let spec = normalize t spec in
@@ -183,7 +192,7 @@ let run_build t build =
        themselves already saturate the pool. *)
     let results =
       Sim.Pool.map ~jobs:t.jobs
-        (fun (_, spec) -> Core.Simulator.run_replicated spec ~reps:t.opts.reps)
+        (fun (_, spec) -> Shard.Shard_sim.run_replicated spec ~reps:t.opts.reps)
         batch
     in
     List.iter2

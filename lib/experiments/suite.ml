@@ -18,6 +18,7 @@ let spec ~cfg ~db ~xp algo =
     xact_params = xp;
     mix = None;
     algo;
+    n_shards = 1;
     seed = 0;
     warmup_commits = 0;
     measured_commits = 0;
@@ -572,6 +573,62 @@ let mix_extension runner =
       };
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Extension: multi-server sharding (1 -> 16 shards, 2PC)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput and response time versus shard count, under a uniform
+   access pattern (traffic spreads evenly, most commits single-shard at
+   low locality only by luck of the draw) and a Zipf hot-shard pattern
+   (class skew concentrates traffic on shard 0, so extra shards buy
+   little and 2PC overhead dominates).  The 1-shard column runs the
+   unsharded simulator and so doubles as the bit-identity anchor. *)
+let shard_counts = [ 1; 2; 4; 8; 16 ]
+
+let shard_sweep runner =
+  let patterns = [ ("uniform", 0.0); ("zipf-hot", 0.9) ] in
+  let cfg = Core.Sys_params.table5 ~n_clients:50 () in
+  let fig metric =
+    let series =
+      List.map
+        (fun (label, skew) ->
+          {
+            label;
+            points =
+              List.map
+                (fun n_shards ->
+                  let xp =
+                    { (short ~pw:0.2 ~loc:0.25) with
+                      Db.Xact_params.class_skew = skew }
+                  in
+                  let s =
+                    {
+                      (spec ~cfg ~db:table5_db ~xp
+                         (Core.Proto.Two_phase Core.Proto.Inter))
+                      with
+                      Core.Simulator.n_shards;
+                    }
+                  in
+                  (float_of_int n_shards, run runner s))
+                shard_counts;
+          })
+        patterns
+    in
+    {
+      fig_id =
+        (match metric with
+        | Throughput -> "ext-shard(tput)"
+        | Response_time -> "ext-shard(resp)");
+      title =
+        "Extension: multi-server sharding with 2PC (50 clients, 2PL, \
+         Loc=0.25, PW=0.2) — uniform vs hot-shard access";
+      xlabel = "shards";
+      metric;
+      series;
+    }
+  in
+  Figures [ fig Throughput; fig Response_time ]
+
 let all =
   [
     ("acl", "§4 exp 1: ACL comparison, throughput vs MPL (Table 4)", acl);
@@ -604,6 +661,9 @@ let all =
       "ablation: callback retains read locks only vs read+write",
       retain_writes_ablation );
     ("ext-mix", "extension: mixed transaction types (paper §3.2)", mix_extension);
+    ( "shard-sweep",
+      "extension: 1-16 shard servers with 2PC, uniform vs hot-shard access",
+      shard_sweep );
   ]
 
 (* The registry is looked up per id from the CLI and the bench harness;

@@ -48,6 +48,18 @@ type sweep_cell = {
   w_heap_hwm : int;
 }
 
+(* One cell of the shard sweep: paper-style simulated figures under 1-16
+   shard servers with 2PC.  They are deterministic — a drift between
+   snapshots on the same seed is semantic (protocol behavior changed),
+   never measurement noise — so diffs compare them with no noise band. *)
+type shard_cell = {
+  h_shards : int;
+  h_pattern : string;  (* access pattern: uniform | zipf-hot *)
+  h_throughput : float;  (* committed transactions per simulated second *)
+  h_xshard_commits : int;  (* cross-shard 2PC commits *)
+  h_prepares : int;  (* prepare slices force-logged *)
+}
+
 type snapshot = {
   s_schema : string;
   s_repro : string;  (* Report.repro_line verbatim — the provenance header *)
@@ -61,6 +73,7 @@ type snapshot = {
   s_experiments : experiment list;
   s_micro : micro list;
   s_sweep : sweep_cell list;  (* empty when the sweep was not run *)
+  s_shard : shard_cell list;  (* empty when the shard sweep was not run *)
   s_engine : probe option;
 }
 
@@ -115,6 +128,16 @@ let to_json s =
         w.w_heap_hwm)
     s.s_sweep;
   add "%s],\n" (if s.s_sweep = [] then "" else "\n  ");
+  add "  \"shard_sweep\": [";
+  List.iteri
+    (fun i h ->
+      add "%s\n    {\"shards\": %d, \"pattern\": %s, \"throughput\": %s, \
+           \"xshard_commits\": %d, \"prepares\": %d}"
+        (if i = 0 then "" else ",")
+        h.h_shards (q h.h_pattern) (f h.h_throughput) h.h_xshard_commits
+        h.h_prepares)
+    s.s_shard;
+  add "%s],\n" (if s.s_shard = [] then "" else "\n  ");
   (match s.s_engine with
   | None -> add "  \"engine\": null\n"
   | Some p ->
@@ -212,6 +235,21 @@ let of_json text =
                         w_events = int (get "events" w);
                         w_wall_s = num (get "wall_s" w);
                         w_heap_hwm = int (get "heap_hwm" w);
+                      })
+                    (arr a));
+            s_shard =
+              (* additive like the sweep: absent in older snapshots *)
+              (match Obs.Export.member "shard_sweep" j with
+              | None -> []
+              | Some a ->
+                  List.map
+                    (fun h ->
+                      {
+                        h_shards = int (get "shards" h);
+                        h_pattern = str (get "pattern" h);
+                        h_throughput = num (get "throughput" h);
+                        h_xshard_commits = int (get "xshard_commits" h);
+                        h_prepares = int (get "prepares" h);
                       })
                     (arr a));
             s_engine =
@@ -365,6 +403,42 @@ let diff ?(threshold = 0.25) ~baseline ~current () =
       if not (Hashtbl.mem base_sweep (sweep_key c)) then
         note "sweep cell %s only in current snapshot" (sweep_key c))
     current.s_sweep;
+  (* shard cells: match by (pattern, shards).  These are simulated
+     figures, fully deterministic for a given seed — throughput moving
+     past the threshold is a semantic regression (no noise band), and
+     any change at all in the 2PC counters is surfaced as a note. *)
+  let shard_key (h : shard_cell) =
+    Printf.sprintf "%s@%d" h.h_pattern h.h_shards
+  in
+  let cur_shard = index_by shard_key current.s_shard in
+  let base_shard = index_by shard_key baseline.s_shard in
+  List.iter
+    (fun (b : shard_cell) ->
+      match Hashtbl.find_opt cur_shard (shard_key b) with
+      | None -> note "shard cell %s only in baseline" (shard_key b)
+      | Some c ->
+          classify
+            ~metric:(Printf.sprintf "shard %s throughput" (shard_key b))
+            ~base:b.h_throughput ~cur:c.h_throughput
+            ~slowdown:
+              (if c.h_throughput <= 0.0 then Float.nan
+               else b.h_throughput /. c.h_throughput)
+            ~noisy:false;
+          if
+            b.h_xshard_commits <> c.h_xshard_commits
+            || b.h_prepares <> c.h_prepares
+          then
+            note
+              "shard cell %s 2PC counters changed: xshard_commits %d -> %d, \
+               prepares %d -> %d"
+              (shard_key b) b.h_xshard_commits c.h_xshard_commits
+              b.h_prepares c.h_prepares)
+    baseline.s_shard;
+  List.iter
+    (fun (c : shard_cell) ->
+      if not (Hashtbl.mem base_shard (shard_key c)) then
+        note "shard cell %s only in current snapshot" (shard_key c))
+    current.s_shard;
   (* engine probe: events/sec, lower = worse; heap high-water, higher =
      worse (a space regression) *)
   (match (baseline.s_engine, current.s_engine) with

@@ -55,6 +55,19 @@ type sweep_cell = {
   w_heap_hwm : int;
 }
 
+(** One cell of the shard sweep (the [shard-sweep] experiment): simulated
+    paper-style figures under 1-16 shard servers with presumed-abort 2PC.
+    Deterministic for a given seed, so diffs treat drift as semantic
+    change, never noise: throughput past the threshold regresses, and any
+    2PC-counter change is surfaced as a note. *)
+type shard_cell = {
+  h_shards : int;
+  h_pattern : string;  (** access pattern label: uniform | zipf-hot *)
+  h_throughput : float;  (** committed transactions per simulated second *)
+  h_xshard_commits : int;  (** cross-shard 2PC commits *)
+  h_prepares : int;  (** prepare slices force-logged *)
+}
+
 type snapshot = {
   s_schema : string;  (** {!schema_version} *)
   s_repro : string;  (** {!Report.repro_line} verbatim *)
@@ -70,6 +83,9 @@ type snapshot = {
   s_sweep : sweep_cell list;
       (** empty when the sweep was not run; the field is additive — old
           snapshots without it still parse *)
+  s_shard : shard_cell list;
+      (** empty when the shard sweep was not run; additive like
+          [s_sweep] *)
   s_engine : probe option;
 }
 

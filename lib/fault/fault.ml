@@ -15,6 +15,7 @@ module Plan = struct
     lease : float;
     callback_retry : float;
     unsafe_skip_validation : bool;
+    coord_crash_prob : float;
   }
 
   let none =
@@ -34,11 +35,13 @@ module Plan = struct
       lease = 0.0;
       callback_retry = 0.0;
       unsafe_skip_validation = false;
+      coord_crash_prob = 0.0;
     }
 
   let active t =
     t.drop_prob > 0.0 || t.delay_prob > 0.0 || t.dup_prob > 0.0
     || t.crash_mean > 0.0 || t.server_crash_mean > 0.0
+    || t.coord_crash_prob > 0.0
 
   let default ~seed =
     {
@@ -57,6 +60,7 @@ module Plan = struct
       lease = 10.0;
       callback_retry = 1.0;
       unsafe_skip_validation = false;
+      coord_crash_prob = 0.0;
     }
 
   let server_default ~seed =
@@ -76,6 +80,15 @@ module Plan = struct
       server_crash_mean = 8.0;
       server_restart_mean = 0.5;
       checkpoint_interval = 5.0;
+    }
+
+  let shard_default ~seed =
+    {
+      (server_default ~seed) with
+      (* sharded chaos: shard crashes land mid-2PC often enough to
+         exercise in-doubt resolution, and the router forgets an
+         in-flight decision now and then (coordinator amnesia) *)
+      coord_crash_prob = 0.1;
     }
 
   let validate t =
@@ -100,6 +113,7 @@ module Plan = struct
     non_neg "max_backoff" t.max_backoff;
     non_neg "lease" t.lease;
     non_neg "callback_retry" t.callback_retry;
+    prob "coord_crash_prob" t.coord_crash_prob;
     if active t && t.req_timeout <= 0.0 then
       invalid_arg "Fault.Plan: active plan needs req_timeout > 0";
     if active t && t.max_backoff < t.req_timeout then
@@ -124,7 +138,10 @@ module Plan = struct
         t.restart_mean t.server_crash_mean t.server_restart_mean
         t.checkpoint_interval t.req_timeout t.max_backoff t.lease
         t.callback_retry
-        (if t.unsafe_skip_validation then " UNSAFE-NO-VALIDATION" else "")
+        ((if t.coord_crash_prob > 0.0 then
+            Printf.sprintf " coord-crash=%g" t.coord_crash_prob
+          else "")
+        ^ if t.unsafe_skip_validation then " UNSAFE-NO-VALIDATION" else "")
 
   let shrink_candidates t =
     let cands =
@@ -151,6 +168,10 @@ module Plan = struct
         { t with server_crash_mean = t.server_crash_mean *. 2.0 };
         { t with server_restart_mean = t.server_restart_mean /. 2.0 };
         { t with checkpoint_interval = t.checkpoint_interval /. 2.0 };
+        (* sharding dimensions last: additive, so candidate order for
+           pre-sharding plans is unchanged *)
+        { t with coord_crash_prob = 0.0 };
+        { t with coord_crash_prob = t.coord_crash_prob /. 2.0 };
       ]
     in
     List.filter (fun c -> c <> t && active c) cands
@@ -190,4 +211,18 @@ module Injector = struct
 
   let server_stream (plan : Plan.t) =
     Sim.Rng.split (Sim.Rng.create plan.Plan.seed) "fault-server"
+
+  let shard_stream (plan : Plan.t) s =
+    (* shard 0 reuses the single-server stream so one-shard faulty runs
+       keep their crash schedule; other shards get independent streams *)
+    if s = 0 then server_stream plan
+    else
+      Sim.Rng.split
+        (Sim.Rng.create plan.Plan.seed)
+        (Printf.sprintf "fault-server-%d" s)
+
+  let coord_stream (plan : Plan.t) i =
+    Sim.Rng.split
+      (Sim.Rng.create plan.Plan.seed)
+      (Printf.sprintf "fault-coord-%d" i)
 end

@@ -53,6 +53,13 @@ module Plan : sig
             lost-update window that the hardening closes.  Exists so the
             chaos audit has a real violation to catch; never set it in a
             real experiment. *)
+    coord_crash_prob : float;
+        (** sharded topologies: probability that the client-side 2PC
+            coordinator forgets an in-flight cross-shard commit between
+            collecting votes and delivering decisions (coordinator
+            amnesia).  The prepared participants resolve via the
+            termination protocol / the retransmitted commit.  0 with a
+            single shard or no faults. *)
   }
 
   (** The identity plan: no faults, no hardening, bit-identical runs. *)
@@ -73,6 +80,11 @@ module Plan : sig
       clients (isolating the server dimension), server crashes roughly
       once a simulated minute, sub-second restarts, 5 s checkpoints. *)
   val server_default : seed:int -> t
+
+  (** {!server_default} plus the sharding dimension: each shard crashes
+      on its own independent stream, and the 2PC coordinator forgets an
+      in-flight decision 10% of the time. *)
+  val shard_default : seed:int -> t
 
   (** Raises [Invalid_argument] on malformed plans (probabilities outside
       [0,1], negative durations, active plan without a positive timeout,
@@ -115,4 +127,13 @@ module Injector : sig
 
   (** Independent stream for the server's crash/recovery schedule. *)
   val server_stream : Plan.t -> Sim.Rng.t
+
+  (** Independent stream for shard [s]'s crash/recovery schedule.
+      Shard 0 reuses {!server_stream} so one-shard faulty runs keep the
+      single-server crash schedule. *)
+  val shard_stream : Plan.t -> int -> Sim.Rng.t
+
+  (** Independent stream for client [i]'s 2PC coordinator-amnesia
+      draws. *)
+  val coord_stream : Plan.t -> int -> Sim.Rng.t
 end

@@ -1,0 +1,59 @@
+(** Client-side directory router and two-phase-commit coordinator.
+
+    One router fronts each client.  It owns the page->shard directory
+    ({!Shard_map}), splits the client's traffic per shard, and — for
+    transactions whose commit touches more than one shard — runs
+    presumed-abort two-phase commit:
+
+    + [Prepare] fans out one slice (read-set, updates, releases filtered
+      by shard) to every participant; each validates, force-logs the
+      slice plus a prepare record, and answers with a [Vote].
+    + On unanimous yes the commit decision goes to the {e decider}
+      (lowest participant shard) {e alone}; its durable commit record is
+      the global commit point.
+    + Only after the decider acknowledges does the decision fan out to
+      the remaining participants; on any no-vote the abort decision fans
+      out immediately.
+    + The client's [Commit_reply] is delivered only once {e every}
+      participant acknowledged — the lock table is keyed by client, so
+      the next transaction must not start while an old slice survives
+      anywhere.
+
+    Single-shard commits — always, when [n_shards = 1] — bypass all of
+    this and take the ordinary one-round commit path.
+
+    Presumed abort: no outcome is remembered for aborted transactions;
+    the absence of the decider's durable commit record {e is} the abort.
+    Under coordinator-crash fault plans the router can forget an
+    in-flight attempt at the decision point ("amnesia"); prepared
+    participants then either re-vote on the retransmitted prepare or
+    resolve through the shard-to-shard termination protocol
+    ([Outcome_query], answered from durable state only). *)
+
+type t
+
+(** [amnesia] is drawn once per 2PC attempt at the decision point;
+    [send] delivers one message to a shard (charged to the client's
+    CPU); [deliver_client] puts a server-to-client message in the
+    client's real inbox, bypassing the network (the router IS the
+    client's network endpoint). *)
+val create :
+  map:Shard_map.t ->
+  client_id:int ->
+  metrics:Core.Metrics.t ->
+  amnesia:(unit -> bool) ->
+  send:(int -> Core.Proto.c2s -> unit) ->
+  deliver_client:(Core.Proto.s2c -> unit) ->
+  t
+
+(** The client's [to_server]: route one outbound message. *)
+val route : t -> Core.Proto.c2s -> unit
+
+(** Inbound server-to-client traffic from [shard]: votes and decision
+    acknowledgements terminate here; everything else is forwarded to the
+    client (with per-shard restart epochs folded into one monotone
+    virtual epoch). *)
+val on_s2c : t -> shard:int -> Core.Proto.s2c -> unit
+
+(** Transaction id of the in-flight 2PC attempt, if any (tests). *)
+val pending_xid : t -> int option

@@ -1,0 +1,436 @@
+module Simulator = Core.Simulator
+module Server = Core.Server
+module Client = Core.Client
+module Metrics = Core.Metrics
+module Sys_params = Core.Sys_params
+module Proto = Core.Proto
+module Comms = Core.Comms
+module Trace = Core.Trace
+
+(* The sharded counterpart of [Core.Simulator.run_with_stats]: one engine,
+   one network, one metrics hub, one database — and [n_shards] servers,
+   each owning its slice of the page space with its own lock table,
+   buffer, version table, and WAL, plus one router per client splitting
+   traffic and coordinating 2PC.  Replication pooling and the result
+   record are shared with the core simulator. *)
+let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
+  Sys_params.validate spec.cfg;
+  Fault.Plan.validate spec.fault;
+  let n_shards = spec.n_shards in
+  if n_shards < 2 then
+    invalid_arg "Shard_sim.run_with_stats: use Core.Simulator for n_shards <= 1";
+  let cfg = spec.cfg in
+  let eng = Sim.Engine.create () in
+  let master = Sim.Rng.create spec.seed in
+  let db = Db.Database.create spec.db_params in
+  let map = Shard_map.create db ~n_shards in
+  let metrics = Metrics.create eng in
+  let net = Sim.Rng.split master "network" |> fun rng ->
+            Net.Network.create eng ~rng cfg.Sys_params.net in
+  if Fault.Plan.active spec.fault then begin
+    let inj = Fault.Injector.create spec.fault in
+    Net.Network.set_fault_hook net (fun ~bytes ->
+        let v = Fault.Injector.message inj in
+        if v.Fault.Injector.drop then begin
+          Metrics.record_msg_dropped metrics;
+          if Trace.active () then
+            Trace.emit (Sim.Engine.now eng) (Trace.Msg_dropped { bytes })
+        end
+        else begin
+          if v.Fault.Injector.extra_delay > 0.0 then begin
+            Metrics.record_msg_delayed metrics;
+            if Trace.active () then
+              Trace.emit (Sim.Engine.now eng)
+                (Trace.Msg_delayed { bytes; by = v.Fault.Injector.extra_delay })
+          end;
+          if v.Fault.Injector.copies > 1 then
+            Metrics.record_msg_duplicated metrics
+        end;
+        {
+          Net.Network.drop = v.Fault.Injector.drop;
+          extra_delay = v.Fault.Injector.extra_delay;
+          copies = v.Fault.Injector.copies;
+        })
+  end;
+  let servers =
+    Array.init n_shards (fun k ->
+        Server.create ~fault:spec.fault
+          ~label:(Printf.sprintf "s%d-" k)
+          eng ~cfg ~db ~algo:spec.algo ~net
+          ~rng:(Sim.Rng.split master (Printf.sprintf "server-%d" k))
+          ~metrics)
+  in
+  Array.iteri (fun k srv -> Server.set_peers srv ~shard_id:k servers) servers;
+  let clients = Array.make cfg.Sys_params.n_clients None in
+  let down_gauge = ref 0 in
+  let commit_target = spec.warmup_commits + spec.measured_commits in
+  let reset_all () =
+    Metrics.reset metrics;
+    Net.Network.reset_stats net;
+    Array.iter Server.reset_stats servers;
+    Array.iter (function Some c -> Client.reset_stats c | None -> ()) clients
+  in
+  let on_commit () =
+    let n = Metrics.total_commits metrics in
+    if n = spec.warmup_commits then reset_all ()
+    else if n >= commit_target then Sim.Engine.stop eng
+  in
+  (* per-(client, shard) relay inboxes: each shard believes it talks to
+     the client directly, but the router sits in between, consuming 2PC
+     traffic and forwarding the rest *)
+  let relay = Array.make_matrix cfg.Sys_params.n_clients n_shards None in
+  for i = 0 to cfg.Sys_params.n_clients - 1 do
+    let crng = Sim.Rng.split master (Printf.sprintf "client-%d" i) in
+    let workload =
+      let rng = Sim.Rng.split crng "workload" in
+      match spec.mix with
+      | Some mix -> Db.Workload.create_mix db mix ~rng
+      | None -> Db.Workload.create db spec.xact_params ~rng
+    in
+    let client = ref None in
+    let send s msg =
+      let c = Option.get !client in
+      let bytes =
+        Proto.c2s_bytes ~control:cfg.Sys_params.control_msg_bytes
+          ~page_size:cfg.Sys_params.page_size msg
+      in
+      Comms.send net ~msg_inst:cfg.Sys_params.net.Net.Network.msg_inst
+        ~src:(Client.port c) ~dst:(Server.port servers.(s)) ~bytes
+        ~deliver:(fun () -> Server.deliver servers.(s) msg)
+    in
+    let amnesia =
+      let p = spec.fault.Fault.Plan.coord_crash_prob in
+      let rng = Fault.Injector.coord_stream spec.fault i in
+      fun () -> p > 0.0 && Sim.Rng.bernoulli rng p
+    in
+    let router =
+      Router.create ~map ~client_id:i ~metrics ~amnesia ~send
+        ~deliver_client:(fun msg ->
+          Sim.Mailbox.send (Client.inbox (Option.get !client)) msg)
+    in
+    let c =
+      Client.create eng ?audit ~fault:spec.fault ~down_gauge ~id:i ~cfg
+        ~algo:spec.algo ~workload ~rng:(Sim.Rng.split crng "client") ~metrics
+        ~to_server:(Router.route router) ~on_commit
+    in
+    client := Some c;
+    clients.(i) <- Some c;
+    for s = 0 to n_shards - 1 do
+      let mb = Sim.Mailbox.create eng in
+      relay.(i).(s) <- Some mb;
+      Sim.Engine.spawn eng
+        ~name:(Printf.sprintf "relay-%d-%d" i s)
+        (fun () ->
+          let rec loop () =
+            Router.on_s2c router ~shard:s (Sim.Mailbox.recv mb);
+            loop ()
+          in
+          loop ())
+    done
+  done;
+  let client_of i =
+    match clients.(i) with Some c -> c | None -> assert false
+  in
+  for s = 0 to n_shards - 1 do
+    let links =
+      Array.init cfg.Sys_params.n_clients (fun i ->
+          let c = client_of i in
+          {
+            Server.port = Client.port c;
+            inbox = Option.get relay.(i).(s);
+            cache_view = Client.cache c;
+          })
+    in
+    Server.register_clients ~hooks:false servers.(s) links
+  done;
+  (* one residency-hook dispatcher per client pool (a pool has a single
+     hook slot): each cached page is indexed on the shard that owns it *)
+  if Server.notifies servers.(0) then
+    for i = 0 to cfg.Sys_params.n_clients - 1 do
+      let pool = Client.cache (client_of i) in
+      Storage.Lru_pool.set_residency_hook pool
+        ~on_add:(fun page ->
+          Server.residency_add servers.(Shard_map.shard_of_page map page) i page)
+        ~on_drop:(fun page ->
+          Server.residency_drop servers.(Shard_map.shard_of_page map page) i
+            page)
+    done;
+  Array.iteri
+    (fun k srv ->
+      Server.start ~crash_rng:(Fault.Injector.shard_stream spec.fault k) srv)
+    servers;
+  Array.iter (function Some c -> Client.start c | None -> ()) clients;
+  let ocfg = spec.obs in
+  let recorder =
+    if ocfg.Obs.Config.trace then
+      Some (Obs.Recorder.create ~limit:ocfg.Obs.Config.trace_limit ())
+    else None
+  in
+  if ocfg.Obs.Config.profile then Sim.Engine.enable_profiling eng;
+  let all_disks =
+    Array.concat (Array.to_list (Array.map Server.data_disks servers))
+  in
+  let series =
+    if not ocfg.Obs.Config.series then None
+    else begin
+      let interval = ocfg.Obs.Config.sample_interval in
+      let rate_of read =
+        let last = ref (read ()) in
+        fun () ->
+          let v = read () in
+          let d = v -. !last in
+          last := v;
+          Float.max 0.0 d
+      in
+      let cpu_busy =
+        rate_of (fun () ->
+            Array.fold_left
+              (fun a srv ->
+                a +. Sim.Facility.busy_time (Server.port srv).Proto.cpu)
+              0.0 servers)
+      in
+      let cpu_capacity =
+        Array.fold_left
+          (fun a srv ->
+            a + Sim.Facility.capacity (Server.port srv).Proto.cpu)
+          0 servers
+      in
+      let disk_busy =
+        rate_of (fun () ->
+            Array.fold_left
+              (fun a d -> a +. Storage.Disk.busy_time d)
+              0.0 all_disks)
+      in
+      let net_busy = rate_of (fun () -> Net.Network.busy_time net) in
+      let commit_rate =
+        rate_of (fun () -> float_of_int (Metrics.total_commits metrics))
+      in
+      let abort_rate =
+        rate_of (fun () -> float_of_int (Metrics.aborts metrics))
+      in
+      let sum_over f () =
+        Array.fold_left (fun a srv -> a + f srv) 0 servers
+      in
+      let sources =
+        [
+          ( "server_cpu_util",
+            fun () ->
+              Float.min 1.0
+                (cpu_busy () /. (interval *. float_of_int cpu_capacity)) );
+          ( "disk_util",
+            fun () ->
+              if Array.length all_disks = 0 then 0.0
+              else
+                Float.min 1.0
+                  (disk_busy ()
+                  /. (interval *. float_of_int (Array.length all_disks))) );
+          ("net_util", fun () -> Float.min 1.0 (net_busy () /. interval));
+          ( "locks_held",
+            fun () ->
+              float_of_int
+                (sum_over
+                   (fun srv -> Cc.Lock_table.locks_held (Server.locks srv))
+                   ()) );
+          ( "lock_waiters",
+            fun () ->
+              float_of_int
+                (sum_over
+                   (fun srv -> Cc.Lock_table.waiting_count (Server.locks srv))
+                   ()) );
+          ( "active_xacts",
+            fun () -> float_of_int (sum_over Server.active_count ()) );
+          ( "ready_queue",
+            fun () -> float_of_int (sum_over Server.ready_queue_length ()) );
+          ("commit_rate", fun () -> commit_rate () /. interval);
+          ("abort_rate", fun () -> abort_rate () /. interval);
+          ("clients_down", fun () -> float_of_int !down_gauge);
+        ]
+      in
+      Some (Obs.Series.sample eng ~interval ~sources)
+    end
+  in
+  let sim_time =
+    match recorder with
+    | None -> Sim.Engine.run eng ~until:spec.max_sim_time ()
+    | Some r ->
+        let saved = Obs.Recorder.save () in
+        Obs.Recorder.install r;
+        Fun.protect
+          ~finally:(fun () -> Obs.Recorder.restore saved)
+          (fun () -> Sim.Engine.run eng ~until:spec.max_sim_time ())
+  in
+  (match inspect with
+  | Some f -> f servers (Array.map (function Some c -> c | None -> assert false) clients)
+  | None -> ());
+  let now = sim_time in
+  let window = now -. Metrics.measure_start metrics in
+  let commits = Metrics.commits metrics in
+  let lookups = Metrics.lookups metrics in
+  let client_cpu_util_mean =
+    let sum = ref 0.0 and n = ref 0 in
+    Array.iter
+      (function
+        | Some c ->
+            sum := !sum +. Client.cpu_utilization c;
+            incr n
+        | None -> ())
+      clients;
+    if !n = 0 then 0.0 else !sum /. float_of_int !n
+  in
+  let favg_servers f =
+    Array.fold_left (fun a srv -> a +. f srv) 0.0 servers
+    /. float_of_int n_shards
+  in
+  let obs_payload =
+    if not (Obs.Config.enabled ocfg) then None
+    else begin
+      let disk_snap d =
+        {
+          Obs.Run.fac_name = Storage.Disk.name d;
+          fac_capacity = 1;
+          fac_utilization = Storage.Disk.utilization d;
+          fac_mean_queue = Storage.Disk.mean_queue_length d;
+          fac_max_queue = Storage.Disk.max_queue_length d;
+          fac_busy_time = Storage.Disk.busy_time d;
+          fac_completions = Storage.Disk.accesses d;
+        }
+      in
+      let facilities =
+        List.concat_map
+          (fun srv ->
+            Obs.Run.snapshot_facility (Server.port srv).Proto.cpu
+            :: ((Array.to_list (Server.data_disks srv) |> List.map disk_snap)
+               @ (match Server.log_disk srv with
+                 | Some d -> [ disk_snap d ]
+                 | None -> [])))
+          (Array.to_list servers)
+        @ [
+            {
+              Obs.Run.fac_name = "network";
+              fac_capacity = 1;
+              fac_utilization = Net.Network.utilization net;
+              fac_mean_queue = Net.Network.mean_queue_length net;
+              fac_max_queue = Net.Network.max_queue_length net;
+              fac_busy_time = Net.Network.busy_time net;
+              fac_completions = Net.Network.packets_sent net;
+            };
+          ]
+      in
+      let trace, trace_dropped =
+        match recorder with
+        | Some r -> (Obs.Recorder.entries r, Obs.Recorder.dropped r)
+        | None -> ([||], 0)
+      in
+      Some
+        {
+          Obs.Run.reps =
+            [
+              {
+                Obs.Run.rep_seed = spec.seed;
+                trace;
+                trace_dropped;
+                series;
+                facilities;
+                profile =
+                  (if ocfg.Obs.Config.profile then
+                     Some (Sim.Engine.profile eng)
+                   else None);
+              };
+            ];
+        }
+    end
+  in
+  let result =
+    {
+      Simulator.algo = spec.algo;
+      n_clients = cfg.Sys_params.n_clients;
+      mean_response = Metrics.mean_response metrics;
+      response_stddev = Sim.Stats.stddev (Metrics.response_stats metrics);
+      response_p50 = Metrics.response_quantile metrics 0.5;
+      response_p95 = Metrics.response_quantile metrics 0.95;
+      throughput = Metrics.throughput metrics ~now;
+      commits;
+      aborts = Metrics.aborts metrics;
+      aborts_deadlock = Metrics.aborts_by metrics Metrics.Deadlock;
+      aborts_stale = Metrics.aborts_by metrics Metrics.Stale_read;
+      aborts_cert = Metrics.aborts_by metrics Metrics.Cert_fail;
+      hit_ratio =
+        (if lookups = 0 then 0.0
+         else float_of_int (Metrics.hits metrics) /. float_of_int lookups);
+      messages = Net.Network.messages_sent net;
+      packets = Net.Network.packets_sent net;
+      msgs_per_commit =
+        (if commits = 0 then 0.0
+         else
+           float_of_int (Net.Network.messages_sent net) /. float_of_int commits);
+      callbacks_sent = Metrics.callbacks_sent metrics;
+      pushes_sent = Metrics.pushes_sent metrics;
+      server_cpu_util = favg_servers Server.cpu_utilization;
+      client_cpu_util = client_cpu_util_mean;
+      disk_util = favg_servers Server.mean_disk_utilization;
+      log_disk_util =
+        favg_servers (fun srv ->
+            match Server.log_disk srv with
+            | Some d -> Storage.Disk.utilization d
+            | None -> 0.0);
+      net_util = Net.Network.utilization net;
+      window;
+      sim_time;
+      events = Sim.Engine.events_executed eng;
+      aborts_lease = Metrics.aborts_by metrics Metrics.Lease_reclaim;
+      retries = Metrics.retries metrics;
+      crashes = Metrics.crashes metrics;
+      recoveries = Metrics.recoveries metrics;
+      lost_xacts = Metrics.lost_xacts metrics;
+      reclaimed_locks = Metrics.reclaimed_locks metrics;
+      lease_lapses = Metrics.lease_lapses metrics;
+      msgs_dropped = Metrics.msgs_dropped metrics;
+      msgs_delayed = Metrics.msgs_delayed metrics;
+      msgs_duplicated = Metrics.msgs_duplicated metrics;
+      mean_recovery = Metrics.mean_recovery metrics;
+      server_crashes = Metrics.server_crashes metrics;
+      server_recoveries = Metrics.server_recoveries metrics;
+      server_killed_xacts = Metrics.server_killed_xacts metrics;
+      checkpoints = Metrics.checkpoints metrics;
+      server_downtime = Metrics.server_downtime metrics;
+      mean_server_recovery = Metrics.mean_server_recovery metrics;
+      n_shards;
+      prepares = Metrics.prepares metrics;
+      xshard_commits = Metrics.xshard_commits metrics;
+      xshard_aborts = Metrics.xshard_aborts metrics;
+      outcome_queries = Metrics.outcome_queries metrics;
+      shard_commits = Array.map Server.local_commits servers;
+      rep_mean_responses = [| Metrics.mean_response metrics |];
+      rep_throughputs = [| Metrics.throughput metrics ~now |];
+      obs = obs_payload;
+    }
+  in
+  ( result,
+    {
+      Simulator.rep_response = Metrics.response_stats metrics;
+      rep_samples = Metrics.response_samples metrics;
+      rep_lookups = Metrics.lookups metrics;
+      rep_hits = Metrics.hits metrics;
+    } )
+
+let run ?audit ?inspect (spec : Simulator.spec) =
+  if spec.n_shards <= 1 then
+    Simulator.run ?audit
+      ?inspect:
+        (Option.map (fun f srv cls -> f [| srv |] cls) inspect)
+      spec
+  else fst (run_with_stats ?audit ?inspect spec)
+
+let run_replicated ?(jobs = 1) (spec : Simulator.spec) ~reps =
+  if spec.n_shards <= 1 then Simulator.run_replicated ~jobs spec ~reps
+  else if reps <= 1 then run spec
+  else begin
+    let specs =
+      List.init reps (fun k -> { spec with Simulator.seed = spec.seed + k })
+    in
+    let runs =
+      if jobs > 1 then Sim.Pool.map ~jobs (fun s -> run_with_stats s) specs
+      else List.map (fun s -> run_with_stats s) specs
+    in
+    Simulator.aggregate runs
+  end

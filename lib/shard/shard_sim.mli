@@ -1,0 +1,36 @@
+(** Sharded simulation assembly.
+
+    Builds one engine, one network, one metrics hub and one database —
+    and [spec.n_shards] servers, each owning its contiguous slice of the
+    page space with its own lock table, buffer pool, version table and
+    WAL ({!Shard_map}), fronted by one {!Router} per client that splits
+    traffic and coordinates presumed-abort two-phase commit.
+
+    Dispatch: [n_shards <= 1] runs through {!Core.Simulator} untouched,
+    so single-shard results are bit-identical to the unsharded
+    simulator's.  [Core.Simulator.run_with_stats] refuses sharded specs;
+    this module is the only entry point for [n_shards > 1]. *)
+
+(** As {!Core.Simulator.run_with_stats}, over an array of shard
+    servers.  Raises [Invalid_argument] when [spec.n_shards <= 1] — use
+    {!run}, which dispatches. *)
+val run_with_stats :
+  ?audit:Cc.History.t ->
+  ?inspect:(Core.Server.t array -> Core.Client.t array -> unit) ->
+  Core.Simulator.spec ->
+  Core.Simulator.result * Core.Simulator.rep_stats
+
+(** Single run.  [inspect] receives every shard server (a one-element
+    array when dispatching to the unsharded simulator). *)
+val run :
+  ?audit:Cc.History.t ->
+  ?inspect:(Core.Server.t array -> Core.Client.t array -> unit) ->
+  Core.Simulator.spec ->
+  Core.Simulator.result
+
+(** As {!Core.Simulator.run_replicated}: [reps] runs with seeds
+    [seed .. seed+reps-1], optionally across [jobs] processes, folded
+    with {!Core.Simulator.aggregate}.  Dispatches [n_shards <= 1] to the
+    unsharded pool for bit-identical replicated figures. *)
+val run_replicated :
+  ?jobs:int -> Core.Simulator.spec -> reps:int -> Core.Simulator.result

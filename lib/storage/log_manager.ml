@@ -4,6 +4,7 @@ type record =
   | Commit of { xid : int }
   | Abort of { xid : int }
   | Checkpoint of { versions : (int * int) list }
+  | Prepare of { xid : int; decider : int; read_pages : int list }
 
 type replay_stats = {
   records_replayed : int;
@@ -97,6 +98,18 @@ let force_abort ?xid t ~n_updates =
   t.aborts <- t.aborts + 1;
   force t ~n_updates
 
+let force_prepare t ~xid ~decider ~read_pages ~updates =
+  (* 2PC phase one: the yes-vote must survive a crash, so the update
+     records and the prepare record are forced before voting.  The
+     decision later re-appends the updates with its commit record
+     ([append_commit]), so a replay window opening at a checkpoint taken
+     between prepare and decision still finds them. *)
+  List.iter
+    (fun (page, version) -> append t (Update { xid; page; version }))
+    updates;
+  append t (Prepare { xid; decider; read_pages });
+  force t ~n_updates:(List.length updates)
+
 let crash t =
   (* the volatile log tail (appended but never forced) is lost *)
   t.len <- t.durable;
@@ -104,6 +117,7 @@ let crash t =
 
 let replay_range t ~from ~into =
   let pending : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let prepared : (int, unit) Hashtbl.t = Hashtbl.create 4 in
   let redone = ref 0 and discarded = ref 0 and scanned = ref 0 in
   for i = from to t.durable - 1 do
     incr scanned;
@@ -120,17 +134,24 @@ let replay_range t ~from ~into =
             if version > cur then Hashtbl.replace into page version)
           ups;
         Hashtbl.remove pending xid;
+        Hashtbl.remove prepared xid;
         incr redone
     | Abort { xid } ->
         Hashtbl.remove pending xid;
+        Hashtbl.remove prepared xid;
         incr discarded
+    | Prepare { xid; _ } -> Hashtbl.replace prepared xid ()
     | Checkpoint { versions } ->
         Hashtbl.reset into;
         List.iter (fun (page, v) -> Hashtbl.replace into page v) versions
   done;
   (* transactions with durable updates but no durable commit record are
-     uncommitted at the crash point: discard, never install *)
-  discarded := !discarded + Hashtbl.length pending;
+     uncommitted at the crash point: discard, never install.  Prepared
+     transactions are neither — they stay in doubt ([in_doubt]) until the
+     2PC termination protocol resolves them. *)
+  Hashtbl.iter
+    (fun xid _ -> if not (Hashtbl.mem prepared xid) then incr discarded)
+    pending;
   {
     records_replayed = !scanned;
     pages_read = 0;
@@ -172,7 +193,9 @@ let durable_commit_updates t ~xid =
     | Commit { xid = x } when x = xid -> committed := true
     | _ -> ()
   done;
-  if !committed then Some (List.rev !ups) else None
+  (* 2PC logs a transaction's updates twice (at prepare and with the
+     commit decision): collapse the duplicates *)
+  if !committed then Some (List.sort_uniq compare !ups) else None
 
 let replay t ~into =
   let from = if t.ckpt_index >= 0 then t.ckpt_index else 0 in
@@ -189,7 +212,7 @@ let durable_outcomes t =
     match t.recs.(i) with
     | Commit { xid } -> out := (xid, true) :: !out
     | Abort { xid } -> out := (xid, false) :: !out
-    | Begin _ | Update _ | Checkpoint _ -> ()
+    | Begin _ | Update _ | Checkpoint _ | Prepare _ -> ()
   done;
   List.rev !out
 
@@ -208,9 +231,36 @@ let durable_committed_pairs t =
             Hashtbl.remove pending xid
         | None -> ())
     | Abort { xid } -> Hashtbl.remove pending xid
-    | Begin _ | Checkpoint _ -> ()
+    | Begin _ | Checkpoint _ | Prepare _ -> ()
   done;
   List.sort_uniq compare !out
+
+let in_doubt t =
+  (* prepared transactions with no durable outcome, over the whole
+     durable prefix (records are never deleted, so scanning from 0 is
+     exact regardless of checkpoints) *)
+  let updates : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let open_prep = ref [] in
+  for i = 0 to t.durable - 1 do
+    match t.recs.(i) with
+    | Update { xid; page; version } ->
+        let prev = try Hashtbl.find updates xid with Not_found -> [] in
+        Hashtbl.replace updates xid ((page, version) :: prev)
+    | Prepare { xid; decider; read_pages } ->
+        if not (List.exists (fun (x, _, _) -> x = xid) !open_prep) then
+          open_prep := (xid, decider, read_pages) :: !open_prep
+    | Commit { xid } | Abort { xid } ->
+        open_prep := List.filter (fun (x, _, _) -> x <> xid) !open_prep
+    | Begin _ | Checkpoint _ -> ()
+  done;
+  List.rev_map
+    (fun (xid, decider, read_pages) ->
+      let ups =
+        try List.sort_uniq compare (Hashtbl.find updates xid)
+        with Not_found -> []
+      in
+      (xid, decider, read_pages, ups))
+    !open_prep
 
 let committed_versions t =
   let into = Hashtbl.create 64 in

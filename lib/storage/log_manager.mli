@@ -24,6 +24,11 @@ type record =
   | Abort of { xid : int }
   | Checkpoint of { versions : (int * int) list }
       (** snapshot of the committed page-version map *)
+  | Prepare of { xid : int; decider : int; read_pages : int list }
+      (** 2PC phase one: the transaction's slice on this shard is durable
+          and the shard voted yes; [decider] names the shard holding the
+          commit point, [read_pages] the pages whose read locks/pins
+          recovery must re-establish while the outcome is in doubt *)
 
 type replay_stats = {
   records_replayed : int;  (** records scanned from the replay start *)
@@ -74,6 +79,19 @@ val force_commit :
     is given) and blocks for the (smaller) abort-record write. *)
 val force_abort : ?xid:int -> t -> n_updates:int -> unit
 
+(** [force_prepare t ~xid ~decider ~read_pages ~updates] appends the
+    transaction's update records plus a prepare record and blocks for the
+    forced write — 2PC phase one.  The later commit decision re-appends
+    the updates with its commit record, so a checkpoint taken between
+    prepare and decision never hides them from replay. *)
+val force_prepare :
+  t ->
+  xid:int ->
+  decider:int ->
+  read_pages:int list ->
+  updates:(int * int) list ->
+  unit
+
 (** [checkpoint t] forces a snapshot of the committed page-version map,
     computed from the durable log itself (never from the server's
     volatile version table, which may run ahead of the log between a
@@ -104,6 +122,12 @@ val durable_outcomes : t -> (int * bool) list
 (** [Some updates] iff [xid]'s commit record is durable; the updates let
     a recovered server rebuild the lost commit reply verbatim. *)
 val durable_commit_updates : t -> xid:int -> (int * int) list option
+
+(** In-doubt transactions: durable prepare record, no durable outcome.
+    [(xid, decider, read_pages, updates)] in prepare order.  What a
+    recovering shard must re-protect and resolve via the 2PC termination
+    protocol. *)
+val in_doubt : t -> (int * int * int list * (int * int) list) list
 
 (** Pure full-log replay (no disk charge): the committed page-version
     map as a sorted association list.  Audit-side ground truth. *)

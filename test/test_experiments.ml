@@ -23,6 +23,7 @@ let tiny_spec ?(algo = Core.Proto.Two_phase Core.Proto.Inter) ?(n_clients = 4) (
     xact_params = Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.5 ();
     mix = None;
     algo;
+    n_shards = 1;
     seed = 0;
     warmup_commits = 0;
     measured_commits = 0;

@@ -48,6 +48,23 @@ let snap () =
           w_heap_hwm = 400_000;
         };
       ];
+    s_shard =
+      [
+        {
+          h_shards = 1;
+          h_pattern = "uniform";
+          h_throughput = 40.0;
+          h_xshard_commits = 0;
+          h_prepares = 0;
+        };
+        {
+          h_shards = 4;
+          h_pattern = "zipf-hot";
+          h_throughput = 55.0;
+          h_xshard_commits = 120;
+          h_prepares = 260;
+        };
+      ];
     s_engine = Some { p_wall_s = 0.5; p_events = 200_000; p_heap_hwm = 123 };
   }
 
@@ -89,6 +106,20 @@ let test_sweep_section_is_additive () =
       match of_json legacy with
       | Ok s' ->
           Alcotest.(check bool) "parses as empty sweep" true (s'.s_sweep = [])
+      | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
+
+(* Same story for the shard-sweep section, added a schema generation
+   later still. *)
+let test_shard_section_is_additive () =
+  let s = { (snap ()) with s_shard = [] } in
+  let json = to_json s in
+  match remove_substring ~sub:"  \"shard_sweep\": [],\n" json with
+  | None -> Alcotest.fail "fixture could not remove the shard section"
+  | Some legacy -> (
+      match of_json legacy with
+      | Ok s' ->
+          Alcotest.(check bool) "parses as empty shard sweep" true
+            (s'.s_shard = [])
       | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
 
 let test_of_json_rejects () =
@@ -229,6 +260,42 @@ let test_diff_sweep_cells () =
   Alcotest.(check int) "one note per missing cell" (List.length s.s_sweep)
     (List.length v'''.v_notes)
 
+(* Shard cells are deterministic figures: a throughput drop past the
+   threshold regresses with no noise band, any 2PC-counter drift is a
+   note, and a cell on one side only is a note. *)
+let test_diff_shard_cells () =
+  let s = snap () in
+  let slow =
+    {
+      s with
+      s_shard =
+        List.map
+          (fun h -> { h with h_throughput = h.h_throughput /. 2.0 })
+          s.s_shard;
+    }
+  in
+  let v = diff ~baseline:s ~current:slow () in
+  Alcotest.(check bool) "throughput regression detected" false (ok v);
+  Alcotest.(check int) "one finding per cell" (List.length s.s_shard)
+    (List.length v.v_regressions);
+  let drifted =
+    {
+      s with
+      s_shard =
+        List.map
+          (fun h -> { h with h_xshard_commits = h.h_xshard_commits + 1 })
+          s.s_shard;
+    }
+  in
+  let v' = diff ~baseline:s ~current:drifted () in
+  Alcotest.(check bool) "counter drift is a note, not a failure" true (ok v');
+  Alcotest.(check int) "one note per drifted cell" (List.length s.s_shard)
+    (List.length v'.v_notes);
+  let v'' = diff ~baseline:s ~current:{ s with s_shard = [] } () in
+  Alcotest.(check bool) "missing cells are notes, not failures" true (ok v'');
+  Alcotest.(check int) "one note per missing cell" (List.length s.s_shard)
+    (List.length v''.v_notes)
+
 let test_diff_threshold_and_notes () =
   let s = snap () in
   let mild =
@@ -259,6 +326,7 @@ let () =
           case "round-trip + validator" test_json_roundtrip;
           case "engine=null round-trip" test_json_roundtrip_no_engine;
           case "sweep section is additive" test_sweep_section_is_additive;
+          case "shard section is additive" test_shard_section_is_additive;
           case "rejects malformed input" test_of_json_rejects;
         ] );
       ( "diff",
@@ -268,6 +336,7 @@ let () =
           case "ci overlap is noise" test_diff_ci_overlap_is_noise;
           case "jitter floor" test_diff_jitter_floor;
           case "sweep cells" test_diff_sweep_cells;
+          case "shard cells" test_diff_shard_cells;
           case "threshold + mismatch notes" test_diff_threshold_and_notes;
         ] );
     ]
