@@ -179,6 +179,66 @@ let engine_probe () =
     p_heap_hwm = heap_hwm;
   }
 
+(* Fixed-seed latency cells for the snapshot: one small run per protocol
+   with spans + metrics on, quantiles read off the commit-latency
+   histogram.  Simulated time, fully deterministic — bench-diff compares
+   them with no noise band. *)
+let latency_cells ~jobs () =
+  let cells =
+    [
+      (Core.Proto.Two_phase Core.Proto.Inter, 1);
+      (Core.Proto.Certification Core.Proto.Inter, 1);
+      (Core.Proto.Callback, 1);
+      (Core.Proto.No_wait { notify = Some Core.Proto.Push }, 1);
+      (Core.Proto.Two_phase Core.Proto.Inter, 2);
+      (Core.Proto.Callback, 2);
+    ]
+  in
+  List.map
+    (fun (algo, n_shards) ->
+      let cfg = Core.Sys_params.table5 ~n_clients:8 () in
+      let xp =
+        Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+      in
+      let spec =
+        {
+          (Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+             ~measured_commits:300 ~obs:Obs.Config.latency ~cfg
+             ~xact_params:xp algo)
+          with
+          Core.Simulator.n_shards;
+        }
+      in
+      let r =
+        if n_shards > 1 then Shard.Shard_sim.run_replicated ~jobs spec ~reps:1
+        else Core.Simulator.run_replicated ~jobs spec ~reps:1
+      in
+      let h =
+        match r.Core.Simulator.obs with
+        | Some o -> (
+            match Obs.Run.merged_metrics o with
+            | Some m -> Obs.Metrics.histogram m "ccsim_commit_latency_seconds"
+            | None -> None)
+        | None -> None
+      in
+      match h with
+      | Some h when Obs.Metrics.Hist.count h > 0 ->
+          let n = Obs.Metrics.Hist.count h in
+          {
+            Experiments.Telemetry.l_algo = Core.Proto.algorithm_name algo;
+            l_shards = n_shards;
+            l_p50 = Obs.Metrics.Hist.quantile h 0.50;
+            l_p95 = Obs.Metrics.Hist.quantile h 0.95;
+            l_p99 = Obs.Metrics.Hist.quantile h 0.99;
+            l_mean = Obs.Metrics.Hist.sum h /. float_of_int n;
+            l_xacts = n;
+          }
+      | _ ->
+          Printf.eprintf "bench: latency cell %s@%d produced no histogram\n"
+            (Core.Proto.algorithm_name algo) n_shards;
+          exit 1)
+    cells
+
 (* ------------------------------------------------------------------ *)
 (* Experiment driver                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -368,6 +428,7 @@ let () =
   | Some file ->
       Printf.printf "\ntiming %d microbenches (%d runs each) for %s...\n%!"
         (List.length micro_defs) micro_runs file;
+      let latency = latency_cells ~jobs:!jobs () in
       let snapshot =
         {
           Experiments.Telemetry.s_schema =
@@ -396,6 +457,7 @@ let () =
                 })
               sweep_cells;
           s_shard = !shard_cells;
+          s_latency = latency;
           s_engine = Some (engine_probe ());
         }
       in

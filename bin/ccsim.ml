@@ -250,11 +250,25 @@ let trace_cmd =
       value & flag
       & info [ "check" ]
           ~doc:
-            "Self-validate artifacts: the merged trace must be non-empty \
-             and the emitted JSON must parse.")
+            "Self-validate artifacts: the merged trace must be non-empty, \
+             the emitted JSON must parse, and (with $(b,--spans)) every \
+             span record must be well-formed: balanced open/close, \
+             monotone timestamps, parent containment.")
   in
-  let run cell perfetto_file text_file events limit check jobs =
-    let obs = Obs.Config.make ~trace:true ~trace_limit:limit () in
+  let spans_flag =
+    Arg.(
+      value & flag
+      & info [ "spans" ]
+          ~doc:
+            "Also record transaction spans and export them as duration \
+             events in the Perfetto JSON (client phases on the client \
+             lanes, server phases on one lane per shard).")
+  in
+  let run cell perfetto_file text_file events limit check spans jobs =
+    let obs =
+      Obs.Config.make ~trace:true ~trace_limit:limit ~spans
+        ~span_limit:limit ()
+    in
     let spec = cell_spec ~obs cell in
     let r = Core.Simulator.run_replicated ~jobs spec ~reps:cell.cell_reps in
     match r.Core.Simulator.obs with
@@ -263,6 +277,9 @@ let trace_cmd =
         exit 1
     | Some o ->
         let merged = Obs.Run.merged_trace o in
+        let span_entries =
+          if spans then Obs.Run.merged_spans o else [||]
+        in
         Format.printf "%a@." Core.Simulator.pp_result r;
         Format.printf "@.%a@." Obs.Analysis.pp_summary
           (Obs.Analysis.summarize_tagged merged);
@@ -277,10 +294,14 @@ let trace_cmd =
             (Array.sub merged 0 n)
         end;
         warn_if_ring_wrapped o;
-        let json = Obs.Export.perfetto merged in
+        let json = Obs.Export.perfetto ~spans:span_entries merged in
         Obs.Export.write_file perfetto_file json;
-        Format.printf "@.perfetto trace (%d events) written to %s@."
-          (Array.length merged) perfetto_file;
+        Format.printf "@.perfetto trace (%d events%s) written to %s@."
+          (Array.length merged)
+          (if spans then
+             Printf.sprintf " + %d span records" (Array.length span_entries)
+           else "")
+          perfetto_file;
         (match text_file with
         | Some f ->
             Obs.Export.write_file f (Obs.Export.trace_text merged);
@@ -291,11 +312,28 @@ let trace_cmd =
             Printf.eprintf "ccsim: check failed: merged trace is empty\n";
             exit 1
           end;
-          match Obs.Export.validate_json json with
+          (match Obs.Export.validate_json json with
           | Ok () -> Format.printf "check: perfetto JSON parses ok@."
           | Error e ->
               Printf.eprintf "ccsim: check failed: invalid JSON: %s\n" e;
-              exit 1
+              exit 1);
+          if spans then
+            List.iter
+              (fun rep ->
+                let ck =
+                  Obs.Span.validate ~dropped:rep.Obs.Run.spans_dropped
+                    rep.Obs.Run.spans
+                in
+                if not (Obs.Span.check_ok ck) then begin
+                  Format.eprintf
+                    "ccsim: check failed: invalid span record:@.%a@."
+                    Obs.Span.pp_check ck;
+                  exit 1
+                end)
+              o.Obs.Run.reps;
+          if spans then
+            Format.printf "check: %d span records well-formed@."
+              (Array.length span_entries)
         end
   in
   Cmd.v
@@ -309,7 +347,7 @@ let trace_cmd =
           identical for every job count.")
     Term.(
       const run $ cell_term ~commits_default:500 () $ perfetto_file
-      $ text_file $ events $ limit $ check $ jobs_arg)
+      $ text_file $ events $ limit $ check $ spans_flag $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim stats                                                         *)
@@ -507,6 +545,156 @@ let stats_cmd =
     Term.(
       const run $ cell_term ~commits_default:500 () $ series_file $ interval
       $ check $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccsim metrics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the database over N shard servers; cross-shard \
+             transactions commit via 2PC and contribute prepare/decide \
+             phases and in-doubt time.")
+  in
+  let out_file =
+    Arg.(
+      value & opt string "metrics.prom"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the OpenMetrics exposition here.")
+  in
+  let spans_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "spans-text" ] ~docv:"FILE"
+          ~doc:"Also write the merged span record as plain text.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-validate: every span record must be well-formed \
+             (balanced open/close, monotone timestamps, parent \
+             containment), the per-phase latency components must sum to \
+             the end-to-end commit latency, and the commit-latency \
+             histogram must count exactly the committed transactions.")
+  in
+  let run cell shards out_file spans_file check jobs =
+    if shards < 1 then begin
+      Printf.eprintf "ccsim: --shards must be positive\n";
+      exit 1
+    end;
+    let spec =
+      { (cell_spec ~obs:Obs.Config.latency cell) with
+        Core.Simulator.n_shards = shards }
+    in
+    let r =
+      if shards > 1 then
+        Shard.Shard_sim.run_replicated ~jobs spec ~reps:cell.cell_reps
+      else Core.Simulator.run_replicated ~jobs spec ~reps:cell.cell_reps
+    in
+    match r.Core.Simulator.obs with
+    | None ->
+        Printf.eprintf "ccsim: run returned no observability payload\n";
+        exit 1
+    | Some o ->
+        Format.printf "%a@." Core.Simulator.pp_result r;
+        let cp = Obs.Critical_path.analyze (Obs.Run.merged_spans o) in
+        Format.printf "@.%a@." Obs.Critical_path.pp cp;
+        let m =
+          match Obs.Run.merged_metrics o with
+          | Some m -> m
+          | None ->
+              Printf.eprintf "ccsim: run returned no metrics registry\n";
+              exit 1
+        in
+        (match Obs.Metrics.histogram m "ccsim_commit_latency_seconds" with
+        | Some h when Obs.Metrics.Hist.count h > 0 ->
+            Format.printf
+              "@.commit latency (n=%d): p50 %.4fs p95 %.4fs p99 %.4fs mean \
+               %.4fs@."
+              (Obs.Metrics.Hist.count h)
+              (Obs.Metrics.Hist.quantile h 0.50)
+              (Obs.Metrics.Hist.quantile h 0.95)
+              (Obs.Metrics.Hist.quantile h 0.99)
+              (Obs.Metrics.Hist.sum h
+              /. float_of_int (Obs.Metrics.Hist.count h))
+        | _ -> Format.printf "@.commit latency: no observations@.");
+        Obs.Export.write_file out_file (Obs.Metrics.to_openmetrics m);
+        Format.printf "openmetrics written to %s@." out_file;
+        (match spans_file with
+        | Some f ->
+            Obs.Export.write_file f
+              (Obs.Export.span_text (Obs.Run.merged_spans o));
+            Format.printf "span text written to %s@." f
+        | None -> ());
+        if check then begin
+          List.iter
+            (fun rep ->
+              let ck =
+                Obs.Span.validate ~dropped:rep.Obs.Run.spans_dropped
+                  rep.Obs.Run.spans
+              in
+              if not (Obs.Span.check_ok ck) then begin
+                Format.eprintf
+                  "ccsim: check failed: invalid span record:@.%a@."
+                  Obs.Span.pp_check ck;
+                exit 1
+              end)
+            o.Obs.Run.reps;
+          if cp.Obs.Critical_path.cp_xacts = 0 then begin
+            Printf.eprintf "ccsim: check failed: no committed transactions\n";
+            exit 1
+          end;
+          if not (Obs.Critical_path.reconciles cp) then begin
+            Printf.eprintf
+              "ccsim: check failed: phase components do not sum to the \
+               end-to-end latency (end-to-end %.9f, phases %.9f)\n"
+              cp.Obs.Critical_path.cp_end_to_end
+              cp.Obs.Critical_path.cp_phase_sum;
+            exit 1
+          end;
+          (match Obs.Metrics.histogram m "ccsim_commit_latency_seconds" with
+          | Some h
+            when Obs.Metrics.Hist.count h = cp.Obs.Critical_path.cp_xacts ->
+              ()
+          | Some h ->
+              Printf.eprintf
+                "ccsim: check failed: latency histogram count %d <> %d \
+                 committed transactions\n"
+                (Obs.Metrics.Hist.count h) cp.Obs.Critical_path.cp_xacts;
+              exit 1
+          | None ->
+              Printf.eprintf
+                "ccsim: check failed: no commit-latency histogram\n";
+              exit 1);
+          Format.printf
+            "check: %d span records well-formed; %d phases reconcile to \
+             %.6fs end-to-end (residual %.2e)@."
+            (Obs.Run.total_spans o)
+            (List.length cp.Obs.Critical_path.cp_client)
+            cp.Obs.Critical_path.cp_end_to_end
+            (Obs.Critical_path.residual cp)
+        end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a simulation with transaction spans and the online metrics \
+          registry enabled; print the commit-latency decomposition (think, \
+          client CPU, fetch/certify/commit waits, abort work, restart \
+          back-off — summing to the end-to-end latency), per-shard server \
+          phases, and 2PC prepare/decide phases; export every counter, \
+          gauge, and latency histogram as OpenMetrics text.  Deterministic \
+          at any $(b,-j): artifacts are byte-identical for every job \
+          count.")
+    Term.(
+      const run $ cell_term ~commits_default:500 () $ shards $ out_file
+      $ spans_file $ check $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccsim exp                                                           *)
@@ -762,17 +950,19 @@ let chaos_cmd =
             (Core.Proto.algorithm_name v.Experiments.Chaos.v_algo)
             minimal.Fault.Plan.seed
         in
-        let n_events =
+        let n_events, n_spans =
           Experiments.Chaos.write_repro_trace ~file:repro_file
             { sp with Core.Simulator.fault = minimal }
         in
+        let base = Filename.remove_extension repro_file in
         Format.printf
           "minimal reproducer: algo=%s plan={%s}@.rerun with: ccsim chaos \
            --seeds 1 ... (seed %d)@.reproducer trace (%d events) written to \
-           %s@."
+           %s@.span snapshot (%d records) written to %s.spans, metrics to \
+           %s.metrics@."
           (Core.Proto.algorithm_name v.Experiments.Chaos.v_algo)
           (Fault.Plan.to_string minimal) minimal.Fault.Plan.seed n_events
-          repro_file;
+          repro_file n_spans base base;
         exit 1
   in
   Cmd.v
@@ -873,4 +1063,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; stats_cmd; exp_cmd; chaos_cmd; bench_diff_cmd; list_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            stats_cmd;
+            metrics_cmd;
+            exp_cmd;
+            chaos_cmd;
+            bench_diff_cmd;
+            list_cmd;
+          ]))

@@ -48,6 +48,10 @@ type t = {
   mutable n_commits : int;
   mutable n_restarts : int;
   down_gauge : int ref; (* shared fleet-wide count of crashed clients *)
+  (* observability only: open span ids, -1 when closed or spans are off *)
+  mutable sp_xact : int;
+  mutable sp_attempt : int;
+  mutable sp_leaf : int;
 }
 
 (* Build a probe set once so per-page membership checks cost O(1) instead
@@ -113,6 +117,9 @@ let create ?audit ?(fault = Fault.Plan.none) ?(down_gauge = ref 0) eng ~id
     n_commits = 0;
     n_restarts = 0;
     down_gauge;
+    sp_xact = -1;
+    sp_attempt = -1;
+    sp_leaf = -1;
   }
 
 let port t = t.cport
@@ -130,6 +137,70 @@ let reset_stats t =
 
 let is_callback t = t.algo = Proto.Callback
 let charge_pages t n = Comms.use_cpu t.cport (t.cfg.Sys_params.client_proc_inst * n)
+
+(* ------------------------------------------------------------------ *)
+(* Span instrumentation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Leaf phase segments TILE each transaction attempt: at any instant
+   inside a transaction exactly one leaf span is open on this client's
+   track.  Time passes on the main process during think holds, CPU
+   charges, every [Comms.send] (which holds on the client CPU), reply
+   waits, abort cleanup, and restart back-off — each is covered by
+   exactly one leaf, and consecutive leaves share their boundary
+   instant, so the per-phase totals telescope to the [Xact] duration up
+   to float-addition rounding ({!Obs.Critical_path.reconciles}).
+
+   [sp_attempt >= 0] implies a span sink is installed (the id came from
+   [Obs.Span.open_span]); everything here is a no-op — not even a clock
+   read — when spans are off. *)
+
+let sp_track t = Obs.Span.Client t.id
+
+(* Close the current leaf and open the next at the same timestamp. *)
+let sp_enter_leaf t kind =
+  if t.sp_attempt >= 0 then begin
+    let now = Sim.Engine.now t.eng in
+    if t.sp_leaf >= 0 then Obs.Span.close_span ~time:now t.sp_leaf;
+    t.sp_leaf <-
+      Obs.Span.open_span ~time:now ~track:(sp_track t) ~kind
+        ~parent:t.sp_attempt ~xid:t.xid
+  end
+
+let sp_open_attempt t =
+  if Obs.Span.active () then begin
+    let now = Sim.Engine.now t.eng in
+    t.sp_attempt <-
+      Obs.Span.open_span ~time:now ~track:(sp_track t) ~kind:Obs.Span.Attempt
+        ~parent:t.sp_xact ~xid:t.xid;
+    t.sp_leaf <-
+      Obs.Span.open_span ~time:now ~track:(sp_track t)
+        ~kind:Obs.Span.Client_cpu ~parent:t.sp_attempt ~xid:t.xid
+  end
+
+let sp_close_attempt t ~time ~ok =
+  if t.sp_leaf >= 0 then begin
+    Obs.Span.close_span ~time ~ok t.sp_leaf;
+    t.sp_leaf <- -1
+  end;
+  if t.sp_attempt >= 0 then begin
+    Obs.Span.close_span ~time ~ok t.sp_attempt;
+    t.sp_attempt <- -1
+  end
+
+let sp_close_xact t ~time ~ok =
+  if t.sp_xact >= 0 then begin
+    Obs.Span.close_span ~time ~ok t.sp_xact;
+    t.sp_xact <- -1
+  end
+
+(* A crash ends every open span at the crash instant, marked failed. *)
+let sp_crash t =
+  if t.sp_xact >= 0 || t.sp_attempt >= 0 then begin
+    let now = Sim.Engine.now t.eng in
+    sp_close_attempt t ~time:now ~ok:false;
+    sp_close_xact t ~time:now ~ok:false
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Cache management                                                    *)
@@ -370,15 +441,27 @@ let rec await_reply_plain t =
   if reply_xid msg <> t.xid then await_reply_plain t (* stale, old attempt *)
   else match msg with Proto.Aborted _ -> raise Restart | m -> m
 
-let await_reply ?(crashable = true) t =
-  if t.faulty then await_reply_faulty t ~crashable else await_reply_plain t
+(* [kind] is the wait-leaf span for this round trip.  On [Restart] (or
+   [Crashed]) the wait leaf stays open; the exception handler's own
+   [sp_enter_leaf]/[sp_crash] closes it at the handling instant, so the
+   tiling has no gap. *)
+let await_reply ?(crashable = true) ?(kind = Obs.Span.Fetch_wait) t =
+  sp_enter_leaf t kind;
+  let m =
+    if t.faulty then await_reply_faulty t ~crashable else await_reply_plain t
+  in
+  sp_enter_leaf t Obs.Span.Client_cpu;
+  m
 
 let think t dt =
   if dt > 0.0 then begin
+    sp_enter_leaf t Obs.Span.Think;
     t.thinking <- true;
     Sim.Engine.hold dt;
     t.thinking <- false;
-    drain_deferred t
+    (* deferred-callback replies sent here are accounted as think time *)
+    drain_deferred t;
+    sp_enter_leaf t Obs.Span.Client_cpu
   end
 
 let describe_c2s = function
@@ -599,7 +682,7 @@ let read_certification t pages =
     send_xact_msg t
       (Proto.Cert_read
          { client = t.id; xid = t.xid; req = next_req t; pages = fetch_pages_of t need });
-    (match await_reply t with
+    (match await_reply ~kind:Obs.Span.Cert_wait t with
     | Proto.Cert_reply { data; _ } ->
         install_fetch_data t data;
         let got = reply_page_set data in
@@ -745,7 +828,7 @@ let send_commit t ~read_set ~update_pages ~release_pages =
          update_pages;
          release_pages;
        });
-  match await_reply ~crashable:false t with
+  match await_reply ~crashable:false ~kind:Obs.Span.Commit_wait t with
   | Proto.Commit_reply { ok; new_versions; stale_pages; _ } ->
       (ok, new_versions, stale_pages)
   | _ -> assert false
@@ -921,6 +1004,7 @@ let request_crash t = t.crash_requested <- true
    running but drops messages while [crashed] — a down workstation hears
    nothing, and whatever queued meanwhile is gone on reboot. *)
 let crash_cleanup t =
+  sp_crash t;
   Metrics.record_crash t.metrics ~in_xact:t.in_xact;
   if Trace.active () then
     Trace.emit (Sim.Engine.now t.eng) (Trace.Client_crash { client = t.id });
@@ -975,18 +1059,40 @@ let main_loop t () =
   let rec xact_loop () =
     let profile = Db.Workload.next t.workload in
     let first_start = Sim.Engine.now t.eng in
+    if Obs.Span.active () then
+      t.sp_xact <-
+        Obs.Span.open_span ~time:first_start ~track:(sp_track t)
+          ~kind:Obs.Span.Xact ~parent:(-1) ~xid:(-1);
     let rec attempt () =
       begin_attempt t;
+      sp_open_attempt t;
       match run_profile t profile with
       | () ->
-          let response = Sim.Engine.now t.eng -. first_start in
+          (* the same clock read closes the spans and measures the
+             response, so the Xact span's duration IS the recorded
+             end-to-end latency *)
+          let now = Sim.Engine.now t.eng in
+          let response = now -. first_start in
           t.n_commits <- t.n_commits + 1;
           Metrics.record_commit t.metrics ~response;
+          sp_close_attempt t ~time:now ~ok:true;
+          sp_close_xact t ~time:now ~ok:true;
+          Obs.Metrics.observe_s "ccsim_commit_latency_seconds" response;
           clear_xact_state t;
           t.on_commit ()
       | exception Restart ->
+          sp_enter_leaf t Obs.Span.Abort_work;
           abort_cleanup t;
+          let after_cleanup = Sim.Engine.now t.eng in
+          sp_close_attempt t ~time:after_cleanup ~ok:false;
+          let sp_restart =
+            if t.sp_xact >= 0 then
+              Obs.Span.open_span ~time:after_cleanup ~track:(sp_track t)
+                ~kind:Obs.Span.Restart_wait ~parent:t.sp_xact ~xid:(-1)
+            else -1
+          in
           Sim.Engine.hold (restart_delay t);
+          Obs.Span.close_span ~time:(Sim.Engine.now t.eng) sp_restart;
           attempt ()
     in
     attempt ();

@@ -258,6 +258,43 @@ let set_peers t ~shard_id peers =
 
 let sharded t = Array.length t.peers > 0
 
+(* ------------------------------------------------------------------ *)
+(* Span instrumentation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Server-side phase spans (disk I/O, WAL forces, lock waits) are root
+   spans on this shard's track: they overlap the clients' wait phases
+   in the waterfall rather than adding to them.  Emission only reads
+   the engine clock — no hold, no randomness — and the whole wrapper is
+   a bare [f ()] when no span sink is installed. *)
+let sspan t kind f =
+  if not (Obs.Span.active ()) then f ()
+  else begin
+    let id =
+      Obs.Span.open_span ~time:(Sim.Engine.now t.eng)
+        ~track:(Obs.Span.Server t.shard_id) ~kind ~parent:(-1) ~xid:(-1)
+    in
+    Fun.protect
+      ~finally:(fun () -> Obs.Span.close_span ~time:(Sim.Engine.now t.eng) id)
+      f
+  end
+
+(* WAL forces, wrapped in a [Log_force] span. *)
+let force_commit_sp t log ~n_updates =
+  sspan t Obs.Span.Log_force (fun () ->
+      Storage.Log_manager.force_commit log ~n_updates)
+
+let force_abort_sp ?xid t log ~n_updates =
+  sspan t Obs.Span.Log_force (fun () ->
+      Storage.Log_manager.force_abort ?xid log ~n_updates)
+
+let force_prepare_sp t log ~xid ~decider ~read_pages ~updates =
+  sspan t Obs.Span.Log_force (fun () ->
+      Storage.Log_manager.force_prepare log ~xid ~decider ~read_pages ~updates)
+
+let force_pending_sp t log =
+  sspan t Obs.Span.Log_force (fun () -> Storage.Log_manager.force_pending log)
+
 (* [deliver] is defined at the bottom of the file but shard-to-shard
    sends need it; tied after its definition. *)
 let deliver_ref : (t -> Proto.c2s -> unit) ref =
@@ -492,7 +529,8 @@ let disk_for t page = t.disks.(Db.Database.disk_of_page t.db ~n_disks:(Array.len
 (* Write an evicted dirty frame back to its data disk. *)
 let write_back t page =
   Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
-  Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1
+  sspan t Obs.Span.Disk_io (fun () ->
+      Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1)
 
 let install_page t page ~dirty =
   match Storage.Lru_pool.insert t.buf page ~dirty with
@@ -516,7 +554,8 @@ let rec ensure_resident t page =
         Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
         if Trace.active () then
           Trace.emit (Sim.Engine.now t.eng) (Trace.Disk_read { page });
-        Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1;
+        sspan t Obs.Span.Disk_io (fun () ->
+            Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:1);
         (* a crash while the I/O was in flight wiped [in_flight] and the
            pool: the result must not pollute the new incarnation, and the
            parked co-waiters of [cond] are zombies too — leave them *)
@@ -561,7 +600,8 @@ let read_pages t pages =
         (fun d group ->
           let seeks = Db.Database.seeks_for_pages t.db t.rng group in
           Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
-          Storage.Disk.access t.disks.(d) ~seeks ~pages:(List.length group);
+          sspan t Obs.Span.Disk_io (fun () ->
+              Storage.Disk.access t.disks.(d) ~seeks ~pages:(List.length group));
           if t.epoch <> epoch0 then raise Server_down;
           List.iter (fun p -> install_page t p ~dirty:false) group)
         by_disk;
@@ -594,7 +634,8 @@ let undo_installed t xs =
             ignore (Storage.Lru_pool.remove t.buf page)
           else begin
             Comms.use_cpu t.sport t.cfg.Sys_params.init_disk_inst;
-            Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:2
+            sspan t Obs.Span.Disk_io (fun () ->
+                Storage.Disk.access (disk_for t page) ~seeks:1 ~pages:2)
           end
       end)
     xs.x_installed;
@@ -603,11 +644,10 @@ let undo_installed t xs =
     | Some log when t.srv_faulty ->
         (* crashable servers log every abort, even update-free ones, so
            recovery can rebuild the tombstone set from durable records *)
-        Storage.Log_manager.force_abort ~xid:xs.x_xid log
+        force_abort_sp ~xid:xs.x_xid t log
           ~n_updates:(List.length xs.x_installed)
     | Some log when xs.x_installed <> [] ->
-        Storage.Log_manager.force_abort log
-          ~n_updates:(List.length xs.x_installed)
+        force_abort_sp t log ~n_updates:(List.length xs.x_installed)
     | Some _ | None -> ()
 
 (* [record] and [notify] exist for the sharded paths: a transaction
@@ -631,6 +671,14 @@ let abort_xact ?(record = true) ?(notify = true) t xs ~reason ~stale =
                | Metrics.Lease_reclaim -> "lease reclaimed");
            });
     if record then Metrics.record_abort t.metrics reason;
+    if Obs.Metrics.active () then
+      Obs.Metrics.incr_s
+        (match reason with
+        | Metrics.Deadlock -> "ccsim_aborts_total{cause=\"deadlock\"}"
+        | Metrics.Stale_read -> "ccsim_aborts_total{cause=\"stale_read\"}"
+        | Metrics.Cert_fail -> "ccsim_aborts_total{cause=\"cert_fail\"}"
+        | Metrics.Lease_reclaim -> "ccsim_aborts_total{cause=\"lease_reclaim\"}")
+        1;
     List.iter
       (fun (page, cell) ->
         Cc.Lock_table.cancel_wait t.lock_table ~page xs.x_client;
@@ -914,7 +962,15 @@ let acquire t xs ~page ~mode =
         | Proto.Callback | Proto.Two_phase _ | Proto.Certification _
         | Proto.No_wait _ ->
             if not xs.x_aborted then check_deadlock t ~requester:client);
-        let r = Sim.Ivar.read cell in
+        let r =
+          (* callback locking resolves lock waits with a callback round:
+             name the phase accordingly in the waterfall *)
+          let kind =
+            if t.algo = Proto.Callback then Obs.Span.Cb_round
+            else Obs.Span.Lock_wait
+          in
+          sspan t kind (fun () -> Sim.Ivar.read cell)
+        in
         if t.epoch <> xs.x_epoch then
           (* the server crashed while we waited: the lock table that held
              this request is gone, and [wait_since]/[x_waits] belong to
@@ -1010,7 +1066,7 @@ let await_pages_durable t xs pages =
         | None -> false
       in
       if List.exists pending pages then begin
-        Storage.Log_manager.force_pending log;
+        force_pending_sp t log;
         barrier t xs
       end
   | Some _ | None -> ()
@@ -1149,7 +1205,7 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
     barrier t xs;
     (match t.log with
     | Some log when t.srv_faulty || update_pages <> [] ->
-        Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
+        force_commit_sp t log ~n_updates:(List.length update_pages)
     | Some _ | None -> ());
     barrier t xs;
     List.iter
@@ -1249,7 +1305,7 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
      reply can be rebuilt from the durable record *)
   (match t.log with
   | Some log when t.srv_faulty || update_pages <> [] ->
-      Storage.Log_manager.force_commit log ~n_updates:(List.length update_pages)
+      force_commit_sp t log ~n_updates:(List.length update_pages)
   | Some _ | None -> ());
   barrier t xs;
   let new_versions =
@@ -1425,7 +1481,7 @@ let resolve_prepared t pr ~xid ~commit =
     (* the decision force carries the commit record alone: the update
        images were already forced at prepare *)
     (match t.log with
-    | Some log -> Storage.Log_manager.force_commit log ~n_updates:0
+    | Some log -> force_commit_sp t log ~n_updates:0
     | None -> ());
     fence ();
     List.iter
@@ -1474,7 +1530,7 @@ let resolve_prepared t pr ~xid ~commit =
         ignore (Cc.Lock_table.release_all t.lock_table pr.p_client);
         (match t.log with
         | Some log when t.srv_faulty ->
-            Storage.Log_manager.force_abort ~xid log ~n_updates:0
+            force_abort_sp ~xid t log ~n_updates:0
         | Some _ | None -> ()));
     []
   end
@@ -1529,12 +1585,11 @@ let prepare_certification t xs ~client ~xid ~req ~decider ~read_set
     barrier t xs;
     (match t.log with
     | Some log when t.srv_faulty ->
-        Storage.Log_manager.force_prepare log ~xid ~decider
+        force_prepare_sp t log ~xid ~decider
           ~read_pages:(List.map fst read_set) ~updates:new_versions
     | Some log when update_pages <> [] ->
         (* bare cost model: the prepare force writes the update images *)
-        Storage.Log_manager.force_commit log
-          ~n_updates:(List.length update_pages)
+        force_commit_sp t log ~n_updates:(List.length update_pages)
     | Some _ | None -> ());
     barrier t xs;
     Metrics.record_prepare t.metrics;
@@ -1580,11 +1635,10 @@ let prepare_locking t xs ~client ~xid ~req ~decider ~read_set ~update_pages
     barrier t xs;
     (match t.log with
     | Some log when t.srv_faulty ->
-        Storage.Log_manager.force_prepare log ~xid ~decider
+        force_prepare_sp t log ~xid ~decider
           ~read_pages:(List.map fst read_set) ~updates:new_versions
     | Some log when update_pages <> [] ->
-        Storage.Log_manager.force_commit log
-          ~n_updates:(List.length update_pages)
+        force_commit_sp t log ~n_updates:(List.length update_pages)
     | Some _ | None -> ());
     barrier t xs;
     Metrics.record_prepare t.metrics;
@@ -1779,7 +1833,7 @@ let handle_outcome_query t ~shard ~xid =
               Hashtbl.replace t.tombstones xid ();
               match t.log with
               | Some log when t.srv_faulty ->
-                  Storage.Log_manager.force_abort ~xid log ~n_updates:0
+                  force_abort_sp ~xid t log ~n_updates:0
               | Some _ | None -> ()
             end));
     send_to_shard t shard

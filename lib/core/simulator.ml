@@ -220,6 +220,19 @@ let run_with_stats ?audit ?inspect spec =
       Some (Obs.Recorder.create ~limit:ocfg.Obs.Config.trace_limit ())
     else None
   in
+  let span_buf =
+    if ocfg.Obs.Config.spans then
+      Some (Obs.Span.create ~limit:ocfg.Obs.Config.span_limit ())
+    else None
+  in
+  let registry =
+    if ocfg.Obs.Config.metrics then begin
+      let r = Obs.Metrics.create () in
+      Obs.Metrics.set_gauge r "ccsim_shards" 1.0;
+      Some r
+    end
+    else None
+  in
   if ocfg.Obs.Config.profile then Sim.Engine.enable_profiling eng;
   let server_cpu = (Server.port server).Proto.cpu in
   let series =
@@ -281,14 +294,23 @@ let run_with_stats ?audit ?inspect spec =
     end
   in
   let sim_time =
-    match recorder with
-    | None -> Sim.Engine.run eng ~until:spec.max_sim_time ()
-    | Some r ->
-        let saved = Obs.Recorder.save () in
-        Obs.Recorder.install r;
-        Fun.protect
-          ~finally:(fun () -> Obs.Recorder.restore saved)
-          (fun () -> Sim.Engine.run eng ~until:spec.max_sim_time ())
+    (* Each sink goes into THIS domain's slot for the duration of the run;
+       composable wrapping keeps recorder-off runs on the bare path. *)
+    let run_sim () = Sim.Engine.run eng ~until:spec.max_sim_time () in
+    let with_sink save install restore v f =
+      match v with
+      | None -> f ()
+      | Some x ->
+          let saved = save () in
+          install x;
+          Fun.protect ~finally:(fun () -> restore saved) f
+    in
+    with_sink Obs.Recorder.save Obs.Recorder.install Obs.Recorder.restore
+      recorder (fun () ->
+        with_sink Obs.Span.save Obs.Span.install Obs.Span.restore span_buf
+          (fun () ->
+            with_sink Obs.Metrics.save Obs.Metrics.install Obs.Metrics.restore
+              registry run_sim))
   in
   (match inspect with
   | Some f ->
@@ -348,6 +370,11 @@ let run_with_stats ?audit ?inspect spec =
         | Some r -> (Obs.Recorder.entries r, Obs.Recorder.dropped r)
         | None -> ([||], 0)
       in
+      let spans, spans_dropped =
+        match span_buf with
+        | Some b -> (Obs.Span.entries b, Obs.Span.dropped b)
+        | None -> ([||], 0)
+      in
       Some
         {
           Obs.Run.reps =
@@ -362,6 +389,9 @@ let run_with_stats ?audit ?inspect spec =
                   (if ocfg.Obs.Config.profile then
                      Some (Sim.Engine.profile eng)
                    else None);
+                spans;
+                spans_dropped;
+                metrics = registry;
               };
             ];
         }

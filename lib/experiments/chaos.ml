@@ -283,13 +283,21 @@ let shrink ?(max_steps = 32) (sp : Core.Simulator.spec) =
    partial trace; the ring keeps the LAST [limit] events — the tail that
    actually led up to the failure. *)
 let write_repro_trace ?(limit = 200_000) ~file (sp : Core.Simulator.spec) =
-  let (), rec_ =
+  let ((((), spans), metrics), rec_) =
     Obs.Recorder.with_recorder ~limit (fun () ->
-        try ignore (Shard.Shard_sim.run sp) with _ -> ())
+        Obs.Metrics.with_metrics (fun () ->
+            Obs.Span.with_spans ~limit (fun () ->
+                try ignore (Shard.Shard_sim.run sp) with _ -> ())))
   in
   let tagged = Array.map (fun e -> (0, e)) (Obs.Recorder.entries rec_) in
   Obs.Export.write_file file (Obs.Export.trace_text tagged);
-  Array.length tagged
+  (* the snapshot rides along: what each phase was doing, and the counter
+     state, at the moment the audit failure fired *)
+  let base = Filename.remove_extension file in
+  let span_tagged = Array.map (fun e -> (0, e)) (Obs.Span.entries spans) in
+  Obs.Export.write_file (base ^ ".spans") (Obs.Export.span_text span_tagged);
+  Obs.Export.write_file (base ^ ".metrics") (Obs.Metrics.to_openmetrics metrics);
+  (Array.length tagged, Array.length span_tagged)
 
 let sweep ?(jobs = 1) specs =
   if jobs > 1 then Sim.Pool.map ~jobs audit_run specs

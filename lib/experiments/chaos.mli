@@ -56,14 +56,17 @@ val audit_run : Core.Simulator.spec -> verdict
     simplification passes). *)
 val shrink : ?max_steps:int -> Core.Simulator.spec -> Fault.Plan.t
 
-(** [write_repro_trace ~file sp] re-runs [sp] with a trace recorder
-    installed and writes the plain-text event trace to [file], even when
-    the run raises mid-flight (the partial trace up to the failure is
-    kept — the ring holds the last [limit] events).  Returns the number
-    of events written.  Used by the chaos command to dump the minimal
-    reproducer's trace on audit failure. *)
+(** [write_repro_trace ~file sp] re-runs [sp] with a trace recorder,
+    span buffer, and metrics registry installed and writes the
+    plain-text event trace to [file] plus a span snapshot
+    ([<base>.spans]) and an OpenMetrics counter snapshot
+    ([<base>.metrics]) next to it, even when the run raises mid-flight
+    (the partial records up to the failure are kept — each ring holds
+    the last [limit] entries).  Returns [(n_events, n_spans)] written.
+    Used by the chaos command to dump the minimal reproducer's
+    artifacts on audit failure. *)
 val write_repro_trace :
-  ?limit:int -> file:string -> Core.Simulator.spec -> int
+  ?limit:int -> file:string -> Core.Simulator.spec -> int * int
 
 (** Audit many specs, optionally across a domain pool; verdict order
     matches spec order regardless of [jobs]. *)

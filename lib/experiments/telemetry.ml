@@ -60,6 +60,20 @@ type shard_cell = {
   h_prepares : int;  (* prepare slices force-logged *)
 }
 
+(* One cell of the commit-latency decomposition: per-protocol quantiles
+   of simulated end-to-end commit latency, measured by the span/metrics
+   layer on a fixed-seed run.  Like the shard cells these are
+   deterministic, so drift between snapshots is semantic, never noise. *)
+type latency_cell = {
+  l_algo : string;
+  l_shards : int;
+  l_p50 : float;  (* simulated seconds *)
+  l_p95 : float;
+  l_p99 : float;
+  l_mean : float;
+  l_xacts : int;  (* committed transactions behind the quantiles *)
+}
+
 type snapshot = {
   s_schema : string;
   s_repro : string;  (* Report.repro_line verbatim — the provenance header *)
@@ -74,6 +88,7 @@ type snapshot = {
   s_micro : micro list;
   s_sweep : sweep_cell list;  (* empty when the sweep was not run *)
   s_shard : shard_cell list;  (* empty when the shard sweep was not run *)
+  s_latency : latency_cell list;  (* empty when latency cells were not run *)
   s_engine : probe option;
 }
 
@@ -138,6 +153,16 @@ let to_json s =
         h.h_prepares)
     s.s_shard;
   add "%s],\n" (if s.s_shard = [] then "" else "\n  ");
+  add "  \"latency\": [";
+  List.iteri
+    (fun i l ->
+      add "%s\n    {\"algo\": %s, \"shards\": %d, \"p50\": %s, \"p95\": %s, \
+           \"p99\": %s, \"mean\": %s, \"xacts\": %d}"
+        (if i = 0 then "" else ",")
+        (q l.l_algo) l.l_shards (f l.l_p50) (f l.l_p95) (f l.l_p99)
+        (f l.l_mean) l.l_xacts)
+    s.s_latency;
+  add "%s],\n" (if s.s_latency = [] then "" else "\n  ");
   (match s.s_engine with
   | None -> add "  \"engine\": null\n"
   | Some p ->
@@ -250,6 +275,23 @@ let of_json text =
                         h_throughput = num (get "throughput" h);
                         h_xshard_commits = int (get "xshard_commits" h);
                         h_prepares = int (get "prepares" h);
+                      })
+                    (arr a));
+            s_latency =
+              (* additive like the sweeps: absent in older snapshots *)
+              (match Obs.Export.member "latency" j with
+              | None -> []
+              | Some a ->
+                  List.map
+                    (fun l ->
+                      {
+                        l_algo = str (get "algo" l);
+                        l_shards = int (get "shards" l);
+                        l_p50 = num (get "p50" l);
+                        l_p95 = num (get "p95" l);
+                        l_p99 = num (get "p99" l);
+                        l_mean = num (get "mean" l);
+                        l_xacts = int (get "xacts" l);
                       })
                     (arr a));
             s_engine =
@@ -439,6 +481,39 @@ let diff ?(threshold = 0.25) ~baseline ~current () =
       if not (Hashtbl.mem base_shard (shard_key c)) then
         note "shard cell %s only in current snapshot" (shard_key c))
     current.s_shard;
+  (* latency cells: match by (algo, shards).  Simulated quantiles from a
+     fixed seed, fully deterministic — growth past the threshold is a
+     semantic regression (no noise band); the committed-transaction count
+     changing is surfaced as a note. *)
+  let lat_key (l : latency_cell) = Printf.sprintf "%s@%d" l.l_algo l.l_shards in
+  let cur_lat = index_by lat_key current.s_latency in
+  let base_lat = index_by lat_key baseline.s_latency in
+  List.iter
+    (fun (b : latency_cell) ->
+      match Hashtbl.find_opt cur_lat (lat_key b) with
+      | None -> note "latency cell %s only in baseline" (lat_key b)
+      | Some c ->
+          List.iter
+            (fun (qname, bq, cq) ->
+              classify
+                ~metric:(Printf.sprintf "latency %s %s" (lat_key b) qname)
+                ~base:bq ~cur:cq
+                ~slowdown:(if bq <= 0.0 then Float.nan else cq /. bq)
+                ~noisy:false)
+            [
+              ("p50", b.l_p50, c.l_p50);
+              ("p95", b.l_p95, c.l_p95);
+              ("p99", b.l_p99, c.l_p99);
+            ];
+          if b.l_xacts <> c.l_xacts then
+            note "latency cell %s population changed: %d -> %d xacts"
+              (lat_key b) b.l_xacts c.l_xacts)
+    baseline.s_latency;
+  List.iter
+    (fun (c : latency_cell) ->
+      if not (Hashtbl.mem base_lat (lat_key c)) then
+        note "latency cell %s only in current snapshot" (lat_key c))
+    current.s_latency;
   (* engine probe: events/sec, lower = worse; heap high-water, higher =
      worse (a space regression) *)
   (match (baseline.s_engine, current.s_engine) with

@@ -68,6 +68,21 @@ type shard_cell = {
   h_prepares : int;  (** prepare slices force-logged *)
 }
 
+(** One cell of the commit-latency decomposition: per-protocol quantiles
+    of simulated end-to-end commit latency, recorded by the span/metrics
+    layer ({!Obs.Metrics}) on a fixed-seed run.  Deterministic like the
+    shard cells, so diffs treat drift as semantic change with no noise
+    band. *)
+type latency_cell = {
+  l_algo : string;
+  l_shards : int;
+  l_p50 : float;  (** simulated seconds *)
+  l_p95 : float;
+  l_p99 : float;
+  l_mean : float;
+  l_xacts : int;  (** committed transactions behind the quantiles *)
+}
+
 type snapshot = {
   s_schema : string;  (** {!schema_version} *)
   s_repro : string;  (** {!Report.repro_line} verbatim *)
@@ -85,6 +100,9 @@ type snapshot = {
           snapshots without it still parse *)
   s_shard : shard_cell list;
       (** empty when the shard sweep was not run; additive like
+          [s_sweep] *)
+  s_latency : latency_cell list;
+      (** empty when the latency cells were not run; additive like
           [s_sweep] *)
   s_engine : probe option;
 }

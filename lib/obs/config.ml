@@ -4,6 +4,9 @@ type t = {
   series : bool;
   sample_interval : float;
   profile : bool;
+  spans : bool;
+  span_limit : int;
+  metrics : bool;
 }
 
 let default_interval = 10.0
@@ -15,16 +18,21 @@ let off =
     series = false;
     sample_interval = default_interval;
     profile = false;
+    spans = false;
+    span_limit = Span.default_limit;
+    metrics = false;
   }
 
 let make ?(trace = false) ?(trace_limit = Recorder.default_limit)
     ?(series = false) ?(sample_interval = default_interval) ?(profile = false)
-    () =
+    ?(spans = false) ?(span_limit = Span.default_limit) ?(metrics = false) () =
   if trace_limit < 1 then invalid_arg "Obs.Config.make: trace_limit < 1";
+  if span_limit < 1 then invalid_arg "Obs.Config.make: span_limit < 1";
   if sample_interval <= 0.0 then
     invalid_arg "Obs.Config.make: sample_interval <= 0";
-  { trace; trace_limit; series; sample_interval; profile }
+  { trace; trace_limit; series; sample_interval; profile; spans; span_limit; metrics }
 
 let trace_only = make ~trace:true ()
-let full = make ~trace:true ~series:true ~profile:true ()
-let enabled t = t.trace || t.series || t.profile
+let full = make ~trace:true ~series:true ~profile:true ~spans:true ~metrics:true ()
+let latency = make ~spans:true ~metrics:true ()
+let enabled t = t.trace || t.series || t.profile || t.spans || t.metrics

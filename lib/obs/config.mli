@@ -1,9 +1,9 @@
 (** Per-run observability switches, carried inside the simulator spec.
 
-    {!off} (the default everywhere) turns every layer off: no recorder is
-    installed, no sampler process is spawned, no profiling is enabled, and
-    the simulation is bit-identical to one run before this subsystem
-    existed. *)
+    {!off} (the default everywhere) turns every layer off: no recorder,
+    span buffer, or metrics registry is installed, no sampler process is
+    spawned, no profiling is enabled, and the simulation is bit-identical
+    to one run before this subsystem existed. *)
 
 type t = {
   trace : bool;  (** record typed events into a {!Recorder} buffer *)
@@ -11,6 +11,9 @@ type t = {
   series : bool;  (** spawn the fixed-interval facility/lock sampler *)
   sample_interval : float;  (** sampler period, simulated seconds *)
   profile : bool;  (** enable per-process engine profiling *)
+  spans : bool;  (** record typed transaction spans into a {!Span} buffer *)
+  span_limit : int;  (** span ring capacity *)
+  metrics : bool;  (** install an online {!Metrics} registry *)
 }
 
 (** Everything disabled — the default. *)
@@ -24,14 +27,20 @@ val make :
   ?series:bool ->
   ?sample_interval:float ->
   ?profile:bool ->
+  ?spans:bool ->
+  ?span_limit:int ->
+  ?metrics:bool ->
   unit ->
   t
 
 (** Trace recording only. *)
 val trace_only : t
 
-(** Trace + series + engine profile. *)
+(** Every layer on. *)
 val full : t
+
+(** Spans + metrics: what [ccsim metrics] and the latency telemetry use. *)
+val latency : t
 
 (** Is any layer on? *)
 val enabled : t -> bool

@@ -1,0 +1,214 @@
+(* Latency decomposition from span records.
+
+   The client instrumentation tiles every committed transaction's [Xact]
+   span with leaf phase segments (think, client CPU, fetch/cert/commit
+   waits, abort work, restart back-off): at any instant between the
+   transaction's first start and its commit exactly one leaf is open.
+   Summing leaf durations per phase therefore reconstructs the measured
+   end-to-end commit latency additively — the residual is pure floating
+   rounding, and [reconciles] checks exactly that against the engine
+   clock.
+
+   Server- and router-side spans (lock waits, disk, log forces, 2PC
+   phases) overlap the client's wait phases rather than adding to them;
+   they are aggregated per track as the waterfall's lower layers. *)
+
+type row = { r_kind : Span.kind; r_count : int; r_total : float }
+
+type t = {
+  cp_xacts : int;  (* committed transactions (closed Xact spans) *)
+  cp_end_to_end : float;  (* sum of their durations, engine-clock *)
+  cp_client : row list;  (* additive leaf phases, fixed kind order *)
+  cp_phase_sum : float;  (* sum of the leaf totals *)
+  cp_server : (int * row list) list;  (* per shard, ascending *)
+  cp_router : row list;  (* 2PC prepare / decide *)
+  cp_open_xacts : int;  (* in-flight at end of run: excluded above *)
+}
+
+let client_leaf_kinds =
+  [
+    Span.Think;
+    Span.Client_cpu;
+    Span.Fetch_wait;
+    Span.Cert_wait;
+    Span.Commit_wait;
+    Span.Abort_work;
+    Span.Restart_wait;
+  ]
+
+let server_kinds = [ Span.Lock_wait; Span.Cb_round; Span.Disk_io; Span.Log_force ]
+let router_kinds = [ Span.Prepare_2pc; Span.Decide_2pc ]
+
+type info = {
+  i_kind : Span.kind;
+  i_parent : int;
+  i_track : Span.track;
+  i_open : float;
+  mutable i_close : float;  (* nan until closed *)
+  mutable i_ok : bool;
+}
+
+let analyze (tagged : (int * Span.entry) array) =
+  let xacts = ref 0 and open_xacts = ref 0 in
+  let end_to_end = ref 0.0 in
+  let client_acc = Hashtbl.create 8 (* kind -> (count, total) *) in
+  let server_acc = Hashtbl.create 8 (* (shard, kind) -> (count, total) *) in
+  let router_acc = Hashtbl.create 8 in
+  let bump tbl key dur =
+    let c, s = Option.value (Hashtbl.find_opt tbl key) ~default:(0, 0.0) in
+    Hashtbl.replace tbl key (c + 1, s +. dur)
+  in
+  (* group by rep: ids are only unique within one replication *)
+  let by_rep = Hashtbl.create 8 in
+  Array.iter
+    (fun (rep, e) ->
+      let l = Option.value (Hashtbl.find_opt by_rep rep) ~default:[] in
+      Hashtbl.replace by_rep rep (e :: l))
+    tagged;
+  let reps =
+    Hashtbl.fold (fun r l acc -> (r, List.rev l) :: acc) by_rep []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (_rep, es) ->
+      let spans : (int, info) Hashtbl.t = Hashtbl.create 4096 in
+      let children : (int, int list) Hashtbl.t = Hashtbl.create 4096 in
+      List.iter
+        (fun (e : Span.entry) ->
+          match e.Span.sp_ev with
+          | Span.Open { id; parent; track; kind; xid = _ } ->
+              Hashtbl.replace spans id
+                {
+                  i_kind = kind;
+                  i_parent = parent;
+                  i_track = track;
+                  i_open = e.Span.sp_time;
+                  i_close = Float.nan;
+                  i_ok = true;
+                };
+              if parent >= 0 then
+                Hashtbl.replace children parent
+                  (id
+                  :: Option.value (Hashtbl.find_opt children parent) ~default:[])
+          | Span.Close { id; ok } -> (
+              match Hashtbl.find_opt spans id with
+              | Some i ->
+                  i.i_close <- e.Span.sp_time;
+                  i.i_ok <- ok
+              | None -> ()))
+        es;
+      (* client phases: only spans under a CLOSED Xact count, so totals
+         and the end-to-end sum cover the same transactions *)
+      let rec descend id =
+        List.iter
+          (fun c ->
+            (match Hashtbl.find_opt spans c with
+            | Some i when not (Float.is_nan i.i_close) ->
+                if List.mem i.i_kind client_leaf_kinds then
+                  bump client_acc i.i_kind (i.i_close -. i.i_open)
+            | Some _ | None -> ());
+            descend c)
+          (Option.value (Hashtbl.find_opt children id) ~default:[])
+      in
+      Hashtbl.iter
+        (fun id i ->
+          match i.i_kind with
+          | Span.Xact ->
+              (* an [Xact] closed [ok:false] ended in a client crash, not
+                 a commit: exclude it like an in-flight one *)
+              if Float.is_nan i.i_close || not i.i_ok then incr open_xacts
+              else begin
+                incr xacts;
+                end_to_end := !end_to_end +. (i.i_close -. i.i_open);
+                descend id
+              end
+          | k when List.mem k server_kinds -> (
+              if not (Float.is_nan i.i_close) then
+                match i.i_track with
+                | Span.Server s -> bump server_acc (s, k) (i.i_close -. i.i_open)
+                | Span.Client _ -> ())
+          | k when List.mem k router_kinds ->
+              if not (Float.is_nan i.i_close) then
+                bump router_acc k (i.i_close -. i.i_open)
+          | _ -> ())
+        spans)
+    reps;
+  let rows_of tbl kinds =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt tbl k with
+        | Some (c, s) -> Some { r_kind = k; r_count = c; r_total = s }
+        | None -> None)
+      kinds
+  in
+  let client = rows_of client_acc client_leaf_kinds in
+  let shards =
+    Hashtbl.fold (fun (s, _) _ acc -> if List.mem s acc then acc else s :: acc)
+      server_acc []
+    |> List.sort Int.compare
+  in
+  let server =
+    List.map
+      (fun s ->
+        ( s,
+          List.filter_map
+            (fun k ->
+              match Hashtbl.find_opt server_acc (s, k) with
+              | Some (c, tot) -> Some { r_kind = k; r_count = c; r_total = tot }
+              | None -> None)
+            server_kinds ))
+      shards
+  in
+  {
+    cp_xacts = !xacts;
+    cp_end_to_end = !end_to_end;
+    cp_client = client;
+    cp_phase_sum = List.fold_left (fun a r -> a +. r.r_total) 0.0 client;
+    cp_server = server;
+    cp_router = rows_of router_acc router_kinds;
+    cp_open_xacts = !open_xacts;
+  }
+
+let residual t = t.cp_end_to_end -. t.cp_phase_sum
+
+(* The phase segments tile each transaction exactly (shared boundary
+   instants), so the only slack between the phase sum and the engine
+   clock's end-to-end sum is float-addition rounding.  [tol] is relative
+   to the total, with an absolute floor for near-zero totals. *)
+let reconciles ?(tol = 1e-9) t =
+  Float.abs (residual t) <= Float.max tol (tol *. Float.abs t.cp_end_to_end)
+
+let pp fmt t =
+  let mean = if t.cp_xacts = 0 then 0.0 else t.cp_end_to_end /. float_of_int t.cp_xacts in
+  Format.fprintf fmt
+    "commit latency decomposition: %d committed xacts, %.6fs end-to-end (mean %.6fs)"
+    t.cp_xacts t.cp_end_to_end mean;
+  if t.cp_open_xacts > 0 then
+    Format.fprintf fmt " [+%d in flight at end, excluded]" t.cp_open_xacts;
+  let pct v =
+    if t.cp_end_to_end = 0.0 then 0.0 else 100.0 *. v /. t.cp_end_to_end
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "@.  %-14s %12.6fs  %5.1f%%  (%d segments)"
+        (Span.kind_name r.r_kind) r.r_total (pct r.r_total) r.r_count)
+    t.cp_client;
+  Format.fprintf fmt "@.  %-14s %12.2es  (phase sum - engine clock)" "residual"
+    (residual t);
+  List.iter
+    (fun (s, rows) ->
+      Format.fprintf fmt "@.  shard %d:" s;
+      List.iter
+        (fun r ->
+          Format.fprintf fmt " %s=%.6fs/%d" (Span.kind_name r.r_kind) r.r_total
+            r.r_count)
+        rows)
+    t.cp_server;
+  if t.cp_router <> [] then begin
+    Format.fprintf fmt "@.  router:";
+    List.iter
+      (fun r ->
+        Format.fprintf fmt " %s=%.6fs/%d" (Span.kind_name r.r_kind) r.r_total
+          r.r_count)
+      t.cp_router
+  end

@@ -38,8 +38,17 @@ let us t = t *. 1e6
 
 let tid_of ev = match Event.actor ev with Some c -> c + 1 | None -> 0
 
-let perfetto (entries : (int * Recorder.entry) array) =
-  let b = Buffer.create (4096 + (Array.length entries * 96)) in
+(* Span tracks share the client lanes (tid = client + 1); each shard's
+   server gets its own lane well clear of any client id, so a sharded
+   run renders as one timeline with a named lane per shard. *)
+let shard_tid_base = 1_000_000
+
+let span_tid = function
+  | Span.Client c -> c + 1
+  | Span.Server k -> shard_tid_base + k
+
+let perfetto ?(spans = [||]) (entries : (int * Recorder.entry) array) =
+  let b = Buffer.create (4096 + ((Array.length entries + Array.length spans) * 96)) in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
   let obj s =
@@ -59,7 +68,12 @@ let perfetto (entries : (int * Recorder.entry) array) =
     end;
     if not (Hashtbl.mem seen_tid (pid, tid)) then begin
       Hashtbl.add seen_tid (pid, tid) ();
-      let label = if tid = 0 then "server/system" else Printf.sprintf "client %d" (tid - 1) in
+      let label =
+        if tid = 0 then "server/system"
+        else if tid >= shard_tid_base then
+          Printf.sprintf "shard %d" (tid - shard_tid_base)
+        else Printf.sprintf "client %d" (tid - 1)
+      in
       obj
         (Printf.sprintf
            "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\
@@ -97,6 +111,31 @@ let perfetto (entries : (int * Recorder.entry) array) =
           | None -> ())
       | _ -> ())
     entries;
+  (* span records become "X" (complete) duration events: one bar per
+     Open/Close pair, on the opener's lane.  Spans still open at the end
+     of the record are dropped (no duration to draw). *)
+  let open_spans = Hashtbl.create 256 in
+  Array.iter
+    (fun (rep, { Span.sp_time; sp_ev; sp_seq = _ }) ->
+      match sp_ev with
+      | Span.Open { id; parent = _; track; kind; xid } ->
+          Hashtbl.replace open_spans (rep, id) (sp_time, track, kind, xid)
+      | Span.Close { id; ok } -> (
+          match Hashtbl.find_opt open_spans (rep, id) with
+          | None -> ()
+          | Some (t0, track, kind, xid) ->
+              Hashtbl.remove open_spans (rep, id);
+              let tid = span_tid track in
+              metadata rep tid;
+              obj
+                (Printf.sprintf
+                   "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
+                    \"pid\":%d,\"tid\":%d,\"args\":{\"xid\":%d,\"ok\":%b}}"
+                   (json_escape (Span.kind_name kind))
+                   (us t0)
+                   (us (sp_time -. t0))
+                   rep tid xid ok)))
+    spans;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents b
 
@@ -383,4 +422,21 @@ let trace_text (entries : (int * Recorder.entry) array) =
         (Printf.sprintf "rep%d %12.6f #%-7d %s\n" rep time seq
            (Event.to_string ev)))
     entries;
+  Buffer.contents b
+
+let span_text (spans : (int * Span.entry) array) =
+  let b = Buffer.create (Array.length spans * 72) in
+  Array.iter
+    (fun (rep, { Span.sp_time; sp_seq; sp_ev }) ->
+      Buffer.add_string b
+        (match sp_ev with
+        | Span.Open { id; parent; track; kind; xid } ->
+            Printf.sprintf "rep%d %12.6f #%-7d open  %-7d parent=%-7d %s %s x%d\n"
+              rep sp_time sp_seq id parent
+              (Span.track_name track) (Span.kind_name kind) xid
+        | Span.Close { id; ok } ->
+            Printf.sprintf "rep%d %12.6f #%-7d close %-7d %s\n" rep sp_time
+              sp_seq id
+              (if ok then "ok" else "failed")))
+    spans;
   Buffer.contents b

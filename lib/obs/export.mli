@@ -3,19 +3,27 @@
     The Perfetto exporter emits Chrome [trace_event] JSON (load it at
     [https://ui.perfetto.dev] or [chrome://tracing]): every entry becomes
     an instant event on the track of its client (pid = replication index,
-    tid = client id + 1, tid 0 = server/system), and each paired
-    lock-wait/grant becomes a duration bar.
+    tid = client id + 1, tid 0 = server/system), each paired
+    lock-wait/grant becomes a duration bar, and every closed span record
+    becomes an ["X"] (complete) duration event — client spans on the
+    client lanes, server spans on one named lane per shard
+    (tid = 1000000 + shard), so a sharded run renders as one timeline.
 
     Both formats come with a reader so artifacts can be verified without
     external tools: {!validate_json} parses the emitted JSON,
     {!series_of_csv} round-trips the CSV exactly ([%.17g] floats). *)
 
 (** Chrome/Perfetto trace_event JSON of a merged trace
-    (see {!Run.merged_trace}). *)
-val perfetto : (int * Recorder.entry) array -> string
+    (see {!Run.merged_trace}), plus duration events for [spans]
+    (see {!Run.merged_spans}). *)
+val perfetto :
+  ?spans:(int * Span.entry) array -> (int * Recorder.entry) array -> string
 
 (** Plain-text dump, one line per event ("repN  time  #seq  description"). *)
 val trace_text : (int * Recorder.entry) array -> string
+
+(** Plain-text dump of a merged span record, one line per open/close. *)
+val span_text : (int * Span.entry) array -> string
 
 (** CSV of one series: a metadata comment line, a [time,<names>] header,
     one row per sample. *)

@@ -26,6 +26,9 @@ type rep = {
   series : Series.t option;
   facilities : fac_snapshot list;
   profile : Sim.Engine.profile option;
+  spans : Span.entry array;
+  spans_dropped : int;
+  metrics : Metrics.t option;
 }
 
 type t = { reps : rep list }
@@ -39,8 +42,24 @@ let merged_trace t =
   let parts = List.mapi (fun i r -> Array.map (fun e -> (i, e)) r.trace) t.reps in
   Array.concat parts
 
+(* Same discipline for spans: rep-tagged, in seed order. *)
+let merged_spans t =
+  let parts = List.mapi (fun i r -> Array.map (fun e -> (i, e)) r.spans) t.reps in
+  Array.concat parts
+
+(* One registry for the whole run: counters and histogram buckets add
+   exactly; the fold runs in seed order, so the merged artifact is a
+   deterministic function of the spec at any [-j]. *)
+let merged_metrics t =
+  match List.filter_map (fun r -> r.metrics) t.reps with
+  | [] -> None
+  | ms -> Some (Metrics.merge ms)
+
 let total_events t =
   List.fold_left (fun a r -> a + Array.length r.trace) 0 t.reps
+
+let total_spans t =
+  List.fold_left (fun a r -> a + Array.length r.spans) 0 t.reps
 
 let pp_fac_snapshot fmt f =
   Format.fprintf fmt

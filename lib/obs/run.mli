@@ -28,6 +28,9 @@ type rep = {
   series : Series.t option;
   facilities : fac_snapshot list;
   profile : Sim.Engine.profile option;
+  spans : Span.entry array;  (** emission order; empty if spans off *)
+  spans_dropped : int;  (** span entries lost to the ring limit *)
+  metrics : Metrics.t option;  (** this replication's registry *)
 }
 
 type t = { reps : rep list }
@@ -39,4 +42,12 @@ val merge : t list -> t
     (rep, time, seq) order — the deterministic merged trace. *)
 val merged_trace : t -> (int * Recorder.entry) array
 
+(** All replications' span entries, rep-tagged in seed order. *)
+val merged_spans : t -> (int * Span.entry) array
+
+(** One registry for the whole run: per-rep registries merged in seed
+    order (exact on counters and histogram buckets). *)
+val merged_metrics : t -> Metrics.t option
+
 val total_events : t -> int
+val total_spans : t -> int

@@ -33,6 +33,10 @@ type attempt = {
   mutable phase : phase;
   (* shard -> (committed, new_versions slice) once it acknowledged *)
   acks : (int, bool * (int * int) list) Hashtbl.t;
+  a_start : float; (* engine clock at [start_2pc], for the in-doubt metric *)
+  (* observability only: open span ids, -1 when closed or spans are off *)
+  mutable sp_prepare : int;
+  mutable sp_decide : int;
 }
 
 type t = {
@@ -41,6 +45,7 @@ type t = {
   metrics : Core.Metrics.t;
   amnesia : unit -> bool;
   send : int -> Proto.c2s -> unit;
+  now : unit -> float;
   deliver_client : Proto.s2c -> unit;
   mutable cur_xid : int;
   touched : bool array; (* shards the current transaction has contacted *)
@@ -53,7 +58,7 @@ type t = {
   mutable virt_epoch : int;
 }
 
-let create ~map ~client_id ~metrics ~amnesia ~send ~deliver_client =
+let create ~map ~client_id ~metrics ~amnesia ~send ~now ~deliver_client =
   let n = Shard_map.n_shards map in
   {
     map;
@@ -61,6 +66,7 @@ let create ~map ~client_id ~metrics ~amnesia ~send ~deliver_client =
     metrics;
     amnesia;
     send;
+    now;
     deliver_client;
     cur_xid = min_int;
     touched = Array.make n false;
@@ -81,9 +87,34 @@ let contradiction t kind =
     (Core.Server.Server_invariant
        { protocol = "2pc-router"; client = t.client_id; kind })
 
+(* 2PC phase spans live on the coordinating client's track.  Close-once
+   discipline (reset the id field) because [drive_commit]/[drive_abort]
+   are re-entrant under retransmission. *)
+let close_prepare t a ~ok =
+  if a.sp_prepare >= 0 then begin
+    Obs.Span.close_span ~time:(t.now ()) ~ok a.sp_prepare;
+    a.sp_prepare <- -1
+  end
+
+let open_decide t a =
+  if a.sp_decide < 0 && Obs.Span.active () then
+    a.sp_decide <-
+      Obs.Span.open_span ~time:(t.now ())
+        ~track:(Obs.Span.Client t.client_id) ~kind:Obs.Span.Decide_2pc
+        ~parent:(-1) ~xid:a.a_xid
+
+let close_decide t a ~ok =
+  if a.sp_decide >= 0 then begin
+    Obs.Span.close_span ~time:(t.now ()) ~ok a.sp_decide;
+    a.sp_decide <- -1
+  end
+
 let finish t a ~ok =
   (if ok then Core.Metrics.record_xshard_commit t.metrics
    else Core.Metrics.record_xshard_abort t.metrics);
+  close_prepare t a ~ok;
+  close_decide t a ~ok;
+  Obs.Metrics.observe_s "ccsim_2pc_indoubt_seconds" (t.now () -. a.a_start);
   let new_versions =
     if not ok then []
     else
@@ -112,6 +143,8 @@ let check_done t a =
 (* The commit point is durably recorded: fan the commit out to everyone
    still unacknowledged and wait. *)
 let drive_commit t a =
+  close_prepare t a ~ok:true;
+  open_decide t a;
   a.phase <- Committing;
   List.iter
     (fun s -> if not (Hashtbl.mem a.acks s) then decision t a s ~commit:true)
@@ -119,6 +152,8 @@ let drive_commit t a =
   check_done t a
 
 let drive_abort t a =
+  close_prepare t a ~ok:false;
+  open_decide t a;
   a.phase <- Aborting;
   List.iter
     (fun s -> if not (Hashtbl.mem a.acks s) then decision t a s ~commit:false)
@@ -131,8 +166,17 @@ let drive_abort t a =
    client's retransmission of the same commit restarts 2PC under the same
    xid, and duplicate prepares are answered idempotently. *)
 let decide t a ~commit =
-  if t.amnesia () then t.attempt <- None
+  if t.amnesia () then begin
+    (* coordinator amnesia: the attempt is forgotten mid-flight, so its
+       spans end here, marked failed *)
+    close_prepare t a ~ok:false;
+    close_decide t a ~ok:false;
+    Obs.Metrics.incr_s "ccsim_2pc_amnesia_total" 1;
+    t.attempt <- None
+  end
   else if commit then begin
+    close_prepare t a ~ok:true;
+    open_decide t a;
     a.phase <- Commit_point_sent;
     decision t a a.a_decider ~commit:true
   end
@@ -254,9 +298,17 @@ let start_2pc t ~client ~xid ~req ~read_set ~update_pages ~release_pages
       stale = [];
       phase = Voting;
       acks = Hashtbl.create 8;
+      a_start = t.now ();
+      sp_prepare =
+        Obs.Span.open_span ~time:(t.now ())
+          ~track:(Obs.Span.Client t.client_id) ~kind:Obs.Span.Prepare_2pc
+          ~parent:(-1) ~xid;
+      sp_decide = -1;
     }
   in
   t.attempt <- Some a;
+  Obs.Metrics.observe_s "ccsim_2pc_fanout"
+    (float_of_int (List.length participants));
   List.iter (fun (s, m) -> t.send s m) slices
 
 (* First sight of a new transaction id.  A dangling attempt here can only
@@ -280,6 +332,8 @@ let note_xid t xid =
                 if not (Hashtbl.mem a.acks s) then decision t a s ~commit:false)
               a.a_participants
         | Commit_point_sent | Committing -> ());
+        close_prepare t a ~ok:false;
+        close_decide t a ~ok:false;
         t.attempt <- None
     | None -> ());
     t.cur_xid <- xid;

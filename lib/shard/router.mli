@@ -34,15 +34,17 @@ type t
 
 (** [amnesia] is drawn once per 2PC attempt at the decision point;
     [send] delivers one message to a shard (charged to the client's
-    CPU); [deliver_client] puts a server-to-client message in the
-    client's real inbox, bypassing the network (the router IS the
-    client's network endpoint). *)
+    CPU); [now] reads the engine clock (for 2PC span/metric emission
+    only — never to make decisions); [deliver_client] puts a
+    server-to-client message in the client's real inbox, bypassing the
+    network (the router IS the client's network endpoint). *)
 val create :
   map:Shard_map.t ->
   client_id:int ->
   metrics:Core.Metrics.t ->
   amnesia:(unit -> bool) ->
   send:(int -> Core.Proto.c2s -> unit) ->
+  now:(unit -> float) ->
   deliver_client:(Core.Proto.s2c -> unit) ->
   t
 

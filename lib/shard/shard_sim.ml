@@ -79,6 +79,13 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
      the client directly, but the router sits in between, consuming 2PC
      traffic and forwarding the rest *)
   let relay = Array.make_matrix cfg.Sys_params.n_clients n_shards None in
+  (* per-shard routed-message counters, names precomputed once so the
+     hot path is a hash lookup + integer add (and nothing at all when no
+     registry is installed) *)
+  let shard_msg_name =
+    Array.init n_shards (fun k ->
+        Printf.sprintf "ccsim_shard_msgs_total{shard=\"%d\"}" k)
+  in
   for i = 0 to cfg.Sys_params.n_clients - 1 do
     let crng = Sim.Rng.split master (Printf.sprintf "client-%d" i) in
     let workload =
@@ -90,6 +97,7 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
     let client = ref None in
     let send s msg =
       let c = Option.get !client in
+      if Obs.Metrics.active () then Obs.Metrics.incr_s shard_msg_name.(s) 1;
       let bytes =
         Proto.c2s_bytes ~control:cfg.Sys_params.control_msg_bytes
           ~page_size:cfg.Sys_params.page_size msg
@@ -105,6 +113,7 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
     in
     let router =
       Router.create ~map ~client_id:i ~metrics ~amnesia ~send
+        ~now:(fun () -> Sim.Engine.now eng)
         ~deliver_client:(fun msg ->
           Sim.Mailbox.send (Client.inbox (Option.get !client)) msg)
     in
@@ -164,6 +173,19 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
   let recorder =
     if ocfg.Obs.Config.trace then
       Some (Obs.Recorder.create ~limit:ocfg.Obs.Config.trace_limit ())
+    else None
+  in
+  let span_buf =
+    if ocfg.Obs.Config.spans then
+      Some (Obs.Span.create ~limit:ocfg.Obs.Config.span_limit ())
+    else None
+  in
+  let registry =
+    if ocfg.Obs.Config.metrics then begin
+      let r = Obs.Metrics.create () in
+      Obs.Metrics.set_gauge r "ccsim_shards" (float_of_int n_shards);
+      Some r
+    end
     else None
   in
   if ocfg.Obs.Config.profile then Sim.Engine.enable_profiling eng;
@@ -250,14 +272,21 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
     end
   in
   let sim_time =
-    match recorder with
-    | None -> Sim.Engine.run eng ~until:spec.max_sim_time ()
-    | Some r ->
-        let saved = Obs.Recorder.save () in
-        Obs.Recorder.install r;
-        Fun.protect
-          ~finally:(fun () -> Obs.Recorder.restore saved)
-          (fun () -> Sim.Engine.run eng ~until:spec.max_sim_time ())
+    let run_sim () = Sim.Engine.run eng ~until:spec.max_sim_time () in
+    let with_sink save install restore v f =
+      match v with
+      | None -> f ()
+      | Some x ->
+          let saved = save () in
+          install x;
+          Fun.protect ~finally:(fun () -> restore saved) f
+    in
+    with_sink Obs.Recorder.save Obs.Recorder.install Obs.Recorder.restore
+      recorder (fun () ->
+        with_sink Obs.Span.save Obs.Span.install Obs.Span.restore span_buf
+          (fun () ->
+            with_sink Obs.Metrics.save Obs.Metrics.install Obs.Metrics.restore
+              registry run_sim))
   in
   (match inspect with
   | Some f -> f servers (Array.map (function Some c -> c | None -> assert false) clients)
@@ -321,6 +350,11 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
         | Some r -> (Obs.Recorder.entries r, Obs.Recorder.dropped r)
         | None -> ([||], 0)
       in
+      let spans, spans_dropped =
+        match span_buf with
+        | Some b -> (Obs.Span.entries b, Obs.Span.dropped b)
+        | None -> ([||], 0)
+      in
       Some
         {
           Obs.Run.reps =
@@ -335,6 +369,9 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
                   (if ocfg.Obs.Config.profile then
                      Some (Sim.Engine.profile eng)
                    else None);
+                spans;
+                spans_dropped;
+                metrics = registry;
               };
             ];
         }

@@ -269,8 +269,23 @@ let test_run_series_content () =
   | Some s ->
       Alcotest.(check bool) "samples recorded" true (Obs.Series.length s > 0);
       let names = Obs.Series.names s in
-      Alcotest.(check bool) "has cpu column" true
-        (Array.exists (( = ) "server_cpu_util") names);
+      (* the exact column order is part of the CSV artifact contract:
+         downstream diffing tools key on it, so adding a gauge means
+         extending this pin (at the end, please) *)
+      Alcotest.(check (array string)) "pinned column order"
+        [|
+          "server_cpu_util";
+          "disk_util";
+          "net_util";
+          "locks_held";
+          "lock_waiters";
+          "active_xacts";
+          "ready_queue";
+          "commit_rate";
+          "abort_rate";
+          "clients_down";
+        |]
+        names;
       (* every utilization sample lies in [0, 1] *)
       let j =
         let found = ref (-1) in

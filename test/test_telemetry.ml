@@ -65,6 +65,27 @@ let snap () =
           h_prepares = 260;
         };
       ];
+    s_latency =
+      [
+        {
+          l_algo = "2PL";
+          l_shards = 1;
+          l_p50 = 0.25;
+          l_p95 = 0.75;
+          l_p99 = 1.0;
+          l_mean = 0.3;
+          l_xacts = 350;
+        };
+        {
+          l_algo = "callback";
+          l_shards = 2;
+          l_p50 = 0.3;
+          l_p95 = 0.9;
+          l_p99 = 1.25;
+          l_mean = 0.35;
+          l_xacts = 350;
+        };
+      ];
     s_engine = Some { p_wall_s = 0.5; p_events = 200_000; p_heap_hwm = 123 };
   }
 
@@ -120,6 +141,19 @@ let test_shard_section_is_additive () =
       | Ok s' ->
           Alcotest.(check bool) "parses as empty shard sweep" true
             (s'.s_shard = [])
+      | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
+
+(* And for the latency section, the youngest addition. *)
+let test_latency_section_is_additive () =
+  let s = { (snap ()) with s_latency = [] } in
+  let json = to_json s in
+  match remove_substring ~sub:"  \"latency\": [],\n" json with
+  | None -> Alcotest.fail "fixture could not remove the latency section"
+  | Some legacy -> (
+      match of_json legacy with
+      | Ok s' ->
+          Alcotest.(check bool) "parses as empty latency" true
+            (s'.s_latency = [])
       | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
 
 let test_of_json_rejects () =
@@ -296,6 +330,39 @@ let test_diff_shard_cells () =
   Alcotest.(check int) "one note per missing cell" (List.length s.s_shard)
     (List.length v''.v_notes)
 
+(* Latency cells: deterministic simulated quantiles — growth past the
+   threshold regresses with no noise band, population drift is a note,
+   and a cell on one side only is a note. *)
+let test_diff_latency_cells () =
+  let s = snap () in
+  let slow =
+    {
+      s with
+      s_latency =
+        List.map (fun l -> { l with l_p95 = l.l_p95 *. 2.0 }) s.s_latency;
+    }
+  in
+  let v = diff ~baseline:s ~current:slow () in
+  Alcotest.(check bool) "latency regression detected" false (ok v);
+  Alcotest.(check int) "one finding per doubled quantile"
+    (List.length s.s_latency)
+    (List.length v.v_regressions);
+  let drifted =
+    {
+      s with
+      s_latency = List.map (fun l -> { l with l_xacts = l.l_xacts + 5 }) s.s_latency;
+    }
+  in
+  let v' = diff ~baseline:s ~current:drifted () in
+  Alcotest.(check bool) "population drift is a note, not a failure" true
+    (ok v');
+  Alcotest.(check int) "one note per drifted cell" (List.length s.s_latency)
+    (List.length v'.v_notes);
+  let v'' = diff ~baseline:s ~current:{ s with s_latency = [] } () in
+  Alcotest.(check bool) "missing cells are notes, not failures" true (ok v'');
+  Alcotest.(check int) "one note per missing cell" (List.length s.s_latency)
+    (List.length v''.v_notes)
+
 let test_diff_threshold_and_notes () =
   let s = snap () in
   let mild =
@@ -327,6 +394,7 @@ let () =
           case "engine=null round-trip" test_json_roundtrip_no_engine;
           case "sweep section is additive" test_sweep_section_is_additive;
           case "shard section is additive" test_shard_section_is_additive;
+          case "latency section is additive" test_latency_section_is_additive;
           case "rejects malformed input" test_of_json_rejects;
         ] );
       ( "diff",
@@ -337,6 +405,7 @@ let () =
           case "jitter floor" test_diff_jitter_floor;
           case "sweep cells" test_diff_sweep_cells;
           case "shard cells" test_diff_shard_cells;
+          case "latency cells" test_diff_latency_cells;
           case "threshold + mismatch notes" test_diff_threshold_and_notes;
         ] );
     ]
