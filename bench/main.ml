@@ -239,6 +239,79 @@ let latency_cells ~jobs () =
           exit 1)
     cells
 
+(* Fixed-seed message-amplification cells: one small run per protocol at
+   1 and 4 shards with the causal message record on, msgs/pkts/bytes per
+   committed transaction summed off the per-kind amplification table.
+   Simulated counts, fully deterministic — bench-diff compares them with
+   no noise band. *)
+let causal_cells ~jobs () =
+  let algos =
+    [
+      Core.Proto.Two_phase Core.Proto.Inter;
+      Core.Proto.Certification Core.Proto.Inter;
+      Core.Proto.Callback;
+      Core.Proto.No_wait { notify = None };
+      Core.Proto.No_wait { notify = Some Core.Proto.Push };
+      Core.Proto.No_wait { notify = Some Core.Proto.Invalidate };
+    ]
+  in
+  let cells =
+    List.concat_map (fun algo -> [ (algo, 1); (algo, 4) ]) algos
+  in
+  List.map
+    (fun (algo, n_shards) ->
+      let cfg = Core.Sys_params.table5 ~n_clients:8 () in
+      let xp =
+        Db.Xact_params.short_batch ~prob_write:0.2 ~inter_xact_loc:0.25 ()
+      in
+      let spec =
+        {
+          (Core.Simulator.default_spec ~seed:3 ~warmup_commits:50
+             ~measured_commits:300 ~obs:Obs.Config.causal ~cfg
+             ~xact_params:xp algo)
+          with
+          Core.Simulator.n_shards;
+        }
+      in
+      let r =
+        if n_shards > 1 then Shard.Shard_sim.run_replicated ~jobs spec ~reps:1
+        else Core.Simulator.run_replicated ~jobs spec ~reps:1
+      in
+      let causal =
+        match r.Core.Simulator.obs with
+        | Some o -> Obs.Run.merged_causal o
+        | None -> [||]
+      in
+      if Array.length causal = 0 then begin
+        Printf.eprintf "bench: causal cell %s@%d produced no causal record\n"
+          (Core.Proto.algorithm_name algo) n_shards;
+        exit 1
+      end;
+      let an = Obs.Causal.analyze causal in
+      let commits = an.Obs.Causal.an_check.Obs.Causal.ck_committed in
+      if commits = 0 then begin
+        Printf.eprintf "bench: causal cell %s@%d committed nothing\n"
+          (Core.Proto.algorithm_name algo) n_shards;
+        exit 1
+      end;
+      let msgs = ref 0 and pkts = ref 0 and bytes = ref 0 in
+      List.iter
+        (fun (a : Obs.Causal.amp) ->
+          msgs := !msgs + a.Obs.Causal.am_msgs;
+          pkts := !pkts + a.Obs.Causal.am_pkts;
+          bytes := !bytes + a.Obs.Causal.am_bytes)
+        (Obs.Causal.amplification causal);
+      let per v = float_of_int v /. float_of_int commits in
+      {
+        Experiments.Telemetry.z_algo = Core.Proto.algorithm_name algo;
+        z_shards = n_shards;
+        z_msgs_per_commit = per !msgs;
+        z_pkts_per_commit = per !pkts;
+        z_bytes_per_commit = per !bytes;
+        z_commits = commits;
+      })
+    cells
+
 (* ------------------------------------------------------------------ *)
 (* Experiment driver                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -429,6 +502,7 @@ let () =
       Printf.printf "\ntiming %d microbenches (%d runs each) for %s...\n%!"
         (List.length micro_defs) micro_runs file;
       let latency = latency_cells ~jobs:!jobs () in
+      let causal = causal_cells ~jobs:!jobs () in
       let snapshot =
         {
           Experiments.Telemetry.s_schema =
@@ -458,6 +532,7 @@ let () =
               sweep_cells;
           s_shard = !shard_cells;
           s_latency = latency;
+          s_causal = causal;
           s_engine = Some (engine_probe ());
         }
       in

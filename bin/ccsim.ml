@@ -697,6 +697,246 @@ let metrics_cmd =
       $ spans_file $ check $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ccsim causal                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let causal_cmd =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the database over N shard servers; 2PC \
+             prepare/vote/decision fan-out then shows up as branching in \
+             the causal DAGs.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Run under the seeded default fault plan (message loss, \
+             duplication and delay, client crashes; independent shard \
+             crashes and coordinator amnesia when $(b,--shards) > 1), so \
+             the DAGs include retransmissions, duplicate copies, and \
+             termination-protocol traffic.")
+  in
+  let dag_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dag" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged causal record as plain text; byte-identical \
+             for every $(b,-j).")
+  in
+  let perfetto_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome/Perfetto trace_event JSON with span bars and one \
+             flow arrow per delivered message copy.")
+  in
+  let chains =
+    Arg.(
+      value & opt int 3
+      & info [ "chains" ] ~docv:"N"
+          ~doc:
+            "Print the critical chain (gating message sequence) of the N \
+             slowest committed transactions.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-validate: every transaction's DAG must be well-formed \
+             (acyclic by construction, single root, delivery never before \
+             send, causes never after effects), and the committed DAGs' \
+             root-to-end sum must reconcile with the span-derived \
+             end-to-end commit latency to 1e-9.")
+  in
+  let run cell shards faults dag_file perfetto_file chains check jobs =
+    if shards < 1 then begin
+      Printf.eprintf "ccsim: --shards must be positive\n";
+      exit 1
+    end;
+    let spec =
+      { (cell_spec ~obs:Obs.Config.causal cell) with
+        Core.Simulator.n_shards = shards;
+        fault =
+          (* the full gremlin set: message loss/dup/delay and client
+             crashes from the default plan, plus — sharded — independent
+             shard crashes and coordinator amnesia, so every DAG shape
+             the protocols can produce shows up *)
+          (if not faults then Fault.Plan.none
+           else if shards > 1 then
+             {
+               (Fault.Plan.default ~seed:cell.cell_seed) with
+               Fault.Plan.server_crash_mean = 8.0;
+               server_restart_mean = 0.5;
+               checkpoint_interval = 5.0;
+               coord_crash_prob = 0.1;
+             }
+           else Fault.Plan.default ~seed:cell.cell_seed);
+      }
+    in
+    let r =
+      if shards > 1 then
+        Shard.Shard_sim.run_replicated ~jobs spec ~reps:cell.cell_reps
+      else Core.Simulator.run_replicated ~jobs spec ~reps:cell.cell_reps
+    in
+    match r.Core.Simulator.obs with
+    | None ->
+        Printf.eprintf "ccsim: run returned no observability payload\n";
+        exit 1
+    | Some o ->
+        Format.printf "%a@." Core.Simulator.pp_result r;
+        let mc = Obs.Run.merged_causal o in
+        let an =
+          Obs.Causal.analyze ~dropped:(Obs.Run.causal_dropped o) mc
+        in
+        Format.printf "@.%a@." Obs.Causal.pp_check an.Obs.Causal.an_check;
+        (* per-kind wire amplification over every Send node *)
+        let amps = Obs.Causal.amplification mc in
+        Format.printf "@.message amplification by kind:@.";
+        Format.printf "  %-16s %8s %8s %10s %6s %6s@." "kind" "msgs" "pkts"
+          "bytes" "retx" "dups";
+        List.iter
+          (fun a ->
+            Format.printf "  %-16s %8d %8d %10d %6d %6d@."
+              a.Obs.Causal.am_kind a.Obs.Causal.am_msgs a.Obs.Causal.am_pkts
+              a.Obs.Causal.am_bytes a.Obs.Causal.am_retx a.Obs.Causal.am_dups)
+          amps;
+        let ck = an.Obs.Causal.an_check in
+        if ck.Obs.Causal.ck_committed > 0 then
+          Format.printf "  %d msgs / %d commits = %.2f msgs per commit@."
+            ck.Obs.Causal.ck_msgs ck.Obs.Causal.ck_committed
+            (float_of_int ck.Obs.Causal.ck_msgs
+            /. float_of_int ck.Obs.Causal.ck_committed);
+        (* waterfall of the slowest committed transactions' gating chains *)
+        let committed =
+          Array.to_list an.Obs.Causal.an_dags
+          |> List.filter (fun d -> d.Obs.Causal.dg_ok)
+        in
+        let slowest =
+          List.sort
+            (fun a b ->
+              compare
+                (b.Obs.Causal.dg_finish -. b.Obs.Causal.dg_start)
+                (a.Obs.Causal.dg_finish -. a.Obs.Causal.dg_start))
+            committed
+        in
+        let rec take n = function
+          | [] -> []
+          | _ when n <= 0 -> []
+          | x :: tl -> x :: take (n - 1) tl
+        in
+        List.iter
+          (fun d ->
+            let dur = d.Obs.Causal.dg_finish -. d.Obs.Causal.dg_start in
+            Format.printf
+              "@.critical chain: rep%d client %d xid %d — %d msgs, %d hops, \
+               %.6fs@."
+              d.Obs.Causal.dg_rep d.Obs.Causal.dg_client d.Obs.Causal.dg_xid
+              d.Obs.Causal.dg_msgs
+              (List.length d.Obs.Causal.dg_chain)
+              dur;
+            List.iter
+              (fun l ->
+                let at = l.Obs.Causal.lk_send -. d.Obs.Causal.dg_start in
+                let fly = l.Obs.Causal.lk_recv -. l.Obs.Causal.lk_send in
+                let flags =
+                  (if l.Obs.Causal.lk_retry > 0 then
+                     Printf.sprintf " retry=%d" l.Obs.Causal.lk_retry
+                   else "")
+                  ^
+                  if l.Obs.Causal.lk_dup > 0 then
+                    Printf.sprintf " dup=%d" l.Obs.Causal.lk_dup
+                  else ""
+                in
+                Format.printf "  +%.6fs %-16s %s%.6fs in flight%s@." at
+                  l.Obs.Causal.lk_label
+                  (String.make
+                     (min 40 (int_of_float (at /. Float.max dur 1e-9 *. 40.)))
+                     ' ')
+                  fly flags)
+              d.Obs.Causal.dg_chain)
+          (take chains slowest);
+        (* artifacts *)
+        (match dag_file with
+        | Some f ->
+            Obs.Export.write_file f (Obs.Export.dag_text mc);
+            Format.printf "@.dag text written to %s@." f
+        | None -> ());
+        (match perfetto_file with
+        | Some f ->
+            let js =
+              Obs.Export.perfetto ~spans:(Obs.Run.merged_spans o) ~flows:mc
+                (Obs.Run.merged_trace o)
+            in
+            Obs.Export.write_file f js;
+            Format.printf "perfetto json written to %s@." f;
+            (match Obs.Export.validate_json js with
+            | Ok () -> ()
+            | Error e ->
+                Printf.eprintf "ccsim: emitted invalid JSON: %s\n" e;
+                exit 1)
+        | None -> ());
+        (* reconciliation with the span-phase decomposition: Root/End use
+           the Xact span's exact open/close instants, so the two sums are
+           the same numbers added in a different order *)
+        let cp = Obs.Critical_path.analyze (Obs.Run.merged_spans o) in
+        let residual =
+          Float.abs
+            (an.Obs.Causal.an_chain_sum -. cp.Obs.Critical_path.cp_end_to_end)
+        in
+        Format.printf
+          "@.causal end-to-end %.6fs vs span end-to-end %.6fs (residual \
+           %.2e)@."
+          an.Obs.Causal.an_chain_sum cp.Obs.Critical_path.cp_end_to_end
+          residual;
+        if check then begin
+          if not (Obs.Causal.check_ok ck) then begin
+            Format.eprintf "ccsim: check failed: invalid causal record:@.%a@."
+              Obs.Causal.pp_check ck;
+            exit 1
+          end;
+          if ck.Obs.Causal.ck_committed = 0 then begin
+            Printf.eprintf "ccsim: check failed: no committed transactions\n";
+            exit 1
+          end;
+          if residual > 1e-9 then begin
+            Printf.eprintf
+              "ccsim: check failed: causal chain sum %.12f does not \
+               reconcile with span end-to-end %.12f\n"
+              an.Obs.Causal.an_chain_sum cp.Obs.Critical_path.cp_end_to_end;
+            exit 1
+          end;
+          Format.printf
+            "check: %d DAGs well-formed (%d committed, %d msgs, %d \
+             delivered, %d dropped); causal sum reconciles to %.6fs \
+             (residual %.2e)@."
+            ck.Obs.Causal.ck_groups ck.Obs.Causal.ck_committed
+            ck.Obs.Causal.ck_msgs ck.Obs.Causal.ck_delivered
+            ck.Obs.Causal.ck_dropped_msgs an.Obs.Causal.an_chain_sum residual
+        end
+  in
+  Cmd.v
+    (Cmd.info "causal"
+       ~doc:
+         "Run a simulation with causal message tracing: every message \
+          carries the node that caused it, so each transaction yields a \
+          causal DAG covering fetches, callbacks, notifications, \
+          retransmissions, and 2PC fan-out.  Prints DAG validation, \
+          per-kind message-amplification, and the slowest transactions' \
+          gating chains; exports the record as deterministic text \
+          ($(b,--dag)) and Perfetto flow arrows ($(b,--perfetto)).")
+    Term.(
+      const run $ cell_term ~commits_default:500 () $ shards $ faults
+      $ dag_file $ perfetto_file $ chains $ check $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* ccsim exp                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1068,6 +1308,7 @@ let () =
             trace_cmd;
             stats_cmd;
             metrics_cmd;
+            causal_cmd;
             exp_cmd;
             chaos_cmd;
             bench_diff_cmd;

@@ -9,7 +9,7 @@ type t = {
   workload : Db.Workload.t;
   rng : Sim.Rng.t;
   metrics : Metrics.t;
-  to_server : Proto.c2s -> unit;
+  to_server : parent:int -> retry:int -> Proto.c2s -> unit;
   on_commit : unit -> unit;
   audit : Cc.History.t option;
   fault : Fault.Plan.t;
@@ -18,8 +18,8 @@ type t = {
   cport : Proto.port;
   cache_pool : Storage.Lru_pool.t;
   vers : (int, int) Hashtbl.t; (* cached page -> version of our copy *)
-  inbox_mb : Proto.s2c Sim.Mailbox.t;
-  reply_box : Proto.s2c Sim.Mailbox.t;
+  inbox_mb : (int * Proto.s2c) Sim.Mailbox.t;
+  reply_box : (int * Proto.s2c) Sim.Mailbox.t;
   (* per-transaction state *)
   mutable xid : int;
   mutable seq : int;
@@ -35,7 +35,7 @@ type t = {
   mutable abort_flag : bool;
   mutable abort_stale : int list;
   mutable thinking : bool;
-  deferred : Proto.s2c Queue.t;
+  deferred : (int * Proto.s2c) Queue.t;
   (* fault-recovery state (inert under Fault.none) *)
   mutable cur_req : int; (* sequence number of the last awaitable request *)
   mutable last_req : Proto.c2s option; (* that request, for retransmission *)
@@ -52,6 +52,11 @@ type t = {
   mutable sp_xact : int;
   mutable sp_attempt : int;
   mutable sp_leaf : int;
+  (* causal trace context: the current transaction's Root node and the
+     most recently consumed message's node id (the cause of whatever we
+     send next); both -1 when causal tracing is off *)
+  mutable cz_root : int;
+  mutable cz_parent : int;
 }
 
 (* Build a probe set once so per-page membership checks cost O(1) instead
@@ -120,6 +125,8 @@ let create ?audit ?(fault = Fault.Plan.none) ?(down_gauge = ref 0) eng ~id
     sp_xact = -1;
     sp_attempt = -1;
     sp_leaf = -1;
+    cz_root = -1;
+    cz_parent = -1;
   }
 
 let port t = t.cport
@@ -215,11 +222,11 @@ let on_evict t (v : Storage.Lru_pool.victim) =
   if v.Storage.Lru_pool.dirty then
     (* cannot happen while current-transaction pages are pinned, but keep
        the §3.3.3 protocol: updated pages swapped out go to the server *)
-    t.to_server
+    t.to_server ~parent:t.cz_parent ~retry:0
       (Proto.Dirty_evict { client = t.id; xid = t.xid; page = v.Storage.Lru_pool.page })
   else if is_callback t && Hashtbl.mem t.retained v.Storage.Lru_pool.page then begin
     Hashtbl.remove t.retained v.Storage.Lru_pool.page;
-    t.to_server
+    t.to_server ~parent:t.cz_parent ~retry:0
       (Proto.Release_retained { client = t.id; pages = [ v.Storage.Lru_pool.page ] })
   end
 
@@ -245,13 +252,14 @@ let fetch_pages_of t pages =
 (* Asynchronous message handling (dispatcher)                          *)
 (* ------------------------------------------------------------------ *)
 
-let handle_callback_request t page =
+let handle_callback_request t ctx page =
   if t.in_xact && Hashtbl.mem t.locked page then
     (* in use by the current transaction: release when it terminates *)
     Hashtbl.replace t.pending_cb page ()
   else begin
     Hashtbl.remove t.retained page;
-    t.to_server (Proto.Callback_reply { client = t.id; page })
+    t.to_server ~parent:ctx ~retry:0
+      (Proto.Callback_reply { client = t.id; page })
   end
 
 let handle_push t page version =
@@ -265,8 +273,8 @@ let handle_push t page version =
 let handle_invalidate t page =
   if not (Hashtbl.mem t.dirty page) then drop_page t page
 
-let handle_async t = function
-  | Proto.Callback_request { page } -> handle_callback_request t page
+let handle_async t ctx = function
+  | Proto.Callback_request { page } -> handle_callback_request t ctx page
   | Proto.Update_push { page; version } -> handle_push t page version
   | Proto.Invalidate_page { page } -> handle_invalidate t page
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _
@@ -293,7 +301,7 @@ let handle_async t = function
    Runs on the dispatcher, so it must flag the main process rather than
    raise.  The notice itself is best-effort (droppable): commit-time
    read-set revalidation under server-crash plans is the backstop. *)
-let handle_server_restart t =
+let handle_server_restart t ctx =
   (match t.algo with
   | Proto.Callback ->
       Hashtbl.reset t.retained;
@@ -313,33 +321,34 @@ let handle_server_restart t =
         && not awaiting_commit
       then begin
         t.abort_flag <- true;
-        (* wake the main process if it is blocked on a reply *)
+        (* wake the main process if it is blocked on a reply; the
+           synthetic abort is caused by the restart notice itself *)
         Sim.Mailbox.send t.reply_box
-          (Proto.Aborted { xid = t.xid; stale_pages = [] })
+          (ctx, Proto.Aborted { xid = t.xid; stale_pages = [] })
       end
 
-let dispatch t msg =
+let dispatch t (ctx, msg) =
   if t.crashed then () (* a down workstation hears nothing *)
   else
   match msg with
   | Proto.Callback_request _ | Proto.Update_push _ | Proto.Invalidate_page _ ->
       if t.thinking && not t.cfg.Sys_params.process_async_during_think then
-        Queue.add msg t.deferred
-      else handle_async t msg
+        Queue.add (ctx, msg) t.deferred
+      else handle_async t ctx msg
   | Proto.Aborted { xid; stale_pages } ->
       if xid = t.xid then begin
         t.abort_flag <- true;
         t.abort_stale <- stale_pages @ t.abort_stale;
         (* wake the main process if it is blocked on a reply *)
-        Sim.Mailbox.send t.reply_box msg
+        Sim.Mailbox.send t.reply_box (ctx, msg)
       end
   | Proto.Server_restart { epoch } ->
       if epoch > t.srv_epoch then begin
         t.srv_epoch <- epoch;
-        handle_server_restart t
+        handle_server_restart t ctx
       end
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _ ->
-      Sim.Mailbox.send t.reply_box msg
+      Sim.Mailbox.send t.reply_box (ctx, msg)
   | Proto.Vote _ | Proto.Decision_ack _ ->
       (* 2PC traffic terminates at the shard router; it never reaches a
          client transaction loop *)
@@ -355,7 +364,8 @@ let dispatcher_loop t () =
 let drain_deferred t =
   let n = Queue.length t.deferred in
   for _ = 1 to n do
-    handle_async t (Queue.take t.deferred)
+    let ctx, msg = Queue.take t.deferred in
+    handle_async t ctx msg
   done
 
 (* ------------------------------------------------------------------ *)
@@ -410,20 +420,25 @@ let next_req t =
    observable difference from a client that crashed mid-round-trip is
    nil — the commit was already durable at the server. *)
 let await_reply_faulty t ~crashable =
+  let retries = ref 0 in
   let rec wait timeout =
     if crashable && t.crash_requested then raise Crashed;
     match Sim.Mailbox.recv_timeout t.reply_box ~timeout with
-    | Some msg ->
+    | Some (ctx, msg) ->
         if reply_xid msg <> t.xid then wait timeout
         else (
           match msg with
-          | Proto.Aborted _ -> raise Restart
+          | Proto.Aborted _ ->
+              (* abort-path work (callback releases, restart) is caused
+                 by this abort notice *)
+              t.cz_parent <- ctx;
+              raise Restart
           | m when reply_req m = t.cur_req ->
               if t.fault.Fault.Plan.lease > 0.0 then
                 t.lease_deadline <-
                   Float.max t.lease_deadline
                     (t.last_req_sent +. t.fault.Fault.Plan.lease);
-              m
+              (ctx, m)
           | _ -> wait timeout (* duplicate reply to a superseded request *))
     | None ->
         if crashable && t.crash_requested then raise Crashed;
@@ -431,15 +446,23 @@ let await_reply_faulty t ~crashable =
         if Trace.active () then
           Trace.emit (Sim.Engine.now t.eng)
             (Trace.Retransmit { client = t.id; xid = t.xid });
-        (match t.last_req with Some m -> t.to_server m | None -> ());
+        incr retries;
+        (match t.last_req with
+        | Some m -> t.to_server ~parent:t.cz_parent ~retry:!retries m
+        | None -> ());
         wait (Float.min (timeout *. 2.0) t.fault.Fault.Plan.max_backoff)
   in
   wait t.fault.Fault.Plan.req_timeout
 
 let rec await_reply_plain t =
-  let msg = Sim.Mailbox.recv t.reply_box in
+  let ctx, msg = Sim.Mailbox.recv t.reply_box in
   if reply_xid msg <> t.xid then await_reply_plain t (* stale, old attempt *)
-  else match msg with Proto.Aborted _ -> raise Restart | m -> m
+  else
+    match msg with
+    | Proto.Aborted _ ->
+        t.cz_parent <- ctx;
+        raise Restart
+    | m -> (ctx, m)
 
 (* [kind] is the wait-leaf span for this round trip.  On [Restart] (or
    [Crashed]) the wait leaf stays open; the exception handler's own
@@ -447,9 +470,11 @@ let rec await_reply_plain t =
    tiling has no gap. *)
 let await_reply ?(crashable = true) ?(kind = Obs.Span.Fetch_wait) t =
   sp_enter_leaf t kind;
-  let m =
+  let ctx, m =
     if t.faulty then await_reply_faulty t ~crashable else await_reply_plain t
   in
+  (* everything the main process does next is caused by this reply *)
+  t.cz_parent <- ctx;
   sp_enter_leaf t Obs.Span.Client_cpu;
   m
 
@@ -500,7 +525,7 @@ let send_xact_msg t msg =
         t.last_req <- Some msg;
         t.last_req_sent <- Sim.Engine.now t.eng
     | _ -> ());
-  t.to_server msg
+  t.to_server ~parent:t.cz_parent ~retry:0 msg
 
 let record_lookups t ~total ~misses =
   for _ = 1 to misses do
@@ -545,7 +570,8 @@ let check_lease t =
       Hashtbl.reset t.pending_cb;
       Metrics.record_lease_lapse t.metrics;
       (* best effort; the server may already have reclaimed them *)
-      t.to_server (Proto.Release_retained { client = t.id; pages });
+      t.to_server ~parent:t.cz_parent ~retry:0
+        (Proto.Release_retained { client = t.id; pages });
       if t.in_xact && Hashtbl.length t.locked > 0 then raise Restart
     end
   end
@@ -925,7 +951,8 @@ let commit t =
         (fun p ->
           Hashtbl.remove t.pending_cb p;
           Hashtbl.remove t.retained p;
-          t.to_server (Proto.Callback_reply { client = t.id; page = p }))
+          t.to_server ~parent:t.cz_parent ~retry:0
+            (Proto.Callback_reply { client = t.id; page = p }))
         late
 
 (* After an abort: throw away in-place garbage and pages the server told us
@@ -947,7 +974,8 @@ let abort_cleanup t =
       (fun p ->
         Hashtbl.remove t.retained p;
         Hashtbl.remove t.pending_cb p;
-        t.to_server (Proto.Callback_reply { client = t.id; page = p }))
+        t.to_server ~parent:t.cz_parent ~retry:0
+          (Proto.Callback_reply { client = t.id; page = p }))
       pending
   end;
   clear_xact_state t
@@ -1005,6 +1033,14 @@ let request_crash t = t.crash_requested <- true
    nothing, and whatever queued meanwhile is gone on reboot. *)
 let crash_cleanup t =
   sp_crash t;
+  (* the causal group dies with the crash, marked failed; the crash has
+     no causing message, so the End keeps whatever cause came last *)
+  if t.cz_root >= 0 then begin
+    Obs.Causal.finish ~time:(Sim.Engine.now t.eng) ~parent:t.cz_parent
+      ~xid:t.xid ~client:t.id ~ok:false;
+    t.cz_root <- -1;
+    t.cz_parent <- -1
+  end;
   Metrics.record_crash t.metrics ~in_xact:t.in_xact;
   if Trace.active () then
     Trace.emit (Sim.Engine.now t.eng) (Trace.Client_crash { client = t.id });
@@ -1049,7 +1085,7 @@ let recover t ~downtime =
      transaction and frees every lock we held.  Best effort: if this
      message is dropped, the lease sweep reclaims them instead (an active
      crash plan requires a lease, see Fault.Plan.validate). *)
-  t.to_server (Proto.Recovered { client = t.id })
+  t.to_server ~parent:(-1) ~retry:0 (Proto.Recovered { client = t.id })
 
 let main_loop t () =
   (* stagger client start-up so the fleet does not move in lockstep *)
@@ -1063,6 +1099,10 @@ let main_loop t () =
       t.sp_xact <-
         Obs.Span.open_span ~time:first_start ~track:(sp_track t)
           ~kind:Obs.Span.Xact ~parent:(-1) ~xid:(-1);
+    (* the causal Root shares the Xact span's exact open instant, so the
+       DAG chain length reconciles with the span decomposition *)
+    t.cz_root <- Obs.Causal.root ~time:first_start ~client:t.id;
+    t.cz_parent <- t.cz_root;
     let rec attempt () =
       begin_attempt t;
       sp_open_attempt t;
@@ -1077,6 +1117,13 @@ let main_loop t () =
           Metrics.record_commit t.metrics ~response;
           sp_close_attempt t ~time:now ~ok:true;
           sp_close_xact t ~time:now ~ok:true;
+          (* the End shares the Xact span's exact close instant *)
+          if t.cz_root >= 0 then begin
+            Obs.Causal.finish ~time:now ~parent:t.cz_parent ~xid:t.xid
+              ~client:t.id ~ok:true;
+            t.cz_root <- -1;
+            t.cz_parent <- -1
+          end;
           Obs.Metrics.observe_s "ccsim_commit_latency_seconds" response;
           clear_xact_state t;
           t.on_commit ()

@@ -32,7 +32,12 @@ type t
 
     [?down_gauge] — a shared counter the client increments while crashed
     and decrements on recovery, so a fleet-wide "clients down" probe is
-    O(1) instead of scanning every client per sample. *)
+    O(1) instead of scanning every client per sample.
+
+    [to_server] sends one message with its causal trace context:
+    [parent] is the node id of the message whose receipt caused this
+    send (-1 when unknown or causal tracing is off) and [retry] the
+    retransmission index (0 = first transmission). *)
 val create :
   ?audit:Cc.History.t ->
   ?fault:Fault.Plan.t ->
@@ -44,15 +49,16 @@ val create :
   workload:Db.Workload.t ->
   rng:Sim.Rng.t ->
   metrics:Metrics.t ->
-  to_server:(Proto.c2s -> unit) ->
+  to_server:(parent:int -> retry:int -> Proto.c2s -> unit) ->
   on_commit:(unit -> unit) ->
   t
 
 (** The client CPU endpoint (for charging inbound messages). *)
 val port : t -> Proto.port
 
-(** Mailbox the server delivers into. *)
-val inbox : t -> Proto.s2c Sim.Mailbox.t
+(** Mailbox the server delivers into: (causal node id, message) pairs,
+    the node id being -1 when causal tracing is off. *)
+val inbox : t -> (int * Proto.s2c) Sim.Mailbox.t
 
 (** The cache, as the server's notification-directory view. *)
 val cache : t -> Storage.Lru_pool.t

@@ -2,10 +2,10 @@ let use_cpu (port : Proto.port) inst =
   if inst > 0 then
     Sim.Facility.use port.Proto.cpu (Sys_params.cpu_seconds ~mips:port.Proto.mips inst)
 
-let send net ~msg_inst ~src ~dst ~bytes ~deliver =
+let send ?tag net ~msg_inst ~src ~dst ~bytes ~deliver =
   let pkts = Net.Network.packets_for net ~bytes in
   let inst = msg_inst * pkts in
   use_cpu src inst;
-  Net.Network.post net ~bytes ~deliver:(fun () ->
+  Net.Network.post ?tag net ~bytes ~deliver:(fun ctx ->
       use_cpu dst inst;
-      deliver ())
+      deliver ctx)

@@ -9,15 +9,18 @@
     of FCFS service on [port]'s CPU.  No-op for [inst <= 0]. *)
 val use_cpu : Proto.port -> int -> unit
 
-(** [send net ~msg_inst ~src ~dst ~bytes ~deliver] charges the sender,
-    transmits asynchronously, charges the receiver, then runs [deliver]
-    (typically a mailbox send).  The caller resumes as soon as the sender
-    CPU charge completes. *)
+(** [send ?tag net ~msg_inst ~src ~dst ~bytes ~deliver] charges the
+    sender, transmits asynchronously, charges the receiver, then runs
+    [deliver] (typically a mailbox send).  The caller resumes as soon as
+    the sender CPU charge completes.  [tag] is the message's causal
+    trace context (see {!Net.Network.post}); [deliver] receives the
+    delivered copy's causal node id, -1 when causal tracing is off. *)
 val send :
+  ?tag:Obs.Causal.tag ->
   Net.Network.t ->
   msg_inst:int ->
   src:Proto.port ->
   dst:Proto.port ->
   bytes:int ->
-  deliver:(unit -> unit) ->
+  deliver:(int -> unit) ->
   unit

@@ -117,6 +117,59 @@ let c2s_client = function
       client
   | Outcome_query _ -> -1 (* sent by a shard, not a client *)
 
+(* The transaction a client-to-server message is about; -1 for messages
+   not bound to one (callback replies, retained-lock releases, reboots). *)
+let c2s_xid = function
+  | Fetch { xid; _ }
+  | Cert_read { xid; _ }
+  | Commit { xid; _ }
+  | Dirty_evict { xid; _ }
+  | Prepare { xid; _ }
+  | Decision { xid; _ }
+  | Outcome_query { xid; _ } ->
+      xid
+  | Callback_reply _ | Release_retained _ | Recovered _ -> -1
+
+(* Stable lower-case kind tags for causal tags and per-kind network
+   accounting. *)
+let c2s_kind = function
+  | Fetch _ -> "fetch"
+  | Cert_read _ -> "cert_read"
+  | Commit _ -> "commit"
+  | Callback_reply _ -> "callback_reply"
+  | Release_retained _ -> "release_retained"
+  | Dirty_evict _ -> "dirty_evict"
+  | Recovered _ -> "recovered"
+  | Prepare _ -> "prepare"
+  | Decision _ -> "decision"
+  | Outcome_query _ -> "outcome_query"
+
+let s2c_kind = function
+  | Fetch_reply _ -> "fetch_reply"
+  | Cert_reply _ -> "cert_reply"
+  | Commit_reply _ -> "commit_reply"
+  | Aborted _ -> "aborted"
+  | Callback_request _ -> "callback_request"
+  | Update_push _ -> "update_push"
+  | Invalidate_page _ -> "invalidate"
+  | Server_restart _ -> "server_restart"
+  | Vote _ -> "vote"
+  | Decision_ack _ -> "decision_ack"
+
+(* The transaction a server-to-client message is about; -1 for messages
+   not bound to one (callbacks, notifications, restarts). *)
+let s2c_xid = function
+  | Fetch_reply { xid; _ }
+  | Cert_reply { xid; _ }
+  | Commit_reply { xid; _ }
+  | Aborted { xid; _ }
+  | Vote { xid; _ }
+  | Decision_ack { xid; _ } ->
+      xid
+  | Callback_request _ | Update_push _ | Invalidate_page _ | Server_restart _
+    ->
+      -1
+
 let c2s_bytes ~control ~page_size = function
   | Fetch _ | Cert_read _ | Callback_reply _ | Release_retained _
   | Recovered _ | Decision _ | Outcome_query _ ->

@@ -146,6 +146,21 @@ val xid_client : int -> int
     shard-to-shard messages ([Outcome_query]). *)
 val c2s_client : c2s -> int
 
+(** The transaction a client-to-server message is about; [-1] for
+    messages not bound to one (callback replies, retained-lock releases,
+    reboots). *)
+val c2s_xid : c2s -> int
+
+(** Stable lower-case kind tags ("fetch", "commit_reply", ...) for
+    causal trace contexts and per-kind network accounting. *)
+val c2s_kind : c2s -> string
+
+val s2c_kind : s2c -> string
+
+(** The transaction a server-to-client message is about; [-1] for
+    messages not bound to one (callbacks, notifications, restarts). *)
+val s2c_xid : s2c -> int
+
 (** Message sizes, for packetization: a data-free message costs
     [control_msg_bytes]; each carried page adds [page_size]. *)
 val c2s_bytes : control:int -> page_size:int -> c2s -> int

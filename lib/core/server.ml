@@ -1,6 +1,7 @@
 type client_link = {
   port : Proto.port;
-  inbox : Proto.s2c Sim.Mailbox.t;
+  inbox : (int * Proto.s2c) Sim.Mailbox.t;
+      (* (causal node id, message); -1 when causal tracing is off *)
   cache_view : Storage.Lru_pool.t;
 }
 
@@ -297,8 +298,8 @@ let force_pending_sp t log =
 
 (* [deliver] is defined at the bottom of the file but shard-to-shard
    sends need it; tied after its definition. *)
-let deliver_ref : (t -> Proto.c2s -> unit) ref =
-  ref (fun _ _ -> assert false)
+let deliver_ref : (t -> ctx:int -> Proto.c2s -> unit) ref =
+  ref (fun _ ~ctx:_ _ -> assert false)
 
 (* Only algorithms that can send update notifications ever consult the
    page -> caching-clients index; everyone else skips the bookkeeping. *)
@@ -387,7 +388,14 @@ let describe_s2c = function
         (if committed then "committed" else "aborted")
         shard
 
-let send_to_client t cid msg =
+(* [ctx] is the causal node id of the message whose receipt caused this
+   send (-1 when none), [xid] overrides the transaction attribution for
+   messages whose payload carries no xid (callback requests and update
+   notifications belong to the transaction that triggered them), and
+   [retry] is the retransmission index of server-side re-sends (callback
+   nags).  The tag is always built: per-kind network accounting runs
+   even without a causal sink, like the aggregate message counters. *)
+let send_to_client ?(ctx = -1) ?xid ?(retry = 0) t cid msg =
   if Trace.active () then begin
     let time = Sim.Engine.now t.eng in
     match msg with
@@ -411,22 +419,46 @@ let send_to_client t cid msg =
     Proto.s2c_bytes ~control:t.cfg.Sys_params.control_msg_bytes
       ~page_size:t.cfg.Sys_params.page_size msg
   in
-  Comms.send t.net ~msg_inst:t.cfg.Sys_params.net.Net.Network.msg_inst
-    ~src:t.sport ~dst:link.port ~bytes ~deliver:(fun () ->
-      Sim.Mailbox.send link.inbox msg)
+  let xid = match xid with Some x -> x | None -> Proto.s2c_xid msg in
+  let tag =
+    {
+      Obs.Causal.tg_parent = ctx;
+      tg_xid = xid;
+      tg_owner = (if xid >= 0 then Proto.xid_client xid else -1);
+      tg_kind = Proto.s2c_kind msg;
+      tg_src = Obs.Causal.Shard t.shard_id;
+      tg_dst = Obs.Causal.Client cid;
+      tg_retry = retry;
+    }
+  in
+  Comms.send ~tag t.net ~msg_inst:t.cfg.Sys_params.net.Net.Network.msg_inst
+    ~src:t.sport ~dst:link.port ~bytes ~deliver:(fun node ->
+      Sim.Mailbox.send link.inbox (node, msg))
 
 (* Shard-to-shard transport (the 2PC termination protocol): same network
    and cost model as any other message, delivered into the peer's normal
    dispatch. *)
-let send_to_shard t dst msg =
+let send_to_shard ?(ctx = -1) ?(retry = 0) t dst msg =
   let peer = t.peers.(dst) in
   let bytes =
     Proto.c2s_bytes ~control:t.cfg.Sys_params.control_msg_bytes
       ~page_size:t.cfg.Sys_params.page_size msg
   in
-  Comms.send t.net ~msg_inst:t.cfg.Sys_params.net.Net.Network.msg_inst
-    ~src:t.sport ~dst:peer.sport ~bytes ~deliver:(fun () ->
-      !deliver_ref peer msg)
+  let xid = Proto.c2s_xid msg in
+  let tag =
+    {
+      Obs.Causal.tg_parent = ctx;
+      tg_xid = xid;
+      tg_owner = (if xid >= 0 then Proto.xid_client xid else -1);
+      tg_kind = Proto.c2s_kind msg;
+      tg_src = Obs.Causal.Shard t.shard_id;
+      tg_dst = Obs.Causal.Shard dst;
+      tg_retry = retry;
+    }
+  in
+  Comms.send ~tag t.net ~msg_inst:t.cfg.Sys_params.net.Net.Network.msg_inst
+    ~src:t.sport ~dst:peer.sport ~bytes ~deliver:(fun node ->
+      !deliver_ref peer ~ctx:node msg)
 
 let tombstoned t xid = Hashtbl.mem t.tombstones xid
 
@@ -653,7 +685,8 @@ let undo_installed t xs =
 (* [record] and [notify] exist for the sharded paths: a transaction
    aborted on several shards is counted once, and its client is told by
    whoever owns the verdict (the 2PC router), not by every shard. *)
-let abort_xact ?(record = true) ?(notify = true) t xs ~reason ~stale =
+let abort_xact ?(ctx = -1) ?(record = true) ?(notify = true) t xs ~reason
+    ~stale =
   if not xs.x_aborted then begin
     xs.x_aborted <- true;
     Hashtbl.replace t.tombstones xs.x_xid ();
@@ -703,7 +736,7 @@ let abort_xact ?(record = true) ?(notify = true) t xs ~reason ~stale =
     Sim.Engine.spawn t.eng (fun () ->
         undo_installed t xs;
         if notify then
-          send_to_client t xs.x_client
+          send_to_client ~ctx t xs.x_client
             (Proto.Aborted { xid = xs.x_xid; stale_pages = stale }))
   end
 
@@ -895,7 +928,7 @@ let undo_grant t ~page ~client ~before =
   | Some Cc.Lock_table.S -> Cc.Lock_table.downgrade t.lock_table ~page client
   | Some Cc.Lock_table.X -> ()
 
-let acquire t xs ~page ~mode =
+let acquire ?(ctx = -1) t xs ~page ~mode =
   let client = xs.x_client in
   if xs.x_aborted then Lock_aborted
   else begin
@@ -928,14 +961,15 @@ let acquire t xs ~page ~mode =
               (fun holder ->
                 if holder <> client then begin
                   Metrics.record_callback_sent t.metrics;
-                  send_to_client t holder (Proto.Callback_request { page })
+                  send_to_client ~ctx ~xid:xs.x_xid t holder
+                    (Proto.Callback_request { page })
                 end)
               holders;
             (* under message loss a callback request (or its reply) can
                vanish; re-nag the surviving holders until the wait ends *)
             if t.faulty && t.fault.Fault.Plan.callback_retry > 0.0 then
               Sim.Engine.spawn t.eng (fun () ->
-                  let rec nag () =
+                  let rec nag n =
                     Sim.Engine.hold t.fault.Fault.Plan.callback_retry;
                     if
                       (not (Sim.Ivar.is_filled cell))
@@ -946,14 +980,14 @@ let acquire t xs ~page ~mode =
                         (fun (holder, _m) ->
                           if holder <> client then begin
                             Metrics.record_callback_sent t.metrics;
-                            send_to_client t holder
-                              (Proto.Callback_request { page })
+                            send_to_client ~ctx ~xid:xs.x_xid ~retry:n t
+                              holder (Proto.Callback_request { page })
                           end)
                         (Cc.Lock_table.holders t.lock_table ~page);
-                      nag ()
+                      nag (n + 1)
                     end
                   in
-                  nag ())
+                  nag 1)
         | _ -> ());
         (match t.algo with
         | Proto.Callback when t.cfg.Sys_params.callback_grace > 0.0 ->
@@ -1079,10 +1113,10 @@ let note_unforced t log new_versions =
     (fun (page, _) -> Hashtbl.replace t.unforced_page page lsn)
     new_versions
 
-let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
+let handle_fetch t ~ctx ~client ~xid ~req ~mode ~pages ~no_wait =
   if tombstoned t xid then begin
     if not no_wait then
-      send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+      send_to_client ~ctx t client (Proto.Aborted { xid; stale_pages = [] })
   end
   else if finished_reply t xid <> None || Hashtbl.mem t.durable_commits xid
   then ()
@@ -1096,7 +1130,7 @@ let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
           let rec lock_all acc = function
             | [] -> `Ok (List.rev acc)
             | { Proto.page; cached_version } :: rest -> (
-                match acquire t xs ~page ~mode with
+                match acquire ~ctx t xs ~page ~mode with
                 | Lock_aborted -> `Abort_handled
                 | Lock_granted ->
                     if xs.x_aborted then `Abort_handled
@@ -1107,7 +1141,7 @@ let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
                       | Some _ when no_wait ->
                           (* the client is already computing on a stale
                              copy: abort and tell it which page to drop *)
-                          abort_xact t xs ~reason:Metrics.Stale_read
+                          abort_xact ~ctx t xs ~reason:Metrics.Stale_read
                             ~stale:[ page ];
                           `Abort_handled
                       | Some _ | None -> lock_all ((page, current) :: acc) rest
@@ -1121,14 +1155,15 @@ let handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait =
               if not xs.x_aborted then begin
                 charge_pages_sent t (List.length data);
                 if not no_wait then
-                  send_to_client t client (Proto.Fetch_reply { xid; req; data })
+                  send_to_client ~ctx t client
+                    (Proto.Fetch_reply { xid; req; data })
               end
         end)
   end
 
-let handle_cert_read t ~client ~xid ~req ~pages =
+let handle_cert_read t ~ctx ~client ~xid ~req ~pages =
   if tombstoned t xid then
-    send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+    send_to_client ~ctx t client (Proto.Aborted { xid; stale_pages = [] })
   else if finished_reply t xid <> None || Hashtbl.mem t.durable_commits xid
   then ()
   else begin
@@ -1148,7 +1183,7 @@ let handle_cert_read t ~client ~xid ~req ~pages =
           read_pages t (List.map fst data);
           await_pages_durable t xs (List.map fst data);
           charge_pages_sent t (List.length data);
-          send_to_client t client (Proto.Cert_reply { xid; req; data })
+          send_to_client ~ctx t client (Proto.Cert_reply { xid; req; data })
         end)
   end
 
@@ -1174,7 +1209,7 @@ let cert_validate t ~xid ~read_set ~update_pages =
       (stale
       @ pin_conflicts t ~xid (List.map fst read_set @ update_pages))
 
-let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
+let commit_certification t ~ctx xs ~client ~xid ~req ~read_set ~update_pages =
   let stale = cert_validate t ~xid ~read_set ~update_pages in
   if stale <> [] then begin
     Metrics.record_abort t.metrics Metrics.Cert_fail;
@@ -1184,7 +1219,7 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
     in
     remember_reply t xid reply;
     close_xact t xs;
-    send_to_client t client reply
+    send_to_client ~ctx t client reply
   end
   else begin
     let new_versions =
@@ -1218,10 +1253,10 @@ let commit_certification t xs ~client ~xid ~req ~read_set ~update_pages =
     remember_reply t xid reply;
     t.local_commits <- t.local_commits + 1;
     close_xact t xs;
-    send_to_client t client reply
+    send_to_client ~ctx t client reply
   end
 
-let notify_clients t ~updater ~mode new_versions =
+let notify_clients ?(ctx = -1) t ~updater ~xid ~mode new_versions =
   (* The reverse index replaces a scan of every client.  Each send is a
      suspension point under which caches change, so candidates must be
      discovered lazily — "smallest caching client above the last one
@@ -1243,16 +1278,18 @@ let notify_clients t ~updater ~mode new_versions =
               (match mode with
               | Proto.Push ->
                   charge_pages_sent t 1;
-                  send_to_client t cid (Proto.Update_push { page; version })
+                  send_to_client ~ctx ~xid t cid
+                    (Proto.Update_push { page; version })
               | Proto.Invalidate ->
-                  send_to_client t cid (Proto.Invalidate_page { page }))
+                  send_to_client ~ctx ~xid t cid
+                    (Proto.Invalidate_page { page }))
             end;
             loop cid
       in
       loop (-1))
     new_versions
 
-let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
+let commit_locking t ~ctx xs ~client ~xid ~req ~read_set ~update_pages
     ~release_pages =
   (* [read_set] is only sent by no-wait clients under an active fault plan:
      a lease reclaim may have handed their locks to another writer, so the
@@ -1278,7 +1315,7 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
     in
     remember_reply t xid reply;
     close_xact t xs;
-    send_to_client t client reply
+    send_to_client ~ctx t client reply
   end
   else begin
   (* when validation ran, bump before any suspension point so no competing
@@ -1355,7 +1392,7 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
   if Trace.active () then
     Trace.emit (Sim.Engine.now t.eng)
       (Trace.Commit { client; xid; n_updates = List.length update_pages });
-  send_to_client t client reply;
+  send_to_client ~ctx t client reply;
   (let notify_mode =
      match t.algo with
      | Proto.No_wait { notify = Some mode } -> Some mode
@@ -1365,18 +1402,19 @@ let commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
    in
    match notify_mode with
    | Some mode when new_versions <> [] ->
-       notify_clients t ~updater:client ~mode new_versions
+       notify_clients ~ctx t ~updater:client ~xid ~mode new_versions
    | Some _ | None -> ())
   end
 
-let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages =
+let handle_commit t ~ctx ~client ~xid ~req ~read_set ~update_pages
+    ~release_pages =
   if tombstoned t xid then
-    send_to_client t client (Proto.Aborted { xid; stale_pages = [] })
+    send_to_client ~ctx t client (Proto.Aborted { xid; stale_pages = [] })
   else
     match finished_reply t xid with
     | Some reply ->
         (* the commit already ran; its reply was lost — replay it verbatim *)
-        send_to_client t client reply
+        send_to_client ~ctx t client reply
     | None when Hashtbl.mem t.durable_commits xid -> (
         (* the commit became durable before a server crash wiped
            [completed]: rebuild the lost reply from the log.  [req] comes
@@ -1390,7 +1428,7 @@ let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages =
                     { xid; req; ok = true; new_versions; stale_pages = [] }
                 in
                 remember_reply t xid reply;
-                send_to_client t client reply
+                send_to_client ~ctx t client reply
             | None ->
                 raise
                   (Server_invariant
@@ -1407,17 +1445,17 @@ let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages =
               (* a duplicate queued behind the handler that finished the
                  transaction: replay the recorded verdict, if any *)
               match finished_reply t xid with
-              | Some reply -> send_to_client t client reply
+              | Some reply -> send_to_client ~ctx t client reply
               | None -> ()
             end
             else
               match t.algo with
               | Proto.Certification _ ->
-                  commit_certification t xs ~client ~xid ~req ~read_set
+                  commit_certification t ~ctx xs ~client ~xid ~req ~read_set
                     ~update_pages
               | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
-                  commit_locking t xs ~client ~xid ~req ~read_set ~update_pages
-                    ~release_pages)
+                  commit_locking t ~ctx xs ~client ~xid ~req ~read_set
+                    ~update_pages ~release_pages)
 
 let handle_dirty_evict t ~client ~xid ~page =
   if
@@ -1465,7 +1503,7 @@ let release_for_commit t ~client ~release_pages =
    from replay — installs the pages, and releases locks/pins under the
    protocol's normal commit rules.  Abort discards the reservation.
    Returns the versions the acknowledgement carries. *)
-let resolve_prepared t pr ~xid ~commit =
+let resolve_prepared ?(ctx = -1) t pr ~xid ~commit =
   let fence () = if t.epoch <> pr.p_epoch then raise Server_down in
   unpin_xact t xid;
   if commit then begin
@@ -1515,7 +1553,7 @@ let resolve_prepared t pr ~xid ~commit =
      in
      match notify_mode with
      | Some mode when pr.p_updates <> [] ->
-         notify_clients t ~updater:pr.p_client ~mode pr.p_updates
+         notify_clients ~ctx t ~updater:pr.p_client ~xid ~mode pr.p_updates
      | Some _ | None -> ());
     pr.p_updates
   end
@@ -1541,7 +1579,7 @@ let resolve_prepared t pr ~xid ~commit =
    own slice is still undecided after the nag interval presumes abort
    unilaterally — safe, because the global commit point is precisely its
    own durable commit record, which does not exist yet. *)
-let rec nag_in_doubt t xid =
+let rec nag_in_doubt ?(n = 0) t xid =
   if t.faulty then
     Sim.Engine.spawn t.eng (fun () ->
         let period = Float.max (4.0 *. t.fault.Fault.Plan.req_timeout) 2.0 in
@@ -1553,22 +1591,22 @@ let rec nag_in_doubt t xid =
               ignore (resolve_prepared t pr ~xid ~commit:false)
             end
             else begin
-              send_to_shard t pr.p_decider
+              send_to_shard ~retry:n t pr.p_decider
                 (Proto.Outcome_query { shard = t.shard_id; xid });
-              nag_in_doubt t xid
+              nag_in_doubt ~n:(n + 1) t xid
             end
         | Some _ | None -> ())
 
-let vote t ~client ~xid ~req ~ok ~stale =
-  send_to_client t client
+let vote t ~ctx ~client ~xid ~req ~ok ~stale =
+  send_to_client ~ctx t client
     (Proto.Vote { xid; req; shard = t.shard_id; ok; stale_pages = stale })
 
-let prepare_certification t xs ~client ~xid ~req ~decider ~read_set
+let prepare_certification t ~ctx xs ~client ~xid ~req ~decider ~read_set
     ~update_pages =
   let stale = cert_validate t ~xid ~read_set ~update_pages in
   if stale <> [] then begin
     abort_xact t xs ~notify:false ~reason:Metrics.Cert_fail ~stale:[];
-    vote t ~client ~xid ~req ~ok:false ~stale
+    vote t ~ctx ~client ~xid ~req ~ok:false ~stale
   end
   else begin
     (* reserve without publishing: the bump to current+1 happens at
@@ -1604,11 +1642,11 @@ let prepare_certification t xs ~client ~xid ~req ~decider ~read_set
         p_epoch = xs.x_epoch;
       };
     nag_in_doubt t xid;
-    vote t ~client ~xid ~req ~ok:true ~stale:[]
+    vote t ~ctx ~client ~xid ~req ~ok:true ~stale:[]
   end
 
-let prepare_locking t xs ~client ~xid ~req ~decider ~read_set ~update_pages
-    ~release_pages =
+let prepare_locking t ~ctx xs ~client ~xid ~req ~decider ~read_set
+    ~update_pages ~release_pages =
   (* as in [commit_locking], [read_set] is non-empty only for no-wait
      clients under faults; the held locks are otherwise the guarantee *)
   let stale =
@@ -1623,7 +1661,7 @@ let prepare_locking t xs ~client ~xid ~req ~decider ~read_set ~update_pages
   in
   if stale <> [] then begin
     abort_xact t xs ~notify:false ~reason:Metrics.Stale_read ~stale:[];
-    vote t ~client ~xid ~req ~ok:false ~stale
+    vote t ~ctx ~client ~xid ~req ~ok:false ~stale
   end
   else begin
     let new_versions =
@@ -1653,7 +1691,7 @@ let prepare_locking t xs ~client ~xid ~req ~decider ~read_set ~update_pages
         p_epoch = xs.x_epoch;
       };
     nag_in_doubt t xid;
-    vote t ~client ~xid ~req ~ok:true ~stale:[]
+    vote t ~ctx ~client ~xid ~req ~ok:true ~stale:[]
   end
 
 (* Traffic for a NEW transaction from a client whose OLDER slice is still
@@ -1684,17 +1722,18 @@ let settle_superseded t ~client ~xid =
       stale
   end
 
-let handle_prepare t ~client ~xid ~req ~decider ~read_set ~update_pages
+let handle_prepare t ~ctx ~client ~xid ~req ~decider ~read_set ~update_pages
     ~release_pages =
   match Hashtbl.find_opt t.prepared xid with
   | Some pr when pr.p_epoch = t.epoch ->
       (* duplicate of a prepare this shard already accepted: re-vote *)
-      vote t ~client ~xid ~req ~ok:true ~stale:[]
+      vote t ~ctx ~client ~xid ~req ~ok:true ~stale:[]
   | Some _ | None ->
-      if tombstoned t xid then vote t ~client ~xid ~req ~ok:false ~stale:[]
+      if tombstoned t xid then
+        vote t ~ctx ~client ~xid ~req ~ok:false ~stale:[]
       else (
         match finished_reply t xid with
-        | Some reply -> send_to_client t client reply
+        | Some reply -> send_to_client ~ctx t client reply
         | None when Hashtbl.mem t.durable_commits xid -> (
             (* this shard already committed the transaction before a crash
                wiped [completed]: tell the router directly *)
@@ -1702,7 +1741,7 @@ let handle_prepare t ~client ~xid ~req ~decider ~read_set ~update_pages
             | Some log -> (
                 match Storage.Log_manager.durable_commit_updates log ~xid with
                 | Some new_versions ->
-                    send_to_client t client
+                    send_to_client ~ctx t client
                       (Proto.Decision_ack
                          {
                            xid;
@@ -1725,51 +1764,51 @@ let handle_prepare t ~client ~xid ~req ~decider ~read_set ~update_pages
             with_chain t xs (fun () ->
                 if not (still_open t xs) then begin
                   if tombstoned t xid then
-                    vote t ~client ~xid ~req ~ok:false ~stale:[]
+                    vote t ~ctx ~client ~xid ~req ~ok:false ~stale:[]
                   else
                     match finished_reply t xid with
-                    | Some reply -> send_to_client t client reply
+                    | Some reply -> send_to_client ~ctx t client reply
                     | None -> ()
                 end
                 else if Hashtbl.mem t.prepared xid then
                   (* a duplicate queued on the chain behind the prepare
                      that accepted the slice *)
-                  vote t ~client ~xid ~req ~ok:true ~stale:[]
+                  vote t ~ctx ~client ~xid ~req ~ok:true ~stale:[]
                 else
                   match t.algo with
                   | Proto.Certification _ ->
-                      prepare_certification t xs ~client ~xid ~req ~decider
-                        ~read_set ~update_pages
+                      prepare_certification t ~ctx xs ~client ~xid ~req
+                        ~decider ~read_set ~update_pages
                   | Proto.Two_phase _ | Proto.Callback | Proto.No_wait _ ->
-                      prepare_locking t xs ~client ~xid ~req ~decider
+                      prepare_locking t ~ctx xs ~client ~xid ~req ~decider
                         ~read_set ~update_pages ~release_pages))
 
-let decision_ack t ~client ~xid ~req ~committed ~new_versions =
-  send_to_client t client
+let decision_ack t ~ctx ~client ~xid ~req ~committed ~new_versions =
+  send_to_client ~ctx t client
     (Proto.Decision_ack { xid; req; shard = t.shard_id; committed; new_versions })
 
-let handle_decision t ~client ~xid ~req ~commit =
+let handle_decision t ~ctx ~client ~xid ~req ~commit =
   match Hashtbl.find_opt t.prepared xid with
   | Some pr when pr.p_epoch = t.epoch ->
       Hashtbl.remove t.prepared xid;
-      let new_versions = resolve_prepared t pr ~xid ~commit in
+      let new_versions = resolve_prepared ~ctx t pr ~xid ~commit in
       let reply =
         Proto.Decision_ack
           { xid; req; shard = t.shard_id; committed = commit; new_versions }
       in
       remember_reply t xid reply;
-      send_to_client t client reply
+      send_to_client ~ctx t client reply
   | Some _ | None ->
       if commit then (
         match finished_reply t xid with
-        | Some reply -> send_to_client t client reply
+        | Some reply -> send_to_client ~ctx t client reply
         | None ->
             if Hashtbl.mem t.durable_commits xid then (
               match t.log with
               | Some log -> (
                   match Storage.Log_manager.durable_commit_updates log ~xid with
                   | Some new_versions ->
-                      decision_ack t ~client ~xid ~req ~committed:true
+                      decision_ack t ~ctx ~client ~xid ~req ~committed:true
                         ~new_versions
                   | None ->
                       raise
@@ -1784,7 +1823,7 @@ let handle_decision t ~client ~xid ~req ~commit =
               (* the slice is gone without a durable commit: it resolved
                  as an abort (presumed abort here or at the decider); the
                  router learns the truth and aborts the other shards *)
-              decision_ack t ~client ~xid ~req ~committed:false
+              decision_ack t ~ctx ~client ~xid ~req ~committed:false
                 ~new_versions:[])
       else begin
         (* abort decision — also covers router cleanup of an attempt that
@@ -1796,7 +1835,8 @@ let handle_decision t ~client ~xid ~req ~commit =
               ~reason:Metrics.Cert_fail ~stale:[]
         | Some _ | None -> ());
         Hashtbl.replace t.tombstones xid ();
-        decision_ack t ~client ~xid ~req ~committed:false ~new_versions:[]
+        decision_ack t ~ctx ~client ~xid ~req ~committed:false
+          ~new_versions:[]
       end
 
 (* Shard-to-shard: a prepared participant asks this shard (the decider)
@@ -1804,7 +1844,7 @@ let handle_decision t ~client ~xid ~req ~commit =
    promise: absent a durable commit record the answer is abort, our own
    in-doubt slice (if any) resolves the same way, and the tombstone is
    forced to the log so no post-crash retransmission can re-vote yes. *)
-let handle_outcome_query t ~shard ~xid =
+let handle_outcome_query t ~ctx ~shard ~xid =
   Metrics.record_outcome_query t.metrics;
   let committed =
     Hashtbl.mem t.durable_commits xid
@@ -1815,7 +1855,7 @@ let handle_outcome_query t ~shard ~xid =
     | Some _ | None -> false
   in
   if committed then
-    send_to_shard t shard
+    send_to_shard ~ctx t shard
       (Proto.Decision
          { client = Proto.xid_client xid; xid; req = 0; commit = true })
   else begin
@@ -1836,7 +1876,7 @@ let handle_outcome_query t ~shard ~xid =
                   force_abort_sp ~xid t log ~n_updates:0
               | Some _ | None -> ()
             end));
-    send_to_shard t shard
+    send_to_shard ~ctx t shard
       (Proto.Decision
          { client = Proto.xid_client xid; xid; req = 0; commit = false })
   end
@@ -2059,16 +2099,17 @@ let start ?crash_rng t =
           loop ())
   end
 
-let handle_msg t = function
+let handle_msg t ~ctx = function
   | Proto.Fetch { client; xid; req; mode; pages; no_wait } ->
       settle_superseded t ~client ~xid;
-      handle_fetch t ~client ~xid ~req ~mode ~pages ~no_wait
+      handle_fetch t ~ctx ~client ~xid ~req ~mode ~pages ~no_wait
   | Proto.Cert_read { client; xid; req; pages } ->
       settle_superseded t ~client ~xid;
-      handle_cert_read t ~client ~xid ~req ~pages
+      handle_cert_read t ~ctx ~client ~xid ~req ~pages
   | Proto.Commit { client; xid; req; read_set; update_pages; release_pages } ->
       settle_superseded t ~client ~xid;
-      handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages
+      handle_commit t ~ctx ~client ~xid ~req ~read_set ~update_pages
+        ~release_pages
   | Proto.Callback_reply { client; page } ->
       Cc.Lock_table.release t.lock_table ~page client
   | Proto.Release_retained { client; pages } ->
@@ -2080,26 +2121,26 @@ let handle_msg t = function
       reclaim_client t ~client
   | Proto.Prepare { client; xid; req; decider; read_set; update_pages; release_pages } ->
       settle_superseded t ~client ~xid;
-      handle_prepare t ~client ~xid ~req ~decider ~read_set ~update_pages
+      handle_prepare t ~ctx ~client ~xid ~req ~decider ~read_set ~update_pages
         ~release_pages
   | Proto.Decision { client; xid; req; commit } ->
-      handle_decision t ~client ~xid ~req ~commit
-  | Proto.Outcome_query { shard; xid } -> handle_outcome_query t ~shard ~xid
+      handle_decision t ~ctx ~client ~xid ~req ~commit
+  | Proto.Outcome_query { shard; xid } -> handle_outcome_query t ~ctx ~shard ~xid
 
-let handle t msg =
+let handle t ~ctx msg =
   (* a handler overtaken by a server crash dies silently, like any other
      in-flight work lost in the failure; the client-side timeout machinery
      owns the retry *)
-  try handle_msg t msg with Server_down -> ()
+  try handle_msg t ~ctx msg with Server_down -> ()
 
-let deliver t msg =
+let deliver t ~ctx msg =
   if t.down then () (* a dead server hears nothing; clients retransmit *)
   else begin
     (if t.faulty then
        let cid = Proto.c2s_client msg in
        (* shard-to-shard messages carry no client to keep alive *)
        if cid >= 0 then heard_touch t.last_heard cid ~at:(Sim.Engine.now t.eng));
-    Sim.Engine.spawn t.eng (fun () -> handle t msg)
+    Sim.Engine.spawn t.eng (fun () -> handle t ~ctx msg)
   end
 
 let () = deliver_ref := deliver

@@ -27,7 +27,9 @@ exception
     DESIGN.md on why consulting it costs nothing). *)
 type client_link = {
   port : Proto.port;
-  inbox : Proto.s2c Sim.Mailbox.t;
+  inbox : (int * Proto.s2c) Sim.Mailbox.t;
+      (** (causal node id, message) pairs, the node id being -1 when
+          causal tracing is off *)
   cache_view : Storage.Lru_pool.t;
 }
 
@@ -105,8 +107,11 @@ val start : ?crash_rng:Sim.Rng.t -> t -> unit
 (** The server CPU endpoint (for charging inbound messages). *)
 val port : t -> Proto.port
 
-(** Deliver one client message: spawns a handler process and returns. *)
-val deliver : t -> Proto.c2s -> unit
+(** Deliver one client message: spawns a handler process and returns.
+    [ctx] is the delivered copy's causal node id (-1 when causal tracing
+    is off); every message the handler emits in response is parented on
+    it. *)
+val deliver : t -> ctx:int -> Proto.c2s -> unit
 
 (** {1 Introspection (stats, tests)} *)
 

@@ -136,6 +136,22 @@ let audit_run (sp : Core.Simulator.spec) =
       if r.Core.Simulator.commits < sp.Core.Simulator.measured_commits then
         err "stuck: %d of %d commits before t=%g" r.Core.Simulator.commits
           sp.Core.Simulator.measured_commits sp.Core.Simulator.max_sim_time;
+      (* duplicate-injection bookkeeping: a plan without duplication must
+         count zero duplicated messages, and one with it must actually
+         duplicate (the no-dup probability over thousands of messages is
+         negligible) — an inert injector would silently void every
+         at-least-once delivery path this audit exercises *)
+      let dup_prob = sp.Core.Simulator.fault.Fault.Plan.dup_prob in
+      if dup_prob = 0.0 && r.Core.Simulator.msgs_duplicated > 0 then
+        err "duplication: %d messages duplicated under dup_prob = 0"
+          r.Core.Simulator.msgs_duplicated;
+      if
+        dup_prob > 0.0
+        && r.Core.Simulator.messages >= 2_000
+        && r.Core.Simulator.msgs_duplicated = 0
+      then
+        err "duplication: dup_prob = %g yet none of %d messages duplicated"
+          dup_prob r.Core.Simulator.messages;
       (* every crash is either recovered or still inside its restart
          delay when the simulation stopped *)
       let outstanding =
@@ -283,20 +299,25 @@ let shrink ?(max_steps = 32) (sp : Core.Simulator.spec) =
    partial trace; the ring keeps the LAST [limit] events — the tail that
    actually led up to the failure. *)
 let write_repro_trace ?(limit = 200_000) ~file (sp : Core.Simulator.spec) =
-  let ((((), spans), metrics), rec_) =
+  let (((((), causal), spans), metrics), rec_) =
     Obs.Recorder.with_recorder ~limit (fun () ->
         Obs.Metrics.with_metrics (fun () ->
             Obs.Span.with_spans ~limit (fun () ->
-                try ignore (Shard.Shard_sim.run sp) with _ -> ())))
+                Obs.Causal.with_causal ~limit (fun () ->
+                    try ignore (Shard.Shard_sim.run sp) with _ -> ()))))
   in
   let tagged = Array.map (fun e -> (0, e)) (Obs.Recorder.entries rec_) in
   Obs.Export.write_file file (Obs.Export.trace_text tagged);
-  (* the snapshot rides along: what each phase was doing, and the counter
-     state, at the moment the audit failure fired *)
+  (* the snapshot rides along: what each phase was doing, the counter
+     state, and the causal DAG of every message, at the moment the audit
+     failure fired *)
   let base = Filename.remove_extension file in
   let span_tagged = Array.map (fun e -> (0, e)) (Obs.Span.entries spans) in
   Obs.Export.write_file (base ^ ".spans") (Obs.Export.span_text span_tagged);
   Obs.Export.write_file (base ^ ".metrics") (Obs.Metrics.to_openmetrics metrics);
+  Obs.Export.write_file (base ^ ".dag")
+    (Obs.Export.dag_text
+       (Array.map (fun e -> (0, e)) (Obs.Causal.entries causal)));
   (Array.length tagged, Array.length span_tagged)
 
 let sweep ?(jobs = 1) specs =

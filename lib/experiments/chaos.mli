@@ -57,10 +57,11 @@ val audit_run : Core.Simulator.spec -> verdict
 val shrink : ?max_steps:int -> Core.Simulator.spec -> Fault.Plan.t
 
 (** [write_repro_trace ~file sp] re-runs [sp] with a trace recorder,
-    span buffer, and metrics registry installed and writes the
-    plain-text event trace to [file] plus a span snapshot
-    ([<base>.spans]) and an OpenMetrics counter snapshot
-    ([<base>.metrics]) next to it, even when the run raises mid-flight
+    span buffer, causal buffer, and metrics registry installed and
+    writes the plain-text event trace to [file] plus a span snapshot
+    ([<base>.spans]), an OpenMetrics counter snapshot
+    ([<base>.metrics]), and the causal message record ([<base>.dag])
+    next to it, even when the run raises mid-flight
     (the partial records up to the failure are kept — each ring holds
     the last [limit] entries).  Returns [(n_events, n_spans)] written.
     Used by the chaos command to dump the minimal reproducer's

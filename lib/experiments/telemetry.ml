@@ -74,6 +74,20 @@ type latency_cell = {
   l_xacts : int;  (* committed transactions behind the quantiles *)
 }
 
+(* One cell of the message-amplification table: how many network
+   messages (and packets and payload bytes) one committed transaction
+   costs under a protocol at a shard count, measured by the causal
+   message record on a fixed-seed run.  Deterministic — diffs compare
+   with no noise band; a commit-count change is surfaced as a note. *)
+type causal_cell = {
+  z_algo : string;
+  z_shards : int;
+  z_msgs_per_commit : float;  (* messages sent per committed xact *)
+  z_pkts_per_commit : float;
+  z_bytes_per_commit : float;
+  z_commits : int;  (* committed transactions behind the ratios *)
+}
+
 type snapshot = {
   s_schema : string;
   s_repro : string;  (* Report.repro_line verbatim — the provenance header *)
@@ -89,6 +103,7 @@ type snapshot = {
   s_sweep : sweep_cell list;  (* empty when the sweep was not run *)
   s_shard : shard_cell list;  (* empty when the shard sweep was not run *)
   s_latency : latency_cell list;  (* empty when latency cells were not run *)
+  s_causal : causal_cell list;  (* empty when causal cells were not run *)
   s_engine : probe option;
 }
 
@@ -163,6 +178,16 @@ let to_json s =
         (f l.l_mean) l.l_xacts)
     s.s_latency;
   add "%s],\n" (if s.s_latency = [] then "" else "\n  ");
+  add "  \"causal\": [";
+  List.iteri
+    (fun i z ->
+      add "%s\n    {\"algo\": %s, \"shards\": %d, \"msgs_per_commit\": %s, \
+           \"pkts_per_commit\": %s, \"bytes_per_commit\": %s, \"commits\": %d}"
+        (if i = 0 then "" else ",")
+        (q z.z_algo) z.z_shards (f z.z_msgs_per_commit)
+        (f z.z_pkts_per_commit) (f z.z_bytes_per_commit) z.z_commits)
+    s.s_causal;
+  add "%s],\n" (if s.s_causal = [] then "" else "\n  ");
   (match s.s_engine with
   | None -> add "  \"engine\": null\n"
   | Some p ->
@@ -292,6 +317,22 @@ let of_json text =
                         l_p99 = num (get "p99" l);
                         l_mean = num (get "mean" l);
                         l_xacts = int (get "xacts" l);
+                      })
+                    (arr a));
+            s_causal =
+              (* additive like the sweeps: absent in older snapshots *)
+              (match Obs.Export.member "causal" j with
+              | None -> []
+              | Some a ->
+                  List.map
+                    (fun z ->
+                      {
+                        z_algo = str (get "algo" z);
+                        z_shards = int (get "shards" z);
+                        z_msgs_per_commit = num (get "msgs_per_commit" z);
+                        z_pkts_per_commit = num (get "pkts_per_commit" z);
+                        z_bytes_per_commit = num (get "bytes_per_commit" z);
+                        z_commits = int (get "commits" z);
                       })
                     (arr a));
             s_engine =
@@ -514,6 +555,41 @@ let diff ?(threshold = 0.25) ~baseline ~current () =
       if not (Hashtbl.mem base_lat (lat_key c)) then
         note "latency cell %s only in current snapshot" (lat_key c))
     current.s_latency;
+  (* causal cells: match by (algo, shards).  Message amplification from a
+     fixed seed, fully deterministic — growth past the threshold is a
+     semantic regression (the protocol started sending more messages per
+     commit; no noise band); a commit-count change is surfaced as a
+     note. *)
+  let causal_key (z : causal_cell) =
+    Printf.sprintf "%s@%d" z.z_algo z.z_shards
+  in
+  let cur_causal = index_by causal_key current.s_causal in
+  let base_causal = index_by causal_key baseline.s_causal in
+  List.iter
+    (fun (b : causal_cell) ->
+      match Hashtbl.find_opt cur_causal (causal_key b) with
+      | None -> note "causal cell %s only in baseline" (causal_key b)
+      | Some c ->
+          List.iter
+            (fun (qname, bq, cq) ->
+              classify
+                ~metric:(Printf.sprintf "causal %s %s" (causal_key b) qname)
+                ~base:bq ~cur:cq
+                ~slowdown:(if bq <= 0.0 then Float.nan else cq /. bq)
+                ~noisy:false)
+            [
+              ("msgs_per_commit", b.z_msgs_per_commit, c.z_msgs_per_commit);
+              ("bytes_per_commit", b.z_bytes_per_commit, c.z_bytes_per_commit);
+            ];
+          if b.z_commits <> c.z_commits then
+            note "causal cell %s population changed: %d -> %d commits"
+              (causal_key b) b.z_commits c.z_commits)
+    baseline.s_causal;
+  List.iter
+    (fun (c : causal_cell) ->
+      if not (Hashtbl.mem base_causal (causal_key c)) then
+        note "causal cell %s only in current snapshot" (causal_key c))
+    current.s_causal;
   (* engine probe: events/sec, lower = worse; heap high-water, higher =
      worse (a space regression) *)
   (match (baseline.s_engine, current.s_engine) with

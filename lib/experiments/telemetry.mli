@@ -83,6 +83,21 @@ type latency_cell = {
   l_xacts : int;  (** committed transactions behind the quantiles *)
 }
 
+(** One cell of the message-amplification table: network cost of one
+    committed transaction under a protocol at a shard count, measured by
+    the causal message record ({!Obs.Causal}) on a fixed-seed run.
+    Deterministic like the latency cells, so diffs treat drift as
+    semantic change (the protocol started sending more messages per
+    commit) with no noise band. *)
+type causal_cell = {
+  z_algo : string;
+  z_shards : int;
+  z_msgs_per_commit : float;  (** messages sent per committed xact *)
+  z_pkts_per_commit : float;
+  z_bytes_per_commit : float;
+  z_commits : int;  (** committed transactions behind the ratios *)
+}
+
 type snapshot = {
   s_schema : string;  (** {!schema_version} *)
   s_repro : string;  (** {!Report.repro_line} verbatim *)
@@ -103,6 +118,9 @@ type snapshot = {
           [s_sweep] *)
   s_latency : latency_cell list;
       (** empty when the latency cells were not run; additive like
+          [s_sweep] *)
+  s_causal : causal_cell list;
+      (** empty when the causal cells were not run; additive like
           [s_sweep] *)
   s_engine : probe option;
 }

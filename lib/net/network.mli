@@ -27,12 +27,20 @@ val params : t -> params
 (** Packets needed for a message body of [bytes] (at least 1). *)
 val packets_for : t -> bytes:int -> int
 
-(** [post t ~bytes ~deliver] transmits a message asynchronously: the caller
-    returns immediately; a transfer process sends each packet over the wire
-    in FCFS order, then invokes [deliver] (typically: charge receive CPU and
-    enqueue into the destination mailbox).  [deliver] runs inside a fresh
-    process and may block. *)
-val post : t -> bytes:int -> deliver:(unit -> unit) -> unit
+(** [post t ?tag ~bytes ~deliver] transmits a message asynchronously: the
+    caller returns immediately; a transfer process sends each packet over
+    the wire in FCFS order, then invokes [deliver] (typically: charge
+    receive CPU and enqueue into the destination mailbox).  [deliver]
+    runs inside a fresh process and may block.
+
+    [tag] is the message's causal trace context.  When present it feeds
+    the per-kind counters ({!kind_stats}) and — only if an
+    [Obs.Causal] sink is installed — records one Send/Recv node per
+    transmitted copy (fault-injected duplicates get distinct duplicate
+    indexes; drops record Send+Drop).  [deliver] receives the copy's
+    causal node id, or -1 when causal tracing is off. *)
+val post :
+  ?tag:Obs.Causal.tag -> t -> bytes:int -> deliver:(int -> unit) -> unit
 
 (** Per-message fault verdict, consulted by {!post} when a hook is
     installed: [drop] discards the message silently; otherwise [copies]
@@ -52,6 +60,20 @@ val messages_sent : t -> int
 
 (** Packets transmitted (or begun). *)
 val packets_sent : t -> int
+
+(** Per-message-kind wire accounting, keyed by [tag.tg_kind]: one
+    message per tagged {!post} (dropped or not), packets and bytes per
+    transmitted copy (so duplicates count and drops do not). *)
+type kind_stat = {
+  ks_msgs : int;
+  ks_pkts : int;
+  ks_bytes : int;
+  ks_retx : int;  (** posts with a retry index > 0 *)
+  ks_dups : int;  (** extra fault-injected copies beyond the original *)
+}
+
+(** Sorted per-kind counters; empty if no post carried a tag. *)
+val kind_stats : t -> (string * kind_stat) list
 
 (** Wire utilization over the measurement window. *)
 val utilization : t -> float

@@ -7,6 +7,8 @@ type t = {
   spans : bool;
   span_limit : int;
   metrics : bool;
+  causal : bool;
+  causal_limit : int;
 }
 
 let default_interval = 10.0
@@ -21,18 +23,25 @@ let off =
     spans = false;
     span_limit = Span.default_limit;
     metrics = false;
+    causal = false;
+    causal_limit = Causal.default_limit;
   }
 
 let make ?(trace = false) ?(trace_limit = Recorder.default_limit)
     ?(series = false) ?(sample_interval = default_interval) ?(profile = false)
-    ?(spans = false) ?(span_limit = Span.default_limit) ?(metrics = false) () =
+    ?(spans = false) ?(span_limit = Span.default_limit) ?(metrics = false)
+    ?(causal = false) ?(causal_limit = Causal.default_limit) () =
   if trace_limit < 1 then invalid_arg "Obs.Config.make: trace_limit < 1";
   if span_limit < 1 then invalid_arg "Obs.Config.make: span_limit < 1";
+  if causal_limit < 1 then invalid_arg "Obs.Config.make: causal_limit < 1";
   if sample_interval <= 0.0 then
     invalid_arg "Obs.Config.make: sample_interval <= 0";
-  { trace; trace_limit; series; sample_interval; profile; spans; span_limit; metrics }
+  { trace; trace_limit; series; sample_interval; profile; spans; span_limit;
+    metrics; causal; causal_limit }
 
 let trace_only = make ~trace:true ()
 let full = make ~trace:true ~series:true ~profile:true ~spans:true ~metrics:true ()
 let latency = make ~spans:true ~metrics:true ()
-let enabled t = t.trace || t.series || t.profile || t.spans || t.metrics
+let causal = make ~spans:true ~metrics:true ~causal:true ()
+let enabled t =
+  t.trace || t.series || t.profile || t.spans || t.metrics || t.causal

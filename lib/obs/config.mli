@@ -14,6 +14,8 @@ type t = {
   spans : bool;  (** record typed transaction spans into a {!Span} buffer *)
   span_limit : int;  (** span ring capacity *)
   metrics : bool;  (** install an online {!Metrics} registry *)
+  causal : bool;  (** record causal message DAGs into a {!Causal} buffer *)
+  causal_limit : int;  (** causal ring capacity *)
 }
 
 (** Everything disabled — the default. *)
@@ -30,6 +32,8 @@ val make :
   ?spans:bool ->
   ?span_limit:int ->
   ?metrics:bool ->
+  ?causal:bool ->
+  ?causal_limit:int ->
   unit ->
   t
 
@@ -41,6 +45,9 @@ val full : t
 
 (** Spans + metrics: what [ccsim metrics] and the latency telemetry use. *)
 val latency : t
+
+(** Spans + metrics + causal message DAGs: what [ccsim causal] uses. *)
+val causal : t
 
 (** Is any layer on? *)
 val enabled : t -> bool

@@ -11,6 +11,7 @@ type t =
   | Disk_read of { page : int }
   | Msg_dropped of { bytes : int }
   | Msg_delayed of { bytes : int; by : float }
+  | Msg_duplicated of { bytes : int; copies : int }
   | Client_crash of { client : int }
   | Client_recover of { client : int; downtime : float }
   | Lock_reclaimed of { client : int; pages : int list }
@@ -48,6 +49,8 @@ let to_string = function
   | Msg_dropped { bytes } -> Printf.sprintf "message dropped (%d bytes)" bytes
   | Msg_delayed { bytes; by } ->
       Printf.sprintf "message delayed %.4fs (%d bytes)" by bytes
+  | Msg_duplicated { bytes; copies } ->
+      Printf.sprintf "message duplicated x%d (%d bytes)" copies bytes
   | Client_crash { client } -> Printf.sprintf "client %d crashed" client
   | Client_recover { client; downtime } ->
       Printf.sprintf "client %d recovered after %.4fs" client downtime
@@ -82,6 +85,7 @@ let kind = function
   | Disk_read _ -> "disk_read"
   | Msg_dropped _ -> "msg_dropped"
   | Msg_delayed _ -> "msg_delayed"
+  | Msg_duplicated _ -> "msg_duplicated"
   | Client_crash _ -> "client_crash"
   | Client_recover _ -> "client_recover"
   | Lock_reclaimed _ -> "lock_reclaimed"
@@ -106,8 +110,8 @@ let actor = function
       Some client
   | Callback { holder; _ } -> Some holder
   | Deadlock { victim_client; _ } -> Some victim_client
-  | Disk_read _ | Msg_dropped _ | Msg_delayed _ | Server_crash _
-  | Server_recover _ | Checkpoint _ | Log_replayed _ ->
+  | Disk_read _ | Msg_dropped _ | Msg_delayed _ | Msg_duplicated _
+  | Server_crash _ | Server_recover _ | Checkpoint _ | Log_replayed _ ->
       None
 
 (* Free-text message descriptions carry arguments ("fetch reply (2 data
@@ -131,7 +135,7 @@ let message_label = function
   | Notify { push = true; _ } -> Some "s2c update push"
   | Notify { push = false; _ } -> Some "s2c invalidation"
   | Lock_wait _ | Lock_grant _ | Deadlock _ | Abort _ | Commit _ | Disk_read _
-  | Msg_dropped _ | Msg_delayed _ | Client_crash _ | Client_recover _
-  | Lock_reclaimed _ | Server_crash _ | Server_recover _ | Checkpoint _
-  | Log_replayed _ ->
+  | Msg_dropped _ | Msg_delayed _ | Msg_duplicated _ | Client_crash _
+  | Client_recover _ | Lock_reclaimed _ | Server_crash _ | Server_recover _
+  | Checkpoint _ | Log_replayed _ ->
       None

@@ -20,6 +20,8 @@ type t =
   | Disk_read of { page : int }
   | Msg_dropped of { bytes : int }
   | Msg_delayed of { bytes : int; by : float }
+  | Msg_duplicated of { bytes : int; copies : int }
+      (** fault injection transmitted [copies] copies of one message *)
   | Client_crash of { client : int }
   | Client_recover of { client : int; downtime : float }
   | Lock_reclaimed of { client : int; pages : int list }

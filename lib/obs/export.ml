@@ -47,8 +47,17 @@ let span_tid = function
   | Span.Client c -> c + 1
   | Span.Server k -> shard_tid_base + k
 
-let perfetto ?(spans = [||]) (entries : (int * Recorder.entry) array) =
-  let b = Buffer.create (4096 + ((Array.length entries + Array.length spans) * 96)) in
+let causal_tid = function
+  | Causal.Client c -> c + 1
+  | Causal.Shard k -> shard_tid_base + k
+
+let perfetto ?(spans = [||]) ?(flows = [||])
+    (entries : (int * Recorder.entry) array) =
+  let b =
+    Buffer.create
+      (4096
+      + (Array.length entries + Array.length spans + Array.length flows) * 96)
+  in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
   let obj s =
@@ -136,6 +145,38 @@ let perfetto ?(spans = [||]) (entries : (int * Recorder.entry) array) =
                    (us (sp_time -. t0))
                    rep tid xid ok)))
     spans;
+  (* causal messages become flow arrows: a "s" (flow start) event on the
+     sender's lane at the send instant and a matching "f" (flow finish,
+     binding to the enclosing slice) on the receiver's at delivery.  Only
+     delivered copies draw an arrow — a drop has nowhere to land.  Flow
+     ids are strings ("rep-node"), unique across reps by construction. *)
+  let sends = Hashtbl.create 256 in
+  Array.iter
+    (fun (rep, { Causal.cz_time; cz_ev; cz_seq = _ }) ->
+      match cz_ev with
+      | Causal.Send { id; kind; src; dst; _ } ->
+          Hashtbl.replace sends (rep, id) (cz_time, kind, src, dst)
+      | Causal.Recv { id } -> (
+          match Hashtbl.find_opt sends (rep, id) with
+          | None -> ()
+          | Some (t0, kind, src, dst) ->
+              Hashtbl.remove sends (rep, id);
+              let src_tid = causal_tid src and dst_tid = causal_tid dst in
+              metadata rep src_tid;
+              metadata rep dst_tid;
+              obj
+                (Printf.sprintf
+                   "{\"name\":\"%s\",\"cat\":\"causal\",\"ph\":\"s\",\
+                    \"id\":\"%d-%d\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}"
+                   (json_escape kind) rep id (us t0) rep src_tid);
+              obj
+                (Printf.sprintf
+                   "{\"name\":\"%s\",\"cat\":\"causal\",\"ph\":\"f\",\
+                    \"bp\":\"e\",\"id\":\"%d-%d\",\"ts\":%.3f,\"pid\":%d,\
+                    \"tid\":%d}"
+                   (json_escape kind) rep id (us cz_time) rep dst_tid))
+      | Causal.Root _ | Causal.Drop _ | Causal.End _ -> ())
+    flows;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents b
 
@@ -421,6 +462,37 @@ let trace_text (entries : (int * Recorder.entry) array) =
       Buffer.add_string b
         (Printf.sprintf "rep%d %12.6f #%-7d %s\n" rep time seq
            (Event.to_string ev)))
+    entries;
+  Buffer.contents b
+
+(* Plain-text dump of a merged causal record.  Times print with %.17g so
+   byte-comparison across -j values is exact, and every field of a Send
+   is spelled out — the .dag artifact doubles as the ground truth the CI
+   determinism check diffs. *)
+let dag_text (entries : (int * Causal.entry) array) =
+  let b = Buffer.create (Array.length entries * 80) in
+  Array.iter
+    (fun (rep, { Causal.cz_time; cz_seq = _; cz_ev }) ->
+      Buffer.add_string b
+        (match cz_ev with
+        | Causal.Root { id; client } ->
+            Printf.sprintf "rep%d %.17g root #%d client %d\n" rep cz_time id
+              client
+        | Causal.Send
+            { id; parent; xid; owner; kind; src; dst; bytes; pkts; retry; dup }
+          ->
+            Printf.sprintf
+              "rep%d %.17g send #%d parent %d kind %s xid %d owner %d src %s \
+               dst %s bytes %d pkts %d retry %d dup %d\n"
+              rep cz_time id parent kind xid owner (Causal.ep_name src)
+              (Causal.ep_name dst) bytes pkts retry dup
+        | Causal.Recv { id } ->
+            Printf.sprintf "rep%d %.17g recv #%d\n" rep cz_time id
+        | Causal.Drop { id } ->
+            Printf.sprintf "rep%d %.17g drop #%d\n" rep cz_time id
+        | Causal.End { id; parent; xid; client; ok } ->
+            Printf.sprintf "rep%d %.17g end #%d parent %d xid %d client %d ok %b\n"
+              rep cz_time id parent xid client ok))
     entries;
   Buffer.contents b
 

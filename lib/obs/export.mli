@@ -15,15 +15,26 @@
 
 (** Chrome/Perfetto trace_event JSON of a merged trace
     (see {!Run.merged_trace}), plus duration events for [spans]
-    (see {!Run.merged_spans}). *)
+    (see {!Run.merged_spans}), plus flow arrows for [flows] (a merged
+    causal record, see {!Run.merged_causal}): each delivered message
+    copy draws an arrow from its sender's lane at the send instant to
+    its receiver's at delivery, with the message kind as the flow name
+    and ["causal"] as the category. *)
 val perfetto :
-  ?spans:(int * Span.entry) array -> (int * Recorder.entry) array -> string
+  ?spans:(int * Span.entry) array ->
+  ?flows:(int * Causal.entry) array ->
+  (int * Recorder.entry) array ->
+  string
 
 (** Plain-text dump, one line per event ("repN  time  #seq  description"). *)
 val trace_text : (int * Recorder.entry) array -> string
 
 (** Plain-text dump of a merged span record, one line per open/close. *)
 val span_text : (int * Span.entry) array -> string
+
+(** Plain-text dump of a merged causal record, one line per node, with
+    [%.17g] times — the deterministic [.dag] artifact. *)
+val dag_text : (int * Causal.entry) array -> string
 
 (** CSV of one series: a metadata comment line, a [time,<names>] header,
     one row per sample. *)

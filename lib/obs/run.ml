@@ -29,6 +29,8 @@ type rep = {
   spans : Span.entry array;
   spans_dropped : int;
   metrics : Metrics.t option;
+  causal : Causal.entry array;
+  causal_dropped : int;
 }
 
 type t = { reps : rep list }
@@ -47,6 +49,13 @@ let merged_spans t =
   let parts = List.mapi (fun i r -> Array.map (fun e -> (i, e)) r.spans) t.reps in
   Array.concat parts
 
+(* And for causal message records. *)
+let merged_causal t =
+  let parts =
+    List.mapi (fun i r -> Array.map (fun e -> (i, e)) r.causal) t.reps
+  in
+  Array.concat parts
+
 (* One registry for the whole run: counters and histogram buckets add
    exactly; the fold runs in seed order, so the merged artifact is a
    deterministic function of the spec at any [-j]. *)
@@ -60,6 +69,12 @@ let total_events t =
 
 let total_spans t =
   List.fold_left (fun a r -> a + Array.length r.spans) 0 t.reps
+
+let total_causal t =
+  List.fold_left (fun a r -> a + Array.length r.causal) 0 t.reps
+
+let causal_dropped t =
+  List.fold_left (fun a r -> a + r.causal_dropped) 0 t.reps
 
 let pp_fac_snapshot fmt f =
   Format.fprintf fmt

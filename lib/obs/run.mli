@@ -31,6 +31,8 @@ type rep = {
   spans : Span.entry array;  (** emission order; empty if spans off *)
   spans_dropped : int;  (** span entries lost to the ring limit *)
   metrics : Metrics.t option;  (** this replication's registry *)
+  causal : Causal.entry array;  (** emission order; empty if causal off *)
+  causal_dropped : int;  (** causal entries lost to the ring limit *)
 }
 
 type t = { reps : rep list }
@@ -45,9 +47,14 @@ val merged_trace : t -> (int * Recorder.entry) array
 (** All replications' span entries, rep-tagged in seed order. *)
 val merged_spans : t -> (int * Span.entry) array
 
+(** All replications' causal entries, rep-tagged in seed order. *)
+val merged_causal : t -> (int * Causal.entry) array
+
 (** One registry for the whole run: per-rep registries merged in seed
     order (exact on counters and histogram buckets). *)
 val merged_metrics : t -> Metrics.t option
 
 val total_events : t -> int
 val total_spans : t -> int
+val total_causal : t -> int
+val causal_dropped : t -> int

@@ -34,6 +34,12 @@ type attempt = {
   (* shard -> (committed, new_versions slice) once it acknowledged *)
   acks : (int, bool * (int * int) list) Hashtbl.t;
   a_start : float; (* engine clock at [start_2pc], for the in-doubt metric *)
+  (* causal node id of the last consumed 2PC message (a Vote or
+     Decision_ack recv), initially the parent of the client's commit.
+     Decisions fan out parented on it, and the locally-delivered
+     Commit_reply carries it, so the client's next send chains to the
+     true causal tail of the 2PC exchange.  -1 when tracing is off. *)
+  mutable a_last_ctx : int;
   (* observability only: open span ids, -1 when closed or spans are off *)
   mutable sp_prepare : int;
   mutable sp_decide : int;
@@ -44,9 +50,9 @@ type t = {
   client_id : int;
   metrics : Core.Metrics.t;
   amnesia : unit -> bool;
-  send : int -> Proto.c2s -> unit;
+  send : int -> parent:int -> retry:int -> Proto.c2s -> unit;
   now : unit -> float;
-  deliver_client : Proto.s2c -> unit;
+  deliver_client : int -> Proto.s2c -> unit;
   mutable cur_xid : int;
   touched : bool array; (* shards the current transaction has contacted *)
   mutable attempt : attempt option;
@@ -78,8 +84,8 @@ let create ~map ~client_id ~metrics ~amnesia ~send ~now ~deliver_client =
 let pending_xid t = Option.map (fun a -> a.a_xid) t.attempt
 let shard_of t page = Shard_map.shard_of_page t.map page
 
-let decision t a shard ~commit =
-  t.send shard
+let decision t a shard ~parent ~retry ~commit =
+  t.send shard ~parent ~retry
     (Proto.Decision { client = t.client_id; xid = a.a_xid; req = a.a_req; commit })
 
 let contradiction t kind =
@@ -126,7 +132,7 @@ let finish t a ~ok =
         a.a_participants
   in
   t.attempt <- None;
-  t.deliver_client
+  t.deliver_client a.a_last_ctx
     (Proto.Commit_reply
        {
          xid = a.a_xid;
@@ -147,7 +153,9 @@ let drive_commit t a =
   open_decide t a;
   a.phase <- Committing;
   List.iter
-    (fun s -> if not (Hashtbl.mem a.acks s) then decision t a s ~commit:true)
+    (fun s ->
+      if not (Hashtbl.mem a.acks s) then
+        decision t a s ~parent:a.a_last_ctx ~retry:0 ~commit:true)
     a.a_participants;
   check_done t a
 
@@ -156,7 +164,9 @@ let drive_abort t a =
   open_decide t a;
   a.phase <- Aborting;
   List.iter
-    (fun s -> if not (Hashtbl.mem a.acks s) then decision t a s ~commit:false)
+    (fun s ->
+      if not (Hashtbl.mem a.acks s) then
+        decision t a s ~parent:a.a_last_ctx ~retry:0 ~commit:false)
     a.a_participants;
   check_done t a
 
@@ -178,13 +188,14 @@ let decide t a ~commit =
     close_prepare t a ~ok:true;
     open_decide t a;
     a.phase <- Commit_point_sent;
-    decision t a a.a_decider ~commit:true
+    decision t a a.a_decider ~parent:a.a_last_ctx ~retry:0 ~commit:true
   end
   else drive_abort t a
 
-let on_vote t ~shard ~xid ~ok ~stale_pages =
+let on_vote t ~ctx ~shard ~xid ~ok ~stale_pages =
   match t.attempt with
   | Some a when a.a_xid = xid -> (
+      a.a_last_ctx <- ctx;
       match a.phase with
       | Voting ->
           if not (Hashtbl.mem a.votes shard) then begin
@@ -204,9 +215,10 @@ let on_vote t ~shard ~xid ~ok ~stale_pages =
       | Commit_point_sent | Committing -> ())
   | Some _ | None -> () (* stray vote for a finished/forgotten attempt *)
 
-let on_ack t ~shard ~xid ~committed ~new_versions =
+let on_ack t ~ctx ~shard ~xid ~committed ~new_versions =
   match t.attempt with
   | Some a when a.a_xid = xid -> (
+      a.a_last_ctx <- ctx;
       let record () =
         if not (Hashtbl.mem a.acks shard) then
           Hashtbl.replace a.acks shard (committed, new_versions)
@@ -248,25 +260,29 @@ let on_ack t ~shard ~xid ~committed ~new_versions =
 (* Client retransmission of the commit: re-drive whatever stage is
    incomplete.  The retransmitted message is byte-identical (same xid,
    same req), so participant-side idempotency does the rest. *)
-let redrive t a =
+let redrive t a ~parent ~retry =
   match a.phase with
   | Voting ->
       List.iter
-        (fun (s, m) -> if not (Hashtbl.mem a.votes s) then t.send s m)
+        (fun (s, m) ->
+          if not (Hashtbl.mem a.votes s) then t.send s ~parent ~retry m)
         a.a_slices
-  | Commit_point_sent -> decision t a a.a_decider ~commit:true
+  | Commit_point_sent -> decision t a a.a_decider ~parent ~retry ~commit:true
   | Committing ->
       List.iter
-        (fun s -> if not (Hashtbl.mem a.acks s) then decision t a s ~commit:true)
+        (fun s ->
+          if not (Hashtbl.mem a.acks s) then
+            decision t a s ~parent ~retry ~commit:true)
         a.a_participants
   | Aborting ->
       List.iter
         (fun s ->
-          if not (Hashtbl.mem a.acks s) then decision t a s ~commit:false)
+          if not (Hashtbl.mem a.acks s) then
+            decision t a s ~parent ~retry ~commit:false)
         a.a_participants
 
-let start_2pc t ~client ~xid ~req ~read_set ~update_pages ~release_pages
-    participants =
+let start_2pc t ~parent ~retry ~client ~xid ~req ~read_set ~update_pages
+    ~release_pages participants =
   let decider = List.hd participants in
   let slices =
     List.map
@@ -299,6 +315,7 @@ let start_2pc t ~client ~xid ~req ~read_set ~update_pages ~release_pages
       phase = Voting;
       acks = Hashtbl.create 8;
       a_start = t.now ();
+      a_last_ctx = parent;
       sp_prepare =
         Obs.Span.open_span ~time:(t.now ())
           ~track:(Obs.Span.Client t.client_id) ~kind:Obs.Span.Prepare_2pc
@@ -309,7 +326,7 @@ let start_2pc t ~client ~xid ~req ~read_set ~update_pages ~release_pages
   t.attempt <- Some a;
   Obs.Metrics.observe_s "ccsim_2pc_fanout"
     (float_of_int (List.length participants));
-  List.iter (fun (s, m) -> t.send s m) slices
+  List.iter (fun (s, m) -> t.send s ~parent ~retry m) slices
 
 (* First sight of a new transaction id.  A dangling attempt here can only
    be a forgotten/abandoned one whose global outcome was abort (the
@@ -318,18 +335,21 @@ let start_2pc t ~client ~xid ~req ~read_set ~update_pages ~release_pages
    round-trip): fire best-effort abort decisions at its participants.
    The authoritative cleanup is server-side ([settle_superseded]), which
    is immune to message reordering. *)
-let note_xid t xid =
+let note_xid t ~parent xid =
   if xid <> t.cur_xid then begin
     (match t.attempt with
     | Some a ->
         (match a.phase with
         | Voting ->
             Core.Metrics.record_xshard_abort t.metrics;
-            List.iter (fun s -> decision t a s ~commit:false) a.a_participants
+            List.iter
+              (fun s -> decision t a s ~parent ~retry:0 ~commit:false)
+              a.a_participants
         | Aborting ->
             List.iter
               (fun s ->
-                if not (Hashtbl.mem a.acks s) then decision t a s ~commit:false)
+                if not (Hashtbl.mem a.acks s) then
+                  decision t a s ~parent ~retry:0 ~commit:false)
               a.a_participants
         | Commit_point_sent | Committing -> ());
         close_prepare t a ~ok:false;
@@ -342,10 +362,10 @@ let note_xid t xid =
 
 let touch t s = t.touched.(s) <- true
 
-let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages
-    msg =
+let handle_commit t ~parent ~retry ~client ~xid ~req ~read_set ~update_pages
+    ~release_pages msg =
   match t.attempt with
-  | Some a when a.a_xid = xid -> redrive t a
+  | Some a when a.a_xid = xid -> redrive t a ~parent ~retry
   | Some _ | None -> (
       let parts = Array.copy t.touched in
       List.iter (fun (p, _) -> parts.(shard_of t p) <- true) read_set;
@@ -359,59 +379,60 @@ let handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages
              that contacted a shard, updated, or released); route it
              somewhere deterministic anyway *)
           touch t 0;
-          t.send 0 msg
+          t.send 0 ~parent ~retry msg
       | [ s ] ->
           (* single-shard: the one-round commit path, untouched *)
           touch t s;
-          t.send s msg
+          t.send s ~parent ~retry msg
       | participants ->
-          start_2pc t ~client ~xid ~req ~read_set ~update_pages ~release_pages
-            participants)
+          start_2pc t ~parent ~retry ~client ~xid ~req ~read_set ~update_pages
+            ~release_pages participants)
 
-let route t (msg : Proto.c2s) =
+let route t ~parent ~retry (msg : Proto.c2s) =
   match msg with
   | Proto.Fetch { xid; pages; _ } | Proto.Cert_read { xid; pages; _ } ->
-      note_xid t xid;
+      note_xid t ~parent xid;
       (* all pages of one object live in one class, hence on one shard *)
       let s = shard_of t (List.hd pages).Proto.page in
       touch t s;
-      t.send s msg
+      t.send s ~parent ~retry msg
   | Proto.Dirty_evict { xid; page; _ } ->
-      note_xid t xid;
+      note_xid t ~parent xid;
       let s = shard_of t page in
       touch t s;
-      t.send s msg
-  | Proto.Callback_reply { page; _ } -> t.send (shard_of t page) msg
+      t.send s ~parent ~retry msg
+  | Proto.Callback_reply { page; _ } ->
+      t.send (shard_of t page) ~parent ~retry msg
   | Proto.Release_retained { client; pages } ->
       List.iter
         (fun (s, ps) ->
-          t.send s (Proto.Release_retained { client; pages = ps }))
+          t.send s ~parent ~retry (Proto.Release_retained { client; pages = ps }))
         (Shard_map.partition_pages t.map pages)
   | Proto.Recovered _ ->
       for s = 0 to Shard_map.n_shards t.map - 1 do
-        t.send s msg
+        t.send s ~parent ~retry msg
       done
   | Proto.Commit { client; xid; req; read_set; update_pages; release_pages } ->
-      note_xid t xid;
-      handle_commit t ~client ~xid ~req ~read_set ~update_pages ~release_pages
-        msg
+      note_xid t ~parent xid;
+      handle_commit t ~parent ~retry ~client ~xid ~req ~read_set ~update_pages
+        ~release_pages msg
   | Proto.Prepare _ | Proto.Decision _ | Proto.Outcome_query _ ->
       (* clients never originate 2PC messages *)
       assert false
 
-let on_s2c t ~shard (msg : Proto.s2c) =
+let on_s2c t ~shard ~ctx (msg : Proto.s2c) =
   match msg with
   | Proto.Vote { xid; shard = s; ok; stale_pages; _ } ->
-      on_vote t ~shard:s ~xid ~ok ~stale_pages
+      on_vote t ~ctx ~shard:s ~xid ~ok ~stale_pages
   | Proto.Decision_ack { xid; shard = s; committed; new_versions; _ } ->
-      on_ack t ~shard:s ~xid ~committed ~new_versions
+      on_ack t ~ctx ~shard:s ~xid ~committed ~new_versions
   | Proto.Server_restart { epoch } ->
       if epoch > t.shard_epochs.(shard) then begin
         t.shard_epochs.(shard) <- epoch;
         t.virt_epoch <- t.virt_epoch + 1;
-        t.deliver_client (Proto.Server_restart { epoch = t.virt_epoch })
+        t.deliver_client ctx (Proto.Server_restart { epoch = t.virt_epoch })
       end
   | Proto.Fetch_reply _ | Proto.Cert_reply _ | Proto.Commit_reply _
   | Proto.Aborted _ | Proto.Callback_request _ | Proto.Update_push _
   | Proto.Invalidate_page _ ->
-      t.deliver_client msg
+      t.deliver_client ctx msg

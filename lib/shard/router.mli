@@ -34,28 +34,35 @@ type t
 
 (** [amnesia] is drawn once per 2PC attempt at the decision point;
     [send] delivers one message to a shard (charged to the client's
-    CPU); [now] reads the engine clock (for 2PC span/metric emission
-    only — never to make decisions); [deliver_client] puts a
-    server-to-client message in the client's real inbox, bypassing the
-    network (the router IS the client's network endpoint). *)
+    CPU), carrying the causal parent node id and retry index for the
+    message's trace tag; [now] reads the engine clock (for 2PC
+    span/metric emission only — never to make decisions);
+    [deliver_client] puts a server-to-client message in the client's
+    real inbox, bypassing the network (the router IS the client's
+    network endpoint) — its first argument is the causal node id the
+    message arrived under (-1 when tracing is off). *)
 val create :
   map:Shard_map.t ->
   client_id:int ->
   metrics:Core.Metrics.t ->
   amnesia:(unit -> bool) ->
-  send:(int -> Core.Proto.c2s -> unit) ->
+  send:(int -> parent:int -> retry:int -> Core.Proto.c2s -> unit) ->
   now:(unit -> float) ->
-  deliver_client:(Core.Proto.s2c -> unit) ->
+  deliver_client:(int -> Core.Proto.s2c -> unit) ->
   t
 
-(** The client's [to_server]: route one outbound message. *)
-val route : t -> Core.Proto.c2s -> unit
+(** The client's [to_server]: route one outbound message.  [parent] and
+    [retry] are the causal tag fields the client attached; shard-bound
+    copies inherit them.  Decisions the router originates later (vote
+    collection, redrives) are parented on the last 2PC message it
+    consumed. *)
+val route : t -> parent:int -> retry:int -> Core.Proto.c2s -> unit
 
 (** Inbound server-to-client traffic from [shard]: votes and decision
     acknowledgements terminate here; everything else is forwarded to the
     client (with per-shard restart epochs folded into one monotone
-    virtual epoch). *)
-val on_s2c : t -> shard:int -> Core.Proto.s2c -> unit
+    virtual epoch).  [ctx] is the delivered copy's causal node id. *)
+val on_s2c : t -> shard:int -> ctx:int -> Core.Proto.s2c -> unit
 
 (** Transaction id of the in-flight 2PC attempt, if any (tests). *)
 val pending_xid : t -> int option

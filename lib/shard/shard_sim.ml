@@ -43,8 +43,13 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
               Trace.emit (Sim.Engine.now eng)
                 (Trace.Msg_delayed { bytes; by = v.Fault.Injector.extra_delay })
           end;
-          if v.Fault.Injector.copies > 1 then
-            Metrics.record_msg_duplicated metrics
+          if v.Fault.Injector.copies > 1 then begin
+            Metrics.record_msg_duplicated metrics;
+            if Trace.active () then
+              Trace.emit (Sim.Engine.now eng)
+                (Trace.Msg_duplicated
+                   { bytes; copies = v.Fault.Injector.copies })
+          end
         end;
         {
           Net.Network.drop = v.Fault.Injector.drop;
@@ -95,16 +100,27 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
       | None -> Db.Workload.create db spec.xact_params ~rng
     in
     let client = ref None in
-    let send s msg =
+    let send s ~parent ~retry msg =
       let c = Option.get !client in
       if Obs.Metrics.active () then Obs.Metrics.incr_s shard_msg_name.(s) 1;
       let bytes =
         Proto.c2s_bytes ~control:cfg.Sys_params.control_msg_bytes
           ~page_size:cfg.Sys_params.page_size msg
       in
-      Comms.send net ~msg_inst:cfg.Sys_params.net.Net.Network.msg_inst
+      let tag =
+        {
+          Obs.Causal.tg_parent = parent;
+          tg_xid = Proto.c2s_xid msg;
+          tg_owner = Proto.c2s_client msg;
+          tg_kind = Proto.c2s_kind msg;
+          tg_src = Obs.Causal.Client i;
+          tg_dst = Obs.Causal.Shard s;
+          tg_retry = retry;
+        }
+      in
+      Comms.send ~tag net ~msg_inst:cfg.Sys_params.net.Net.Network.msg_inst
         ~src:(Client.port c) ~dst:(Server.port servers.(s)) ~bytes
-        ~deliver:(fun () -> Server.deliver servers.(s) msg)
+        ~deliver:(fun ctx -> Server.deliver servers.(s) ~ctx msg)
     in
     let amnesia =
       let p = spec.fault.Fault.Plan.coord_crash_prob in
@@ -114,8 +130,8 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
     let router =
       Router.create ~map ~client_id:i ~metrics ~amnesia ~send
         ~now:(fun () -> Sim.Engine.now eng)
-        ~deliver_client:(fun msg ->
-          Sim.Mailbox.send (Client.inbox (Option.get !client)) msg)
+        ~deliver_client:(fun ctx msg ->
+          Sim.Mailbox.send (Client.inbox (Option.get !client)) (ctx, msg))
     in
     let c =
       Client.create eng ?audit ~fault:spec.fault ~down_gauge ~id:i ~cfg
@@ -131,7 +147,8 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
         ~name:(Printf.sprintf "relay-%d-%d" i s)
         (fun () ->
           let rec loop () =
-            Router.on_s2c router ~shard:s (Sim.Mailbox.recv mb);
+            let ctx, msg = Sim.Mailbox.recv mb in
+            Router.on_s2c router ~shard:s ~ctx msg;
             loop ()
           in
           loop ())
@@ -178,6 +195,11 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
   let span_buf =
     if ocfg.Obs.Config.spans then
       Some (Obs.Span.create ~limit:ocfg.Obs.Config.span_limit ())
+    else None
+  in
+  let causal_buf =
+    if ocfg.Obs.Config.causal then
+      Some (Obs.Causal.create ~limit:ocfg.Obs.Config.causal_limit ())
     else None
   in
   let registry =
@@ -285,9 +307,44 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
       recorder (fun () ->
         with_sink Obs.Span.save Obs.Span.install Obs.Span.restore span_buf
           (fun () ->
-            with_sink Obs.Metrics.save Obs.Metrics.install Obs.Metrics.restore
-              registry run_sim))
+            with_sink Obs.Causal.save Obs.Causal.install Obs.Causal.restore
+              causal_buf (fun () ->
+                with_sink Obs.Metrics.save Obs.Metrics.install
+                  Obs.Metrics.restore registry run_sim)))
   in
+  (* Per-kind wire accounting and causal critical-chain shape land in the
+     registry after the run: pure counter folds, no engine interaction. *)
+  (match registry with
+  | Some r ->
+      List.iter
+        (fun (kind, ks) ->
+          let lbl name = Printf.sprintf "%s{kind=\"%s\"}" name kind in
+          Obs.Metrics.incr r (lbl "ccsim_net_msgs_total")
+            ks.Net.Network.ks_msgs;
+          Obs.Metrics.incr r (lbl "ccsim_net_packets_total")
+            ks.Net.Network.ks_pkts;
+          Obs.Metrics.incr r (lbl "ccsim_net_bytes_total")
+            ks.Net.Network.ks_bytes;
+          if ks.Net.Network.ks_retx > 0 then
+            Obs.Metrics.incr r
+              (lbl "ccsim_net_retransmits_total")
+              ks.Net.Network.ks_retx;
+          if ks.Net.Network.ks_dups > 0 then
+            Obs.Metrics.incr r
+              (lbl "ccsim_net_duplicates_total")
+              ks.Net.Network.ks_dups)
+        (Net.Network.kind_stats net);
+      (match causal_buf with
+      | Some b ->
+          let tagged = Array.map (fun e -> (0, e)) (Obs.Causal.entries b) in
+          let an = Obs.Causal.analyze ~dropped:(Obs.Causal.dropped b) tagged in
+          let saved = Obs.Metrics.save () in
+          Obs.Metrics.install r;
+          Fun.protect
+            ~finally:(fun () -> Obs.Metrics.restore saved)
+            (fun () -> Obs.Causal.register_chain_metrics an)
+      | None -> ())
+  | None -> ());
   (match inspect with
   | Some f -> f servers (Array.map (function Some c -> c | None -> assert false) clients)
   | None -> ());
@@ -355,6 +412,11 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
         | Some b -> (Obs.Span.entries b, Obs.Span.dropped b)
         | None -> ([||], 0)
       in
+      let causal, causal_dropped =
+        match causal_buf with
+        | Some b -> (Obs.Causal.entries b, Obs.Causal.dropped b)
+        | None -> ([||], 0)
+      in
       Some
         {
           Obs.Run.reps =
@@ -371,6 +433,8 @@ let run_with_stats ?audit ?inspect (spec : Simulator.spec) =
                    else None);
                 spans;
                 spans_dropped;
+                causal;
+                causal_dropped;
                 metrics = registry;
               };
             ];

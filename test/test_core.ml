@@ -17,7 +17,7 @@ let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 type harness = {
   eng : Sim.Engine.t;
   server : Core.Server.t;
-  inboxes : Core.Proto.s2c Sim.Mailbox.t array;
+  inboxes : (int * Core.Proto.s2c) Sim.Mailbox.t array;
   caches : Storage.Lru_pool.t array;
 }
 
@@ -69,13 +69,13 @@ let run h = ignore (Sim.Engine.run h.eng ())
 
 (* send a message and run the simulation until quiescent *)
 let post h msg =
-  Core.Server.deliver h.server msg;
+  Core.Server.deliver h.server ~ctx:(-1) msg;
   run h
 
 let drain_inbox h i =
   let rec go acc =
     match Sim.Mailbox.recv_opt h.inboxes.(i) with
-    | Some m -> go (m :: acc)
+    | Some (_, m) -> go (m :: acc)
     | None -> List.rev acc
   in
   go []

@@ -21,7 +21,7 @@ let test_post_delivers () =
   let eng, net = mk () in
   let delivered_at = ref (-1.0) in
   Sim.Engine.spawn eng (fun () ->
-      Network.post net ~bytes:100 ~deliver:(fun () ->
+      Network.post net ~bytes:100 ~deliver:(fun _ ->
           delivered_at := Sim.Engine.now eng));
   ignore (Sim.Engine.run eng ());
   if !delivered_at <= 0.0 then Alcotest.fail "not delivered or zero delay";
@@ -32,7 +32,7 @@ let test_post_sender_not_blocked () =
   let eng, net = mk () in
   let sender_done = ref (-1.0) in
   Sim.Engine.spawn eng (fun () ->
-      Network.post net ~bytes:100_000 ~deliver:(fun () -> ());
+      Network.post net ~bytes:100_000 ~deliver:(fun _ -> ());
       sender_done := Sim.Engine.now eng);
   ignore (Sim.Engine.run eng ());
   Alcotest.(check (float 0.0)) "sender returns immediately" 0.0 !sender_done
@@ -41,7 +41,7 @@ let test_zero_delay_instant () =
   let eng, net = mk ~net_delay:0.0 () in
   let delivered_at = ref (-1.0) in
   Sim.Engine.spawn eng (fun () ->
-      Network.post net ~bytes:20_000 ~deliver:(fun () ->
+      Network.post net ~bytes:20_000 ~deliver:(fun _ ->
           delivered_at := Sim.Engine.now eng));
   ignore (Sim.Engine.run eng ());
   Alcotest.(check (float 0.0)) "instant delivery" 0.0 !delivered_at;
@@ -53,8 +53,8 @@ let test_fifo_wire () =
   let eng, net = mk () in
   let order = ref [] in
   Sim.Engine.spawn eng (fun () ->
-      Network.post net ~bytes:40_960 ~deliver:(fun () -> order := "big" :: !order);
-      Network.post net ~bytes:1 ~deliver:(fun () -> order := "small" :: !order));
+      Network.post net ~bytes:40_960 ~deliver:(fun _ -> order := "big" :: !order);
+      Network.post net ~bytes:1 ~deliver:(fun _ -> order := "small" :: !order));
   ignore (Sim.Engine.run eng ());
   Alcotest.(check (list string)) "packet interleaving" [ "small"; "big" ]
     (List.rev !order)
@@ -62,7 +62,7 @@ let test_fifo_wire () =
 let test_utilization_counts () =
   let eng, net = mk () in
   Sim.Engine.spawn eng (fun () ->
-      Network.post net ~bytes:4096 ~deliver:(fun () -> ()));
+      Network.post net ~bytes:4096 ~deliver:(fun _ -> ()));
   ignore (Sim.Engine.run eng ());
   (* the wire was busy the whole (non-zero) run *)
   let u = Network.utilization net in
@@ -75,7 +75,7 @@ let test_deliver_may_block () =
   let eng, net = mk () in
   let finished = ref (-1.0) in
   Sim.Engine.spawn eng (fun () ->
-      Network.post net ~bytes:1 ~deliver:(fun () ->
+      Network.post net ~bytes:1 ~deliver:(fun _ ->
           Sim.Engine.hold 5.0;
           finished := Sim.Engine.now eng));
   ignore (Sim.Engine.run eng ());

@@ -588,8 +588,10 @@ let test_chaos_repro_snapshot () =
     (contains (read (base ^ ".spans")) "open");
   Alcotest.(check bool) "metrics snapshot" true
     (contains (read (base ^ ".metrics")) "ccsim_commit_latency_seconds");
+  Alcotest.(check bool) "causal dag snapshot" true
+    (contains (read (base ^ ".dag")) "send");
   List.iter Sys.remove
-    [ file; base ^ ".spans"; base ^ ".metrics" ];
+    [ file; base ^ ".spans"; base ^ ".metrics"; base ^ ".dag" ];
   Sys.rmdir dir
 
 let test_span_text_format () =

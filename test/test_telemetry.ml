@@ -86,6 +86,25 @@ let snap () =
           l_xacts = 350;
         };
       ];
+    s_causal =
+      [
+        {
+          z_algo = "2PL";
+          z_shards = 1;
+          z_msgs_per_commit = 10.5;
+          z_pkts_per_commit = 12.0;
+          z_bytes_per_commit = 42_000.0;
+          z_commits = 350;
+        };
+        {
+          z_algo = "2PL";
+          z_shards = 4;
+          z_msgs_per_commit = 19.25;
+          z_pkts_per_commit = 22.5;
+          z_bytes_per_commit = 61_500.0;
+          z_commits = 350;
+        };
+      ];
     s_engine = Some { p_wall_s = 0.5; p_events = 200_000; p_heap_hwm = 123 };
   }
 
@@ -154,6 +173,19 @@ let test_latency_section_is_additive () =
       | Ok s' ->
           Alcotest.(check bool) "parses as empty latency" true
             (s'.s_latency = [])
+      | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
+
+(* And for the causal message-amplification section, younger still. *)
+let test_causal_section_is_additive () =
+  let s = { (snap ()) with s_causal = [] } in
+  let json = to_json s in
+  match remove_substring ~sub:"  \"causal\": [],\n" json with
+  | None -> Alcotest.fail "fixture could not remove the causal section"
+  | Some legacy -> (
+      match of_json legacy with
+      | Ok s' ->
+          Alcotest.(check bool) "parses as empty causal" true
+            (s'.s_causal = [])
       | Error e -> Alcotest.failf "legacy snapshot rejected: %s" e)
 
 let test_of_json_rejects () =
@@ -363,6 +395,41 @@ let test_diff_latency_cells () =
   Alcotest.(check int) "one note per missing cell" (List.length s.s_latency)
     (List.length v''.v_notes)
 
+(* Causal cells: deterministic message-amplification ratios — growth past
+   the threshold regresses with no noise band, commit-count drift is a
+   note, and a cell on one side only is a note. *)
+let test_diff_causal_cells () =
+  let s = snap () in
+  let amplified =
+    {
+      s with
+      s_causal =
+        List.map
+          (fun z -> { z with z_msgs_per_commit = z.z_msgs_per_commit *. 2.0 })
+          s.s_causal;
+    }
+  in
+  let v = diff ~baseline:s ~current:amplified () in
+  Alcotest.(check bool) "amplification regression detected" false (ok v);
+  Alcotest.(check int) "one finding per doubled ratio"
+    (List.length s.s_causal)
+    (List.length v.v_regressions);
+  let drifted =
+    {
+      s with
+      s_causal =
+        List.map (fun z -> { z with z_commits = z.z_commits + 5 }) s.s_causal;
+    }
+  in
+  let v' = diff ~baseline:s ~current:drifted () in
+  Alcotest.(check bool) "commit drift is a note, not a failure" true (ok v');
+  Alcotest.(check int) "one note per drifted cell" (List.length s.s_causal)
+    (List.length v'.v_notes);
+  let v'' = diff ~baseline:s ~current:{ s with s_causal = [] } () in
+  Alcotest.(check bool) "missing cells are notes, not failures" true (ok v'');
+  Alcotest.(check int) "one note per missing cell" (List.length s.s_causal)
+    (List.length v''.v_notes)
+
 let test_diff_threshold_and_notes () =
   let s = snap () in
   let mild =
@@ -395,6 +462,7 @@ let () =
           case "sweep section is additive" test_sweep_section_is_additive;
           case "shard section is additive" test_shard_section_is_additive;
           case "latency section is additive" test_latency_section_is_additive;
+          case "causal section is additive" test_causal_section_is_additive;
           case "rejects malformed input" test_of_json_rejects;
         ] );
       ( "diff",
@@ -406,6 +474,7 @@ let () =
           case "sweep cells" test_diff_sweep_cells;
           case "shard cells" test_diff_shard_cells;
           case "latency cells" test_diff_latency_cells;
+          case "causal cells" test_diff_causal_cells;
           case "threshold + mismatch notes" test_diff_threshold_and_notes;
         ] );
     ]

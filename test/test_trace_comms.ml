@@ -107,7 +107,7 @@ let test_comms_charges_both_ends () =
   let delivered = ref false in
   Sim.Engine.spawn eng (fun () ->
       Core.Comms.send net ~msg_inst:10_000 ~src ~dst ~bytes:100
-        ~deliver:(fun () -> delivered := true));
+        ~deliver:(fun _ -> delivered := true));
   ignore (Sim.Engine.run eng ());
   Alcotest.(check bool) "delivered" true !delivered;
   (* 10k instructions: 10ms at 1 MIPS on src, 5ms at 2 MIPS on dst *)
@@ -126,7 +126,7 @@ let test_comms_multi_packet_scales_cpu () =
   Sim.Engine.spawn eng (fun () ->
       (* 3 packets *)
       Core.Comms.send net ~msg_inst:1_000 ~src ~dst ~bytes:(4096 * 3)
-        ~deliver:(fun () -> ()));
+        ~deliver:(fun _ -> ()));
   ignore (Sim.Engine.run eng ());
   Alcotest.(check (float 1e-9)) "3 packets x 1ms" 0.003
     (Sim.Facility.total_service_time src.Core.Proto.cpu)
@@ -140,7 +140,7 @@ let test_comms_zero_cost_free () =
   in
   let at = ref (-1.0) in
   Sim.Engine.spawn eng (fun () ->
-      Core.Comms.send net ~msg_inst:0 ~src ~dst ~bytes:4096 ~deliver:(fun () ->
+      Core.Comms.send net ~msg_inst:0 ~src ~dst ~bytes:4096 ~deliver:(fun _ ->
           at := Sim.Engine.now eng));
   ignore (Sim.Engine.run eng ());
   Alcotest.(check (float 0.0)) "instant with all costs zero" 0.0 !at
